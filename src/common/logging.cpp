@@ -1,0 +1,55 @@
+#include "common/logging.hpp"
+
+#include <cstdio>
+
+namespace bcl {
+
+namespace {
+bool verboseEnabled = false;
+} // namespace
+
+namespace detail {
+
+std::string
+formatDiag(const char *kind, const std::string &msg)
+{
+    std::string out(kind);
+    out += ": ";
+    out += msg;
+    return out;
+}
+
+} // namespace detail
+
+void
+panic(const std::string &msg)
+{
+    throw PanicError(detail::formatDiag("panic", msg));
+}
+
+void
+fatal(const std::string &msg)
+{
+    throw FatalError(detail::formatDiag("fatal", msg));
+}
+
+void
+warn(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+inform(const std::string &msg)
+{
+    if (verboseEnabled)
+        std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+void
+setVerbose(bool on)
+{
+    verboseEnabled = on;
+}
+
+} // namespace bcl

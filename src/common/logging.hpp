@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 style: panic() for internal
+ * invariant violations, fatal() for user-caused errors, warn()/inform()
+ * for status. panic/fatal throw typed exceptions instead of aborting so
+ * that tests can assert on failure modes (failure injection).
+ */
+#ifndef BCL_COMMON_LOGGING_HPP
+#define BCL_COMMON_LOGGING_HPP
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace bcl {
+
+/** Base class for all diagnostics thrown by the library. */
+class Error : public std::runtime_error
+{
+  public:
+    explicit Error(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** An internal invariant was violated (a bug in this library). */
+class PanicError : public Error
+{
+  public:
+    explicit PanicError(const std::string &msg) : Error(msg) {}
+};
+
+/** The user supplied an ill-formed program or configuration. */
+class FatalError : public Error
+{
+  public:
+    explicit FatalError(const std::string &msg) : Error(msg) {}
+};
+
+/**
+ * Two branches of a parallel action composition wrote the same state
+ * element (section 6.1 of the paper: DOUBLE WRITE ERROR).
+ */
+class DoubleWriteError : public Error
+{
+  public:
+    explicit DoubleWriteError(const std::string &msg) : Error(msg) {}
+};
+
+namespace detail {
+std::string formatDiag(const char *kind, const std::string &msg);
+} // namespace detail
+
+/** Throw a PanicError; use for "should never happen" conditions. */
+[[noreturn]] void panic(const std::string &msg);
+
+/** Throw a FatalError; use for user-visible misconfiguration. */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Print a warning to stderr (never stops execution). */
+void warn(const std::string &msg);
+
+/** Print an informational message to stderr. */
+void inform(const std::string &msg);
+
+/** Enable/disable inform() output (benches silence it). */
+void setVerbose(bool on);
+
+} // namespace bcl
+
+#endif // BCL_COMMON_LOGGING_HPP

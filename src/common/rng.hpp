@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Deterministic xorshift-based pseudo random number generator. All
+ * workload generators in the repository use this so every experiment is
+ * bit-reproducible across platforms (std::mt19937 distributions are not
+ * guaranteed identical across standard libraries).
+ */
+#ifndef BCL_COMMON_RNG_HPP
+#define BCL_COMMON_RNG_HPP
+
+#include <cstdint>
+
+namespace bcl {
+
+/** xorshift64* generator; small, fast and reproducible. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+        : state(seed ? seed : 1)
+    {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state = x;
+        return x * 0x2545f4914f6cdd1dull;
+    }
+
+    /** Uniform value in [0, bound); bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform signed value in [lo, hi]. */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + static_cast<std::int64_t>(
+            below(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    real()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability p. */
+    bool chance(double p) { return real() < p; }
+
+  private:
+    std::uint64_t state;
+};
+
+} // namespace bcl
+
+#endif // BCL_COMMON_RNG_HPP

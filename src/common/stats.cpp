@@ -1,0 +1,99 @@
+#include "common/stats.hpp"
+
+#include <cstdio>
+
+namespace bcl {
+
+void
+StatSet::add(const std::string &name, std::uint64_t delta)
+{
+    counters[name] += delta;
+}
+
+void
+StatSet::set(const std::string &name, std::uint64_t value)
+{
+    counters[name] = value;
+}
+
+std::uint64_t
+StatSet::get(const std::string &name) const
+{
+    auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second;
+}
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    head = std::move(cells);
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    rows.push_back(std::move(cells));
+}
+
+std::string
+TextTable::str() const
+{
+    std::vector<size_t> widths;
+    auto absorb = [&](const std::vector<std::string> &cells) {
+        if (widths.size() < cells.size())
+            widths.resize(cells.size(), 0);
+        for (size_t i = 0; i < cells.size(); i++)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    absorb(head);
+    for (const auto &r : rows)
+        absorb(r);
+
+    auto emit = [&](const std::vector<std::string> &cells,
+                    std::string &out) {
+        for (size_t i = 0; i < cells.size(); i++) {
+            out += cells[i];
+            if (i + 1 < cells.size())
+                out.append(widths[i] - cells[i].size() + 2, ' ');
+        }
+        out += '\n';
+    };
+
+    std::string out;
+    if (!head.empty()) {
+        emit(head, out);
+        size_t total = 0;
+        for (size_t w : widths)
+            total += w + 2;
+        out.append(total > 2 ? total - 2 : total, '-');
+        out += '\n';
+    }
+    for (const auto &r : rows)
+        emit(r, out);
+    return out;
+}
+
+std::string
+withCommas(std::uint64_t v)
+{
+    std::string digits = std::to_string(v);
+    std::string out;
+    int count = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (count && count % 3 == 0)
+            out += ',';
+        out += *it;
+        count++;
+    }
+    return std::string(out.rbegin(), out.rend());
+}
+
+std::string
+fixedDecimal(double v, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+    return buf;
+}
+
+} // namespace bcl

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Lightweight named-counter registry and aligned-table printer used by
+ * the benchmark harnesses to print paper-figure rows.
+ */
+#ifndef BCL_COMMON_STATS_HPP
+#define BCL_COMMON_STATS_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace bcl {
+
+/** A bag of named 64-bit counters. */
+class StatSet
+{
+  public:
+    /** Add @p delta to counter @p name (creating it at zero). */
+    void add(const std::string &name, std::uint64_t delta = 1);
+
+    /** Set counter @p name to @p value. */
+    void set(const std::string &name, std::uint64_t value);
+
+    /** Current value of @p name (zero if absent). */
+    std::uint64_t get(const std::string &name) const;
+
+    /** All counters in name order. */
+    const std::map<std::string, std::uint64_t> &all() const
+    {
+        return counters;
+    }
+
+    /** Reset every counter to zero. */
+    void clear() { counters.clear(); }
+
+  private:
+    std::map<std::string, std::uint64_t> counters;
+};
+
+/**
+ * Column-aligned plain-text table; benches use it so the output rows
+ * look like the rows of the paper's figures.
+ */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row. */
+    void row(std::vector<std::string> cells);
+
+    /** Render the table with aligned columns. */
+    std::string str() const;
+
+  private:
+    std::vector<std::string> head;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/** Format @p v with thousands separators ("12,345,678"). */
+std::string withCommas(std::uint64_t v);
+
+/** Format @p v as a fixed-point decimal with @p digits fraction digits. */
+std::string fixedDecimal(double v, int digits);
+
+} // namespace bcl
+
+#endif // BCL_COMMON_STATS_HPP

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Small string helpers plus an indentation-aware text writer used by all
+ * code generators (C++, BSV, Verilog emission).
+ */
+#ifndef BCL_COMMON_STRUTIL_HPP
+#define BCL_COMMON_STRUTIL_HPP
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace bcl {
+
+/** Join the elements of @p parts with @p sep. */
+std::string join(const std::vector<std::string> &parts,
+                 const std::string &sep);
+
+/** Split @p s on character @p sep (no empty-trailing suppression). */
+std::vector<std::string> splitString(const std::string &s, char sep);
+
+/** True if @p s starts with @p prefix. */
+bool startsWith(const std::string &s, const std::string &prefix);
+
+/** True if @p needle occurs in @p haystack. */
+bool containsString(const std::string &haystack, const std::string &needle);
+
+/** Count non-overlapping occurrences of @p needle in @p haystack. */
+int countOccurrences(const std::string &haystack, const std::string &needle);
+
+/**
+ * Text sink that tracks indentation level; every line written through
+ * writeLine() is prefixed with the current indent. Used by codegen.
+ */
+class IndentWriter
+{
+  public:
+    explicit IndentWriter(int width = 4) : indentWidth(width) {}
+
+    /** Increase the indent by one level. */
+    void indent() { level++; }
+
+    /** Decrease the indent by one level (clamped at zero). */
+    void
+    outdent()
+    {
+        if (level > 0)
+            level--;
+    }
+
+    /** Write one line (indent prefix + text + newline). */
+    void writeLine(const std::string &line);
+
+    /** Write a blank line (no indent). */
+    void blank() { out << '\n'; }
+
+    /** Write a line, then indent (convenience for block openers). */
+    void
+    openBlock(const std::string &line)
+    {
+        writeLine(line);
+        indent();
+    }
+
+    /** Outdent, then write a line (convenience for block closers). */
+    void
+    closeBlock(const std::string &line)
+    {
+        outdent();
+        writeLine(line);
+    }
+
+    /** The accumulated text. */
+    std::string str() const { return out.str(); }
+
+  private:
+    std::ostringstream out;
+    int indentWidth;
+    int level = 0;
+};
+
+} // namespace bcl
+
+#endif // BCL_COMMON_STRUTIL_HPP

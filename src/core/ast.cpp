@@ -1,0 +1,372 @@
+#include "core/ast.hpp"
+
+#include "common/logging.hpp"
+
+namespace bcl {
+
+const char *
+primOpName(PrimOp op)
+{
+    switch (op) {
+      case PrimOp::Add: return "+";
+      case PrimOp::Sub: return "-";
+      case PrimOp::Mul: return "*";
+      case PrimOp::Neg: return "neg";
+      case PrimOp::MulFx: return "*fx";
+      case PrimOp::DivFx: return "/fx";
+      case PrimOp::SqrtFx: return "sqrtfx";
+      case PrimOp::Shl: return "<<";
+      case PrimOp::LShr: return ">>u";
+      case PrimOp::AShr: return ">>s";
+      case PrimOp::And: return "&";
+      case PrimOp::Or: return "|";
+      case PrimOp::Xor: return "^";
+      case PrimOp::Not: return "!";
+      case PrimOp::Eq: return "==";
+      case PrimOp::Ne: return "!=";
+      case PrimOp::Lt: return "<";
+      case PrimOp::Le: return "<=";
+      case PrimOp::Gt: return ">";
+      case PrimOp::Ge: return ">=";
+      case PrimOp::Index: return "index";
+      case PrimOp::Update: return "update";
+      case PrimOp::Field: return "field";
+      case PrimOp::SetField: return "setfield";
+      case PrimOp::MakeVec: return "vec";
+      case PrimOp::MakeStruct: return "struct";
+      case PrimOp::BitRev: return "bitrev";
+    }
+    return "?";
+}
+
+int
+primOpArity(PrimOp op)
+{
+    switch (op) {
+      case PrimOp::Neg:
+      case PrimOp::Not:
+      case PrimOp::Field:
+      case PrimOp::BitRev:
+      case PrimOp::SqrtFx:
+        return 1;
+      case PrimOp::Add:
+      case PrimOp::Sub:
+      case PrimOp::Mul:
+      case PrimOp::MulFx:
+      case PrimOp::DivFx:
+      case PrimOp::Shl:
+      case PrimOp::LShr:
+      case PrimOp::AShr:
+      case PrimOp::And:
+      case PrimOp::Or:
+      case PrimOp::Xor:
+      case PrimOp::Eq:
+      case PrimOp::Ne:
+      case PrimOp::Lt:
+      case PrimOp::Le:
+      case PrimOp::Gt:
+      case PrimOp::Ge:
+      case PrimOp::Index:
+      case PrimOp::SetField:
+        return 2;
+      case PrimOp::Update:
+        return 3;
+      case PrimOp::MakeVec:
+      case PrimOp::MakeStruct:
+        return -1;
+    }
+    return -1;
+}
+
+namespace {
+
+std::shared_ptr<Expr>
+newExpr(ExprKind kind)
+{
+    auto e = std::make_shared<Expr>();
+    e->kind = kind;
+    return e;
+}
+
+std::shared_ptr<Action>
+newAct(ActKind kind)
+{
+    auto a = std::make_shared<Action>();
+    a->kind = kind;
+    return a;
+}
+
+} // namespace
+
+ExprPtr
+constE(Value v)
+{
+    auto e = newExpr(ExprKind::Const);
+    e->constVal = std::move(v);
+    return e;
+}
+
+ExprPtr
+boolE(bool b)
+{
+    return constE(Value::makeBool(b));
+}
+
+ExprPtr
+intE(int width, std::int64_t v)
+{
+    return constE(Value::makeInt(width, v));
+}
+
+ExprPtr
+varE(const std::string &name)
+{
+    auto e = newExpr(ExprKind::Var);
+    e->name = name;
+    return e;
+}
+
+ExprPtr
+primE(PrimOp op, std::vector<ExprPtr> args, int imm,
+      const std::string &str_arg)
+{
+    int arity = primOpArity(op);
+    if (arity >= 0 && static_cast<int>(args.size()) != arity) {
+        panic(std::string("primE: operator ") + primOpName(op) +
+              " expects " + std::to_string(arity) + " operands, got " +
+              std::to_string(args.size()));
+    }
+    auto e = newExpr(ExprKind::Prim);
+    e->op = op;
+    e->args = std::move(args);
+    e->imm = imm;
+    e->strArg = str_arg;
+    return e;
+}
+
+ExprPtr
+condE(ExprPtr p, ExprPtr t, ExprPtr f)
+{
+    auto e = newExpr(ExprKind::Cond);
+    e->args = {std::move(p), std::move(t), std::move(f)};
+    return e;
+}
+
+ExprPtr
+whenE(ExprPtr body, ExprPtr guard)
+{
+    auto e = newExpr(ExprKind::When);
+    e->args = {std::move(body), std::move(guard)};
+    return e;
+}
+
+ExprPtr
+letE(const std::string &name, ExprPtr bound, ExprPtr body)
+{
+    auto e = newExpr(ExprKind::Let);
+    e->name = name;
+    e->args = {std::move(bound), std::move(body)};
+    return e;
+}
+
+ExprPtr
+callV(const std::string &inst, const std::string &meth,
+      std::vector<ExprPtr> args)
+{
+    auto e = newExpr(ExprKind::CallV);
+    e->name = inst;
+    e->meth = meth;
+    e->args = std::move(args);
+    return e;
+}
+
+ActPtr
+noOpA()
+{
+    return newAct(ActKind::NoOp);
+}
+
+ActPtr
+parA(std::vector<ActPtr> subs)
+{
+    if (subs.empty())
+        return noOpA();
+    if (subs.size() == 1)
+        return subs[0];
+    auto a = newAct(ActKind::Par);
+    a->subs = std::move(subs);
+    return a;
+}
+
+ActPtr
+seqA(std::vector<ActPtr> subs)
+{
+    if (subs.empty())
+        return noOpA();
+    if (subs.size() == 1)
+        return subs[0];
+    auto a = newAct(ActKind::Seq);
+    a->subs = std::move(subs);
+    return a;
+}
+
+ActPtr
+ifA(ExprPtr pred, ActPtr then)
+{
+    auto a = newAct(ActKind::If);
+    a->exprs = {std::move(pred)};
+    a->subs = {std::move(then)};
+    return a;
+}
+
+ActPtr
+whenA(ActPtr body, ExprPtr guard)
+{
+    auto a = newAct(ActKind::When);
+    a->subs = {std::move(body)};
+    a->exprs = {std::move(guard)};
+    return a;
+}
+
+ActPtr
+letA(const std::string &name, ExprPtr bound, ActPtr body)
+{
+    auto a = newAct(ActKind::Let);
+    a->name = name;
+    a->exprs = {std::move(bound)};
+    a->subs = {std::move(body)};
+    return a;
+}
+
+ActPtr
+loopA(ExprPtr cond, ActPtr body)
+{
+    auto a = newAct(ActKind::Loop);
+    a->exprs = {std::move(cond)};
+    a->subs = {std::move(body)};
+    return a;
+}
+
+ActPtr
+localGuardA(ActPtr body)
+{
+    auto a = newAct(ActKind::LocalGuard);
+    a->subs = {std::move(body)};
+    return a;
+}
+
+ActPtr
+callA(const std::string &inst, const std::string &meth,
+      std::vector<ExprPtr> args)
+{
+    auto a = newAct(ActKind::CallA);
+    a->name = inst;
+    a->meth = meth;
+    a->exprs = std::move(args);
+    return a;
+}
+
+ExprPtr
+regRead(const std::string &reg)
+{
+    return callV(reg, "_read");
+}
+
+ActPtr
+regWrite(const std::string &reg, ExprPtr val)
+{
+    return callA(reg, "_write", {std::move(val)});
+}
+
+InstArg
+InstArg::val(Value value)
+{
+    InstArg a;
+    a.kind = Kind::Val;
+    a.v = std::move(value);
+    return a;
+}
+
+InstArg
+InstArg::type(TypePtr type)
+{
+    InstArg a;
+    a.kind = Kind::Type;
+    a.t = std::move(type);
+    return a;
+}
+
+InstArg
+InstArg::str(std::string s)
+{
+    InstArg a;
+    a.kind = Kind::Str;
+    a.s = std::move(s);
+    return a;
+}
+
+InstArg
+InstArg::num(std::int64_t i)
+{
+    InstArg a;
+    a.kind = Kind::Int;
+    a.i = i;
+    return a;
+}
+
+const MethodDef *
+ModuleDef::findMethod(const std::string &meth) const
+{
+    for (const auto &m : methods) {
+        if (m.name == meth)
+            return &m;
+    }
+    return nullptr;
+}
+
+const InstDef *
+ModuleDef::findInst(const std::string &inst) const
+{
+    for (const auto &i : insts) {
+        if (i.name == inst)
+            return &i;
+    }
+    return nullptr;
+}
+
+const ModuleDef *
+Program::findModule(const std::string &name) const
+{
+    for (const auto &m : modules) {
+        if (m.name == name)
+            return &m;
+    }
+    return nullptr;
+}
+
+void
+forEachExpr(const ExprPtr &e,
+            const std::function<void(const Expr &)> &fn)
+{
+    if (!e)
+        return;
+    fn(*e);
+    for (const auto &sub : e->args)
+        forEachExpr(sub, fn);
+}
+
+void
+forEachNode(const ActPtr &a,
+            const std::function<void(const Action &)> &fn,
+            const std::function<void(const Expr &)> &efn)
+{
+    if (!a)
+        return;
+    fn(*a);
+    for (const auto &e : a->exprs)
+        forEachExpr(e, efn);
+    for (const auto &sub : a->subs)
+        forEachNode(sub, fn, efn);
+}
+
+} // namespace bcl

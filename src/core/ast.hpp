@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Kernel BCL abstract syntax (Figure 7 of the paper).
+ *
+ * A program is a list of module definitions plus a root module. A
+ * module has state instantiations (primitive or user submodules),
+ * rules (guarded atomic actions) and interface methods. Actions and
+ * expressions follow the kernel grammar:
+ *
+ *   a ::= m.g(e) | if e then a | a | a | a ; a | a when e
+ *       | (t = e in a) | loop e a | localGuard a
+ *   e ::= c | t | e op e | e ? e : e | e when e | (t = e in e) | m.f(e)
+ *
+ * Register reads and writes are canonicalized as method calls on the
+ * "Reg" primitive (methods "_read" / "_write"), which keeps every
+ * analysis uniform; printers re-sugar them.
+ *
+ * AST nodes are immutable and shared (shared_ptr to const), so program
+ * transformations (when-lifting, inlining, sequentialization) build new
+ * trees that share unchanged subtrees.
+ */
+#ifndef BCL_CORE_AST_HPP
+#define BCL_CORE_AST_HPP
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "core/value.hpp"
+
+namespace bcl {
+
+/** Primitive (pure) operators usable in expressions. */
+enum class PrimOp : std::uint8_t
+{
+    // Arithmetic on Bits (two's complement, wrap at width).
+    Add, Sub, Mul, Neg,
+    // Fixed-point multiply: (a * b) >> imm, computed in 128-bit
+    // intermediate precision conceptually (64-bit here suffices for
+    // 32-bit operands).
+    MulFx,
+    // Fixed-point divide: (a << imm) / b, truncating toward zero;
+    // b == 0 yields 0 (documented total semantics, mirrored by the
+    // native baselines). imm = 0 gives plain signed division.
+    DivFx,
+    // Fixed-point square root: floor(sqrt(max(a, 0) << imm)),
+    // truncated to the operand width. Hardware realizes this as an
+    // iterative functional unit; the timing model charges it as such.
+    SqrtFx,
+    // Shifts; shift amount is the second operand (unsigned view).
+    Shl, LShr, AShr,
+    // Bitwise on Bits / logical on Bool.
+    And, Or, Xor, Not,
+    // Comparisons (signed on Bits); result Bool.
+    Eq, Ne, Lt, Le, Gt, Ge,
+    // Structured data.
+    Index,      // (vec, idx)
+    Update,     // (vec, idx, val) -> vec
+    Field,      // (struct) with field name in strArg
+    SetField,   // (struct, val) with field name in strArg
+    MakeVec,    // (e0, ..., en-1) -> vec
+    MakeStruct, // (f0, ..., fn-1) with comma-joined names in strArg
+    // Reverse the low `imm` bits of the first operand (the bitReverse
+    // permutation index of the Vorbis pipeline).
+    BitRev,
+};
+
+/** Name of a PrimOp (for printing). */
+const char *primOpName(PrimOp op);
+
+/** Number of operands expected by @p op (-1 = variadic). */
+int primOpArity(PrimOp op);
+
+struct Expr;
+struct Action;
+using ExprPtr = std::shared_ptr<const Expr>;
+using ActPtr = std::shared_ptr<const Action>;
+
+/** Expression node kinds. */
+enum class ExprKind : std::uint8_t
+{
+    Const,  // literal value
+    Var,    // let-bound or parameter reference
+    Prim,   // primitive operator application
+    Cond,   // args[0] ? args[1] : args[2]
+    When,   // args[0] when args[1]
+    Let,    // name = args[0] in args[1]
+    CallV,  // value method call inst.meth(args)
+};
+
+/**
+ * An expression. Fields are used per kind; see ExprKind. The `inst` /
+ * `isPrim` / `methIdx` fields are elaboration annotations: -1 until
+ * the elaborator resolves instance names to global ids.
+ */
+struct Expr
+{
+    ExprKind kind;
+    Value constVal;              ///< Const
+    std::string name;            ///< Var / Let binder / CallV instance
+    std::string meth;            ///< CallV method name
+    std::string strArg;          ///< Field / SetField / MakeStruct names
+    PrimOp op = PrimOp::Add;     ///< Prim
+    int imm = 0;                 ///< MulFx shift / BitRev bits
+    std::vector<ExprPtr> args;   ///< children
+
+    int inst = -1;               ///< resolved global instance id
+    bool isPrim = false;         ///< resolved: primitive instance?
+    int methIdx = -1;            ///< resolved user-method index
+};
+
+/** Action node kinds. */
+enum class ActKind : std::uint8_t
+{
+    NoOp,        // no state change, always ready
+    Par,         // subs composed in parallel (|)
+    Seq,         // subs composed in sequence (;)
+    If,          // if exprs[0] then subs[0]
+    When,        // subs[0] when exprs[0]
+    Let,         // name = exprs[0] in subs[0]
+    Loop,        // loop exprs[0] subs[0]
+    LocalGuard,  // localGuard subs[0]
+    CallA,       // action method call inst.meth(exprs)
+};
+
+/** An action. Fields used per kind; see ActKind. */
+struct Action
+{
+    ActKind kind;
+    std::string name;            ///< Let binder / CallA instance
+    std::string meth;            ///< CallA method name
+    std::vector<ActPtr> subs;    ///< child actions
+    std::vector<ExprPtr> exprs;  ///< child expressions
+
+    int inst = -1;               ///< resolved global instance id
+    bool isPrim = false;         ///< resolved: primitive instance?
+    int methIdx = -1;            ///< resolved user-method index
+};
+
+/** @name Expression factories */
+/// @{
+ExprPtr constE(Value v);
+ExprPtr boolE(bool b);
+ExprPtr intE(int width, std::int64_t v);
+ExprPtr varE(const std::string &name);
+ExprPtr primE(PrimOp op, std::vector<ExprPtr> args, int imm = 0,
+              const std::string &str_arg = "");
+ExprPtr condE(ExprPtr p, ExprPtr t, ExprPtr f);
+ExprPtr whenE(ExprPtr body, ExprPtr guard);
+ExprPtr letE(const std::string &name, ExprPtr bound, ExprPtr body);
+ExprPtr callV(const std::string &inst, const std::string &meth,
+              std::vector<ExprPtr> args = {});
+/// @}
+
+/** @name Action factories */
+/// @{
+ActPtr noOpA();
+ActPtr parA(std::vector<ActPtr> subs);
+ActPtr seqA(std::vector<ActPtr> subs);
+ActPtr ifA(ExprPtr pred, ActPtr then);
+ActPtr whenA(ActPtr body, ExprPtr guard);
+ActPtr letA(const std::string &name, ExprPtr bound, ActPtr body);
+ActPtr loopA(ExprPtr cond, ActPtr body);
+ActPtr localGuardA(ActPtr body);
+ActPtr callA(const std::string &inst, const std::string &meth,
+             std::vector<ExprPtr> args = {});
+/// @}
+
+/** @name Register sugar (canonicalized to Reg method calls) */
+/// @{
+ExprPtr regRead(const std::string &reg);
+ActPtr regWrite(const std::string &reg, ExprPtr val);
+/// @}
+
+/** A formal parameter of a method. */
+struct Param
+{
+    std::string name;
+    TypePtr type;
+};
+
+/** An interface method definition (action or value method). */
+struct MethodDef
+{
+    std::string name;
+    std::vector<Param> params;
+    bool isAction = true;
+    ActPtr body;        ///< action methods
+    ExprPtr value;      ///< value methods
+    TypePtr retType;    ///< value methods: declared result type
+    std::string domain; ///< explicit domain annotation ("" = inferred)
+};
+
+/** A rule: a named guarded atomic action. */
+struct RuleDef
+{
+    std::string name;
+    ActPtr body;
+};
+
+/** Constructor argument for a state instantiation. */
+struct InstArg
+{
+    enum class Kind : std::uint8_t { Val, Type, Str, Int };
+    Kind kind;
+    Value v;
+    TypePtr t;
+    std::string s;
+    std::int64_t i = 0;
+
+    static InstArg val(Value value);
+    static InstArg type(TypePtr type);
+    static InstArg str(std::string s);
+    static InstArg num(std::int64_t i);
+};
+
+/** A state element instantiation inside a module definition. */
+struct InstDef
+{
+    std::string name;        ///< instance name within the module
+    std::string moduleName;  ///< primitive kind or user module name
+    std::vector<InstArg> args;
+};
+
+/** A module definition. */
+struct ModuleDef
+{
+    std::string name;
+    std::vector<InstDef> insts;
+    std::vector<RuleDef> rules;
+    std::vector<MethodDef> methods;
+
+    /** Find a method by name (nullptr when absent). */
+    const MethodDef *findMethod(const std::string &meth) const;
+
+    /** Find an instantiation by name (nullptr when absent). */
+    const InstDef *findInst(const std::string &inst) const;
+};
+
+/** A whole kernel program: module definitions plus the root. */
+struct Program
+{
+    std::vector<ModuleDef> modules;
+    std::string root;
+
+    /** Find a module definition by name (nullptr when absent). */
+    const ModuleDef *findModule(const std::string &name) const;
+};
+
+/** @name Generic traversal helpers */
+/// @{
+
+/** Apply @p fn to every sub-expression of @p e (pre-order), including
+ *  expressions nested inside nothing (pure expression tree). */
+void forEachExpr(const ExprPtr &e,
+                 const std::function<void(const Expr &)> &fn);
+
+/** Apply @p fn to every action node of @p a (pre-order) and @p efn to
+ *  every expression reachable from it. */
+void forEachNode(const ActPtr &a,
+                 const std::function<void(const Action &)> &fn,
+                 const std::function<void(const Expr &)> &efn);
+
+/// @}
+
+} // namespace bcl
+
+#endif // BCL_CORE_AST_HPP

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Pretty-printer for kernel BCL ASTs. The output round-trips through
+ * the parser (tests assert parse(print(p)) == p structurally), and is
+ * used for diagnostics and golden tests of program transformations.
+ */
+#ifndef BCL_CORE_ASTPRINT_HPP
+#define BCL_CORE_ASTPRINT_HPP
+
+#include <string>
+
+#include "core/ast.hpp"
+
+namespace bcl {
+
+/** Render an expression in kernel concrete syntax. */
+std::string printExpr(const ExprPtr &e);
+
+/** Render an action in kernel concrete syntax. */
+std::string printAction(const ActPtr &a);
+
+/** Render a whole module definition. */
+std::string printModule(const ModuleDef &m);
+
+/** Render a whole program. */
+std::string printProgram(const Program &p);
+
+/** Render a type in source syntax (used by printers and codegen). */
+std::string printType(const TypePtr &t);
+
+} // namespace bcl
+
+#endif // BCL_CORE_ASTPRINT_HPP

@@ -1,0 +1,390 @@
+#include "core/axioms.hpp"
+
+#include "common/logging.hpp"
+#include "core/primdecl.hpp"
+
+namespace bcl {
+
+bool
+isTrueConst(const ExprPtr &e)
+{
+    return e && e->kind == ExprKind::Const && e->constVal.isBool() &&
+           e->constVal.asBool();
+}
+
+namespace {
+
+bool
+isFalseConst(const ExprPtr &e)
+{
+    return e && e->kind == ExprKind::Const && e->constVal.isBool() &&
+           !e->constVal.asBool();
+}
+
+} // namespace
+
+ExprPtr
+mkAnd(ExprPtr a, ExprPtr b)
+{
+    if (isTrueConst(a))
+        return b;
+    if (isTrueConst(b))
+        return a;
+    if (isFalseConst(a))
+        return a;
+    if (isFalseConst(b))
+        return b;
+    return primE(PrimOp::And, {std::move(a), std::move(b)});
+}
+
+ExprPtr
+mkOr(ExprPtr a, ExprPtr b)
+{
+    if (isTrueConst(a))
+        return a;
+    if (isTrueConst(b))
+        return b;
+    if (isFalseConst(a))
+        return b;
+    if (isFalseConst(b))
+        return a;
+    return primE(PrimOp::Or, {std::move(a), std::move(b)});
+}
+
+ExprPtr
+mkNot(ExprPtr a)
+{
+    if (isTrueConst(a))
+        return boolE(false);
+    if (isFalseConst(a))
+        return boolE(true);
+    return primE(PrimOp::Not, {std::move(a)});
+}
+
+/** Does a lifted method guard mention the method's own parameters?
+ *  (If so it cannot be hoisted to the caller without substitution.) */
+bool methodGuardUsesParams(const ExprPtr &guard, const ElabMethod &m);
+
+namespace {
+
+/** Does @p e reference variable @p name? */
+bool
+usesName(const ExprPtr &e, const std::string &name)
+{
+    bool found = false;
+    forEachExpr(e, [&](const Expr &n) {
+        if (n.kind == ExprKind::Var && n.name == name)
+            found = true;
+    });
+    return found;
+}
+
+/** Wrap @p guard in the binding only when it actually uses it - a
+ *  guard made of pure probes (notEmpty/notFull) stays small, which is
+ *  what makes early failure cheap. */
+ExprPtr
+scopeGuard(const std::string &name, const ExprPtr &bound,
+           const ExprPtr &guard)
+{
+    if (isTrueConst(guard) || !usesName(guard, name))
+        return guard;
+    return letE(name, bound, guard);
+}
+
+} // namespace
+
+ExprPtr
+primGuardExpr(const ElabProgram &prog, int inst, const std::string &meth)
+{
+    const ElabPrim &prim = prog.prims[inst];
+    const std::string &k = prim.kind;
+    auto probe = [&](const char *probe_meth) {
+        auto e = std::make_shared<Expr>();
+        e->kind = ExprKind::CallV;
+        e->name = prim.path;
+        e->meth = probe_meth;
+        e->inst = inst;
+        e->isPrim = true;
+        return ExprPtr(e);
+    };
+    if (k == "Fifo" || k == "Sync" || k == "SyncTx" || k == "SyncRx") {
+        if (meth == "enq")
+            return probe("notFull");
+        if (meth == "deq" || meth == "first")
+            return probe("notEmpty");
+        return boolE(true);  // notEmpty/notFull/clear always ready
+    }
+    // Reg, Bram, devices: always ready.
+    return boolE(true);
+}
+
+LiftedExpr
+liftExprGuards(const ElabProgram &prog, const ExprPtr &e)
+{
+    LiftedExpr out;
+    switch (e->kind) {
+      case ExprKind::Const:
+      case ExprKind::Var:
+        out.body = e;
+        out.guard = boolE(true);
+        return out;
+      case ExprKind::Prim: {
+        auto copy = std::make_shared<Expr>(*e);
+        copy->args.clear();
+        ExprPtr g = boolE(true);
+        bool complete = true;
+        for (const auto &a : e->args) {
+            LiftedExpr la = liftExprGuards(prog, a);
+            copy->args.push_back(la.body);
+            g = mkAnd(g, la.guard);
+            complete &= la.complete;
+        }
+        out.body = copy;
+        out.guard = g;
+        out.complete = complete;
+        return out;
+      }
+      case ExprKind::Cond: {
+        // Guards of the untaken arm do not fire (the interpreter is
+        // lazy), so the lifted guard selects per the predicate:
+        //   pg  and  (p ? tg : fg)
+        LiftedExpr p = liftExprGuards(prog, e->args[0]);
+        LiftedExpr t = liftExprGuards(prog, e->args[1]);
+        LiftedExpr f = liftExprGuards(prog, e->args[2]);
+        out.body = condE(p.body, t.body, f.body);
+        ExprPtr arm_guard =
+            (isTrueConst(t.guard) && isTrueConst(f.guard))
+                ? boolE(true)
+                : condE(p.body, t.guard, f.guard);
+        out.guard = mkAnd(p.guard, arm_guard);
+        out.complete = p.complete && t.complete && f.complete;
+        return out;
+      }
+      case ExprKind::When: {
+        // A.6-A.8: (b when g) lifts to body b, guard bg and gg and g.
+        LiftedExpr body = liftExprGuards(prog, e->args[0]);
+        LiftedExpr g = liftExprGuards(prog, e->args[1]);
+        out.body = body.body;
+        out.guard = mkAnd(g.guard, mkAnd(g.body, body.guard));
+        out.complete = body.complete && g.complete;
+        return out;
+      }
+      case ExprKind::Let: {
+        LiftedExpr bound = liftExprGuards(prog, e->args[0]);
+        LiftedExpr body = liftExprGuards(prog, e->args[1]);
+        out.body = letE(e->name, bound.body, body.body);
+        // The binder may appear in the body guard; re-scope only then.
+        out.guard = mkAnd(bound.guard,
+                          scopeGuard(e->name, bound.body, body.guard));
+        out.complete = bound.complete && body.complete;
+        return out;
+      }
+      case ExprKind::CallV: {
+        auto copy = std::make_shared<Expr>(*e);
+        copy->args.clear();
+        ExprPtr g = boolE(true);
+        bool complete = true;
+        for (const auto &a : e->args) {
+            LiftedExpr la = liftExprGuards(prog, a);
+            copy->args.push_back(la.body);
+            g = mkAnd(g, la.guard);
+            complete &= la.complete;
+        }
+        if (e->isPrim) {
+            g = mkAnd(g, primGuardExpr(prog, e->inst, e->meth));
+        } else {
+            // User value method: the method's own lifted guard
+            // (READY signal) conjoins; parameters are strict, so the
+            // guard references them only through the arguments
+            // already lifted above. Conservative: if the method body
+            // has parameter-dependent guards we keep the call
+            // incomplete rather than substituting.
+            const ElabMethod &m = prog.methods[e->methIdx];
+            LiftedExpr mg = liftExprGuards(prog, m.value);
+            if (methodGuardUsesParams(mg.guard, m)) {
+                complete = false;
+            } else {
+                g = mkAnd(g, mg.guard);
+                complete &= mg.complete;
+            }
+        }
+        out.body = copy;
+        out.guard = g;
+        out.complete = complete;
+        return out;
+      }
+    }
+    panic("liftExprGuards: unreachable");
+}
+
+namespace {
+
+bool
+usesVar(const ExprPtr &e, const std::vector<Param> &params)
+{
+    bool found = false;
+    forEachExpr(e, [&](const Expr &n) {
+        if (n.kind == ExprKind::Var) {
+            for (const auto &p : params) {
+                if (p.name == n.name)
+                    found = true;
+            }
+        }
+    });
+    return found;
+}
+
+} // namespace
+
+bool
+methodGuardUsesParams(const ExprPtr &guard, const ElabMethod &m)
+{
+    if (m.params.empty())
+        return false;
+    return usesVar(guard, m.params);
+}
+
+LiftedAction
+liftActionGuards(const ElabProgram &prog, const ActPtr &a)
+{
+    LiftedAction out;
+    switch (a->kind) {
+      case ActKind::NoOp:
+        out.body = a;
+        out.guard = boolE(true);
+        return out;
+      case ActKind::Par: {
+        // A.1/A.2: guards of all branches conjoin.
+        std::vector<ActPtr> subs;
+        ExprPtr g = boolE(true);
+        bool complete = true;
+        for (const auto &s : a->subs) {
+            LiftedAction ls = liftActionGuards(prog, s);
+            subs.push_back(ls.body);
+            g = mkAnd(g, ls.guard);
+            complete &= ls.complete;
+        }
+        out.body = parA(std::move(subs));
+        out.guard = g;
+        out.complete = complete;
+        return out;
+      }
+      case ActKind::Seq: {
+        // A.3: only the first action's guard lifts through ';'.
+        std::vector<ActPtr> subs;
+        bool complete = true;
+        LiftedAction first = liftActionGuards(prog, a->subs[0]);
+        subs.push_back(first.body);
+        for (size_t i = 1; i < a->subs.size(); i++) {
+            LiftedAction ls = liftActionGuards(prog, a->subs[i]);
+            // Residual guards stay in place as when-actions.
+            subs.push_back(isTrueConst(ls.guard)
+                               ? ls.body
+                               : whenA(ls.body, ls.guard));
+            complete &= ls.complete && isTrueConst(ls.guard);
+        }
+        out.body = seqA(std::move(subs));
+        out.guard = first.guard;
+        out.complete = complete && first.complete;
+        return out;
+      }
+      case ActKind::If: {
+        // A.5: if e then (a when p)  ==  (if e then a) when (p or !e).
+        LiftedExpr p = liftExprGuards(prog, a->exprs[0]);
+        LiftedAction t = liftActionGuards(prog, a->subs[0]);
+        out.body = ifA(p.body, t.body);
+        ExprPtr then_guard = isTrueConst(t.guard)
+                                 ? boolE(true)
+                                 : mkOr(t.guard, mkNot(p.body));
+        out.guard = mkAnd(p.guard, then_guard);
+        out.complete = p.complete && t.complete;
+        return out;
+      }
+      case ActKind::When: {
+        LiftedAction body = liftActionGuards(prog, a->subs[0]);
+        LiftedExpr g = liftExprGuards(prog, a->exprs[0]);
+        out.body = body.body;
+        out.guard = mkAnd(g.guard, mkAnd(g.body, body.guard));
+        out.complete = body.complete && g.complete;
+        return out;
+      }
+      case ActKind::Let: {
+        LiftedExpr bound = liftExprGuards(prog, a->exprs[0]);
+        LiftedAction body = liftActionGuards(prog, a->subs[0]);
+        out.body = letA(a->name, bound.body, body.body);
+        out.guard = mkAnd(bound.guard,
+                          scopeGuard(a->name, bound.body, body.guard));
+        out.complete = bound.complete && body.complete;
+        return out;
+      }
+      case ActKind::Loop: {
+        // Guards do not lift through loops; the first condition
+        // evaluation's guard does (it always runs).
+        LiftedExpr c = liftExprGuards(prog, a->exprs[0]);
+        LiftedAction body = liftActionGuards(prog, a->subs[0]);
+        ActPtr inner = isTrueConst(body.guard)
+                           ? body.body
+                           : whenA(body.body, body.guard);
+        out.body = loopA(c.body, inner);
+        out.guard = c.guard;
+        out.complete = isTrueConst(body.guard) && body.complete &&
+                       c.complete;
+        return out;
+      }
+      case ActKind::LocalGuard: {
+        // Failures inside never escape: guard true, complete.
+        LiftedAction body = liftActionGuards(prog, a->subs[0]);
+        ActPtr inner = isTrueConst(body.guard)
+                           ? body.body
+                           : whenA(body.body, body.guard);
+        out.body = localGuardA(inner);
+        out.guard = boolE(true);
+        out.complete = true;
+        return out;
+      }
+      case ActKind::CallA: {
+        auto copy = std::make_shared<Action>(*a);
+        copy->exprs.clear();
+        ExprPtr g = boolE(true);
+        bool complete = true;
+        for (const auto &e : a->exprs) {
+            LiftedExpr le = liftExprGuards(prog, e);
+            copy->exprs.push_back(le.body);
+            g = mkAnd(g, le.guard);
+            complete &= le.complete;
+        }
+        if (a->isPrim) {
+            g = mkAnd(g, primGuardExpr(prog, a->inst, a->meth));
+        } else {
+            const ElabMethod &m = prog.methods[a->methIdx];
+            LiftedAction mg = liftActionGuards(prog, m.body);
+            if (!m.params.empty() &&
+                methodGuardUsesParams(mg.guard, m)) {
+                complete = false;
+            } else {
+                g = mkAnd(g, mg.guard);
+                complete &= mg.complete;
+            }
+        }
+        out.body = copy;
+        out.guard = g;
+        out.complete = complete;
+        return out;
+      }
+    }
+    panic("liftActionGuards: unreachable");
+}
+
+ElabRule
+liftRule(const ElabProgram &prog, int rule_id)
+{
+    const ElabRule &r = prog.rules[rule_id];
+    LiftedAction lifted = liftActionGuards(prog, r.body);
+    ElabRule out = r;
+    out.body = isTrueConst(lifted.guard)
+                   ? lifted.body
+                   : whenA(lifted.body, lifted.guard);
+    return out;
+}
+
+} // namespace bcl

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The when-axioms of Figure 8 and guard lifting (section 6.3 "Lifting
+ * Guards"). Rewrites an action into the canonical form
+ *
+ *     body when guard            (axiom A.9)
+ *
+ * where the guard is a pure expression built from the split of every
+ * method call f(e) into its body fb(e) and guard fg(e) (section 5:
+ * "think of every method call as a pair of unguarded method calls").
+ * When the lift is complete - no residual `when` can fail inside the
+ * body - the code generator can drop the try/catch and the shadow
+ * commit entirely and execute in place (the Figure 9 -> Figure 10
+ * optimization).
+ *
+ * Guards cannot be lifted through sequential composition or loops
+ * (only A.3's first-action case), which is exactly why the runtime
+ * still keeps shadows for those shapes.
+ */
+#ifndef BCL_CORE_AXIOMS_HPP
+#define BCL_CORE_AXIOMS_HPP
+
+#include "core/elaborate.hpp"
+
+namespace bcl {
+
+/** Result of lifting an expression's guards. */
+struct LiftedExpr
+{
+    ExprPtr body;    ///< guard-free when complete
+    ExprPtr guard;   ///< pure boolean expression
+    bool complete = true;  ///< no residual failure inside body
+};
+
+/** Result of lifting an action's guards. */
+struct LiftedAction
+{
+    ActPtr body;
+    ExprPtr guard;
+    bool complete = true;
+};
+
+/**
+ * The pure guard expression of a primitive method (fg): e.g.
+ * Fifo.first/deq -> notEmpty, Fifo.enq -> notFull, Reg.* -> true.
+ * @p inst is the resolved prim id used to build the probe call.
+ */
+ExprPtr primGuardExpr(const ElabProgram &prog, int inst,
+                      const std::string &meth);
+
+/** Lift guards out of @p e per the when-axioms. */
+LiftedExpr liftExprGuards(const ElabProgram &prog, const ExprPtr &e);
+
+/** Lift guards out of @p a per the when-axioms. */
+LiftedAction liftActionGuards(const ElabProgram &prog, const ActPtr &a);
+
+/**
+ * Rewrite rule @p rule_id to canonical `body when guard` form; the
+ * returned rule's body is whenA(lifted-body, lifted-guard).
+ */
+ElabRule liftRule(const ElabProgram &prog, int rule_id);
+
+/** @name Boolean expression constructors with constant folding */
+/// @{
+ExprPtr mkAnd(ExprPtr a, ExprPtr b);
+ExprPtr mkOr(ExprPtr a, ExprPtr b);
+ExprPtr mkNot(ExprPtr a);
+/// @}
+
+/** True when @p e is the literal constant true. */
+bool isTrueConst(const ExprPtr &e);
+
+} // namespace bcl
+
+#endif // BCL_CORE_AXIOMS_HPP

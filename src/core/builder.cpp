@@ -1,0 +1,207 @@
+#include "core/builder.hpp"
+
+#include "common/logging.hpp"
+#include "core/primdecl.hpp"
+
+namespace bcl {
+
+ModuleBuilder::ModuleBuilder(std::string name)
+{
+    def.name = std::move(name);
+}
+
+void
+ModuleBuilder::checkFresh(const std::string &name) const
+{
+    if (def.findInst(name)) {
+        fatal("module " + def.name + ": duplicate instance '" + name +
+              "'");
+    }
+}
+
+ModuleBuilder &
+ModuleBuilder::addReg(const std::string &name, TypePtr t, Value init)
+{
+    checkFresh(name);
+    if (!t->admits(init)) {
+        fatal("module " + def.name + ": register '" + name +
+              "' init value " + init.str() + " does not inhabit " +
+              t->str());
+    }
+    def.insts.push_back(
+        {name, "Reg", {InstArg::type(t), InstArg::val(std::move(init))}});
+    return *this;
+}
+
+ModuleBuilder &
+ModuleBuilder::addReg(const std::string &name, TypePtr t)
+{
+    Value zero = t->zeroValue();
+    return addReg(name, std::move(t), std::move(zero));
+}
+
+ModuleBuilder &
+ModuleBuilder::addFifo(const std::string &name, TypePtr t, int capacity)
+{
+    checkFresh(name);
+    if (capacity < 1)
+        fatal("fifo '" + name + "': capacity must be >= 1");
+    def.insts.push_back(
+        {name, "Fifo", {InstArg::type(std::move(t)),
+                        InstArg::num(capacity)}});
+    return *this;
+}
+
+ModuleBuilder &
+ModuleBuilder::addBram(const std::string &name, TypePtr elem, int size,
+                       std::vector<Value> init)
+{
+    checkFresh(name);
+    if (size < 1)
+        fatal("bram '" + name + "': size must be >= 1");
+    if (!init.empty() && static_cast<int>(init.size()) != size) {
+        fatal("bram '" + name + "': init has " +
+              std::to_string(init.size()) + " entries, size is " +
+              std::to_string(size));
+    }
+    std::vector<InstArg> args = {InstArg::type(std::move(elem)),
+                                 InstArg::num(size)};
+    if (!init.empty())
+        args.push_back(InstArg::val(Value::makeVec(std::move(init))));
+    def.insts.push_back({name, "Bram", std::move(args)});
+    return *this;
+}
+
+ModuleBuilder &
+ModuleBuilder::addSync(const std::string &name, TypePtr t, int capacity,
+                       const std::string &dom_a, const std::string &dom_b)
+{
+    checkFresh(name);
+    if (capacity < 1)
+        fatal("sync '" + name + "': capacity must be >= 1");
+    if (dom_a.empty() || dom_b.empty())
+        fatal("sync '" + name + "': domains must be named");
+    def.insts.push_back(
+        {name, "Sync", {InstArg::type(std::move(t)),
+                        InstArg::num(capacity), InstArg::str(dom_a),
+                        InstArg::str(dom_b)}});
+    return *this;
+}
+
+ModuleBuilder &
+ModuleBuilder::addAudioDev(const std::string &name,
+                           const std::string &domain)
+{
+    checkFresh(name);
+    def.insts.push_back({name, "AudioDev", {InstArg::str(domain)}});
+    return *this;
+}
+
+ModuleBuilder &
+ModuleBuilder::addBitmap(const std::string &name, int width, int height,
+                         const std::string &domain)
+{
+    checkFresh(name);
+    if (width < 1 || height < 1)
+        fatal("bitmap '" + name + "': dimensions must be positive");
+    def.insts.push_back(
+        {name, "Bitmap", {InstArg::num(width), InstArg::num(height),
+                          InstArg::str(domain)}});
+    return *this;
+}
+
+ModuleBuilder &
+ModuleBuilder::addSub(const std::string &name,
+                      const std::string &module_name)
+{
+    checkFresh(name);
+    if (isPrimKind(module_name)) {
+        fatal("addSub('" + name + "'): '" + module_name +
+              "' is a primitive; use the dedicated helper");
+    }
+    def.insts.push_back({name, module_name, {}});
+    return *this;
+}
+
+ModuleBuilder &
+ModuleBuilder::addRule(const std::string &name, ActPtr body)
+{
+    for (const auto &r : def.rules) {
+        if (r.name == name)
+            fatal("module " + def.name + ": duplicate rule '" + name +
+                  "'");
+    }
+    def.rules.push_back({name, std::move(body)});
+    return *this;
+}
+
+ModuleBuilder &
+ModuleBuilder::addActionMethod(const std::string &name,
+                               std::vector<Param> params, ActPtr body,
+                               const std::string &domain)
+{
+    if (def.findMethod(name))
+        fatal("module " + def.name + ": duplicate method '" + name + "'");
+    MethodDef m;
+    m.name = name;
+    m.params = std::move(params);
+    m.isAction = true;
+    m.body = std::move(body);
+    m.domain = domain;
+    def.methods.push_back(std::move(m));
+    return *this;
+}
+
+ModuleBuilder &
+ModuleBuilder::addValueMethod(const std::string &name,
+                              std::vector<Param> params, TypePtr ret_type,
+                              ExprPtr value, const std::string &domain)
+{
+    if (def.findMethod(name))
+        fatal("module " + def.name + ": duplicate method '" + name + "'");
+    MethodDef m;
+    m.name = name;
+    m.params = std::move(params);
+    m.isAction = false;
+    m.value = std::move(value);
+    m.retType = std::move(ret_type);
+    m.domain = domain;
+    def.methods.push_back(std::move(m));
+    return *this;
+}
+
+ModuleDef
+ModuleBuilder::build()
+{
+    return std::move(def);
+}
+
+ProgramBuilder &
+ProgramBuilder::add(ModuleDef m)
+{
+    if (prog.findModule(m.name))
+        fatal("duplicate module definition '" + m.name + "'");
+    if (isPrimKind(m.name))
+        fatal("module name '" + m.name + "' shadows a primitive");
+    prog.modules.push_back(std::move(m));
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::setRoot(const std::string &name)
+{
+    prog.root = name;
+    return *this;
+}
+
+Program
+ProgramBuilder::build()
+{
+    if (prog.root.empty())
+        fatal("program has no root module");
+    if (!prog.findModule(prog.root))
+        fatal("root module '" + prog.root + "' is not defined");
+    return std::move(prog);
+}
+
+} // namespace bcl

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Fluent construction API for kernel BCL programs. This plays the role
+ * of the BSV-style surface syntax + meta-programming layer: the
+ * applications (Vorbis, ray tracer) build their module hierarchies
+ * through it, including generate-style loops that unfold into rules
+ * (like the per-stage rule generation of mkIFFTPipe in section 4.5).
+ */
+#ifndef BCL_CORE_BUILDER_HPP
+#define BCL_CORE_BUILDER_HPP
+
+#include <string>
+#include <vector>
+
+#include "core/ast.hpp"
+
+namespace bcl {
+
+/** Builds one ModuleDef. */
+class ModuleBuilder
+{
+  public:
+    explicit ModuleBuilder(std::string name);
+
+    /** @name State instantiation */
+    /// @{
+
+    /** A register of type @p t initialized to @p init. */
+    ModuleBuilder &addReg(const std::string &name, TypePtr t, Value init);
+
+    /** A register initialized to the type's zero value. */
+    ModuleBuilder &addReg(const std::string &name, TypePtr t);
+
+    /** A guarded FIFO of @p capacity elements of type @p t. */
+    ModuleBuilder &addFifo(const std::string &name, TypePtr t,
+                           int capacity = 2);
+
+    /** An addressable memory of @p size elements of type @p elem,
+     *  optionally initialized with @p init (a ROM / parameter table). */
+    ModuleBuilder &addBram(const std::string &name, TypePtr elem,
+                           int size, std::vector<Value> init = {});
+
+    /** A synchronizer FIFO between domains @p dom_a -> @p dom_b. */
+    ModuleBuilder &addSync(const std::string &name, TypePtr t,
+                           int capacity, const std::string &dom_a,
+                           const std::string &dom_b);
+
+    /** A PCM audio sink living in domain @p domain. */
+    ModuleBuilder &addAudioDev(const std::string &name,
+                               const std::string &domain);
+
+    /** A bitmap frame buffer of w*h pixels in domain @p domain. */
+    ModuleBuilder &addBitmap(const std::string &name, int width,
+                             int height, const std::string &domain);
+
+    /** A user submodule instance. */
+    ModuleBuilder &addSub(const std::string &name,
+                          const std::string &module_name);
+
+    /// @}
+
+    /** Add a rule. */
+    ModuleBuilder &addRule(const std::string &name, ActPtr body);
+
+    /** Add an action method. */
+    ModuleBuilder &addActionMethod(const std::string &name,
+                                   std::vector<Param> params, ActPtr body,
+                                   const std::string &domain = "");
+
+    /** Add a value method. */
+    ModuleBuilder &addValueMethod(const std::string &name,
+                                  std::vector<Param> params,
+                                  TypePtr ret_type, ExprPtr value,
+                                  const std::string &domain = "");
+
+    /** Finish; the builder must not be reused afterwards. */
+    ModuleDef build();
+
+  private:
+    void checkFresh(const std::string &name) const;
+
+    ModuleDef def;
+};
+
+/** Builds a Program from module definitions. */
+class ProgramBuilder
+{
+  public:
+    /** Add a module definition (names must be unique). */
+    ProgramBuilder &add(ModuleDef m);
+
+    /** Select the root module. */
+    ProgramBuilder &setRoot(const std::string &name);
+
+    /** Finish; validates that the root exists. */
+    Program build();
+
+  private:
+    Program prog;
+};
+
+} // namespace bcl
+
+#endif // BCL_CORE_BUILDER_HPP

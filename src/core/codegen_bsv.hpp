@@ -1,0 +1,31 @@
+/**
+ * @file
+ * BSV generation for hardware partitions (section 6.4: "With the
+ * exception of loops and sequential composition, BCL can be
+ * translated to legal BSV, which is then compiled to Verilog using
+ * the BSV compiler"). We emit the BSV module text - interface
+ * declaration, state instantiation, rules with their lifted explicit
+ * guards - which in the paper's flow is handed to the commercial BSV
+ * compiler; in this reproduction, execution of the partition is the
+ * job of the rule-accurate hwsim instead (see DESIGN.md section 2).
+ */
+#ifndef BCL_CORE_CODEGEN_BSV_HPP
+#define BCL_CORE_CODEGEN_BSV_HPP
+
+#include <string>
+
+#include "core/elaborate.hpp"
+
+namespace bcl {
+
+/**
+ * Generate the BSV module for @p prog (a hardware partition).
+ * @throws FatalError when the partition is not hardware-implementable
+ * (dynamic loops / sequential composition).
+ */
+std::string generateBsv(const ElabProgram &prog,
+                        const std::string &module_name);
+
+} // namespace bcl
+
+#endif // BCL_CORE_CODEGEN_BSV_HPP

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * C++ code generation for software partitions (section 6 of the
+ * paper). Emits one class per partition: primitive state as members,
+ * rules as member functions, plus the static schedule driver. Three
+ * strategies reproduce the cost spectrum of section 6.3:
+ *
+ *   Naive    - every rule body runs under try/catch against shadow
+ *              objects with commit/rollback (Figure 9),
+ *   Inlined  - user methods inlined, guards checked with explicit
+ *              branches to rollback code, no try/catch (Figure 10),
+ *   Lifted   - when-lifting first; rules whose guards lift completely
+ *              test the guard once and then execute in place with no
+ *              shadows at all.
+ *
+ * The generated source compiles against runtime/gen_support.hpp;
+ * tests syntax-check it with the host compiler.
+ */
+#ifndef BCL_CORE_CODEGEN_CPP_HPP
+#define BCL_CORE_CODEGEN_CPP_HPP
+
+#include <string>
+
+#include "core/elaborate.hpp"
+
+namespace bcl {
+
+/** Generation strategy (see file comment). */
+enum class CppGenMode : std::uint8_t { Naive, Inlined, Lifted };
+
+/**
+ * Generate a self-contained C++ translation unit for @p prog (a
+ * software partition). @p class_name names the emitted class.
+ */
+std::string generateCpp(const ElabProgram &prog,
+                        const std::string &class_name,
+                        CppGenMode mode = CppGenMode::Lifted);
+
+} // namespace bcl
+
+#endif // BCL_CORE_CODEGEN_CPP_HPP

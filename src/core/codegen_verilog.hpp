@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Verilog skeleton generation for hardware partitions: the module
+ * shell with the rule-scheduling logic of the BSV compilation scheme
+ * (section 6.4 / [17]): per-rule CAN_FIRE from the lifted guard,
+ * WILL_FIRE after static-priority conflict resolution, registers
+ * updated under WILL_FIRE enables - "shadows live in wires". The
+ * datapath expressions are emitted as comments referencing the BSV
+ * text (the paper's flow goes through bsc for those); the value of
+ * this artifact is the scheduler/enable structure, which is what the
+ * hwsim executes.
+ */
+#ifndef BCL_CORE_CODEGEN_VERILOG_HPP
+#define BCL_CORE_CODEGEN_VERILOG_HPP
+
+#include <string>
+
+#include "core/elaborate.hpp"
+
+namespace bcl {
+
+/** Generate the Verilog scheduler shell for @p prog. */
+std::string generateVerilog(const ElabProgram &prog,
+                            const std::string &module_name);
+
+} // namespace bcl
+
+#endif // BCL_CORE_CODEGEN_VERILOG_HPP

@@ -1,0 +1,55 @@
+#include "core/conflict.hpp"
+
+namespace bcl {
+
+ConflictRel
+rwConflict(const ElabProgram &prog, const RWSets &a, const RWSets &b)
+{
+    ConflictRel acc = ConflictRel::CF;
+    for (const auto &[prim_a, meth_a] : a.uses) {
+        for (const auto &[prim_b, meth_b] : b.uses) {
+            if (prim_a != prim_b)
+                continue;
+            const std::string &kind = prog.prims[prim_a].kind;
+            acc = meetRel(acc, primConflict(kind, meth_a, meth_b));
+            if (acc == ConflictRel::C)
+                return acc;
+        }
+    }
+    return acc;
+}
+
+ConflictMatrix::ConflictMatrix(const ElabProgram &prog)
+{
+    int n = static_cast<int>(prog.rules.size());
+    rw.reserve(n);
+    for (int i = 0; i < n; i++)
+        rw.push_back(ruleRW(prog, i));
+
+    rels.assign(n, std::vector<ConflictRel>(n, ConflictRel::CF));
+    for (int i = 0; i < n; i++) {
+        // A rule always conflicts with itself (cannot fire twice in
+        // one atomic step).
+        rels[i][i] = ConflictRel::C;
+        for (int j = i + 1; j < n; j++) {
+            ConflictRel r = rwConflict(prog, rw[i], rw[j]);
+            rels[i][j] = r;
+            rels[j][i] = invertRel(r);
+        }
+    }
+}
+
+ConflictRel
+ConflictMatrix::rel(int a, int b) const
+{
+    return rels[a][b];
+}
+
+bool
+ConflictMatrix::composableInOrder(int a, int b) const
+{
+    ConflictRel r = rels[a][b];
+    return r == ConflictRel::CF || r == ConflictRel::SB;
+}
+
+} // namespace bcl

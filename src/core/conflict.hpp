@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Pairwise static conflict analysis between rules (section 6 of the
+ * paper: "The compiler does pair-wise static analysis to conservatively
+ * estimate conflicts between rules"). Two rules' relation is the meet
+ * of the relations of every pair of primitive methods they invoke on
+ * shared instances:
+ *
+ *   CF - may execute in the same step in either order,
+ *   SB/SA - may execute in the same step in one order,
+ *   C  - must never execute in the same step.
+ *
+ * The hardware simulator composes a maximal per-cycle rule set from
+ * this matrix; the software scheduler uses it to avoid pointless
+ * back-to-back attempts of mutually exclusive rules.
+ */
+#ifndef BCL_CORE_CONFLICT_HPP
+#define BCL_CORE_CONFLICT_HPP
+
+#include <vector>
+
+#include "core/elaborate.hpp"
+#include "core/primdecl.hpp"
+#include "core/rwsets.hpp"
+
+namespace bcl {
+
+/** Full pairwise rule-conflict matrix. */
+class ConflictMatrix
+{
+  public:
+    /** Analyze all rules of @p prog. */
+    explicit ConflictMatrix(const ElabProgram &prog);
+
+    /** Relation of rule @p a to rule @p b (a's order vs b's). */
+    ConflictRel rel(int a, int b) const;
+
+    /** True when the two rules may fire in the same cycle with @p a
+     *  scheduled (logically) before @p b. */
+    bool composableInOrder(int a, int b) const;
+
+    /** Number of rules analyzed. */
+    int size() const { return static_cast<int>(rels.size()); }
+
+    /** The RW summary computed for rule @p r (cached here). */
+    const RWSets &ruleSets(int r) const { return rw[r]; }
+
+  private:
+    std::vector<std::vector<ConflictRel>> rels;
+    std::vector<RWSets> rw;
+};
+
+/** Relation between two explicit RW summaries. */
+ConflictRel rwConflict(const ElabProgram &prog, const RWSets &a,
+                       const RWSets &b);
+
+} // namespace bcl
+
+#endif // BCL_CORE_CONFLICT_HPP

@@ -1,0 +1,320 @@
+#include "core/elaborate.hpp"
+
+#include <functional>
+#include <set>
+
+#include "common/logging.hpp"
+#include "core/primdecl.hpp"
+
+namespace bcl {
+
+int
+ElabProgram::primByPath(const std::string &path) const
+{
+    for (const auto &p : prims) {
+        if (p.path == path)
+            return p.id;
+    }
+    panic("no primitive instance at path '" + path + "'");
+}
+
+int
+ElabProgram::rootMethod(const std::string &name) const
+{
+    for (int mid : mods[rootMod].methodIds) {
+        if (methods[mid].name == name)
+            return mid;
+    }
+    panic("root module has no method '" + name + "'");
+}
+
+int
+ElabProgram::ruleByName(const std::string &name) const
+{
+    for (const auto &r : rules) {
+        if (r.name == name)
+            return r.id;
+    }
+    return -1;
+}
+
+namespace {
+
+/** Elaboration context: builds the flat program. */
+class Elaborator
+{
+  public:
+    explicit Elaborator(const Program &p) : prog(p) {}
+
+    ElabProgram
+    run()
+    {
+        out.rootMod = instantiateModule(prog.root, "");
+        return std::move(out);
+    }
+
+  private:
+    const Program &prog;
+    ElabProgram out;
+    std::set<std::string> instantiating;  // cycle detection
+
+    static std::string
+    joinPath(const std::string &base, const std::string &leaf)
+    {
+        return base.empty() ? leaf : base + "." + leaf;
+    }
+
+    int
+    instantiatePrim(const InstDef &inst, const std::string &path)
+    {
+        ElabPrim p;
+        p.id = static_cast<int>(out.prims.size());
+        p.kind = inst.moduleName;
+        p.path = path;
+
+        auto expect = [&](size_t n) {
+            if (inst.args.size() < n) {
+                fatal("primitive " + p.kind + " at " + path +
+                      ": expected at least " + std::to_string(n) +
+                      " constructor args, got " +
+                      std::to_string(inst.args.size()));
+            }
+        };
+        auto argType = [&](size_t i) -> TypePtr {
+            if (inst.args[i].kind != InstArg::Kind::Type)
+                fatal(path + ": constructor arg " + std::to_string(i) +
+                      " must be a type");
+            return inst.args[i].t;
+        };
+        auto argInt = [&](size_t i) -> std::int64_t {
+            if (inst.args[i].kind != InstArg::Kind::Int)
+                fatal(path + ": constructor arg " + std::to_string(i) +
+                      " must be an integer");
+            return inst.args[i].i;
+        };
+        auto argStr = [&](size_t i) -> std::string {
+            if (inst.args[i].kind != InstArg::Kind::Str)
+                fatal(path + ": constructor arg " + std::to_string(i) +
+                      " must be a domain name");
+            return inst.args[i].s;
+        };
+        auto argVal = [&](size_t i) -> Value {
+            if (inst.args[i].kind != InstArg::Kind::Val)
+                fatal(path + ": constructor arg " + std::to_string(i) +
+                      " must be a value");
+            return inst.args[i].v;
+        };
+
+        if (p.kind == "Reg") {
+            expect(2);
+            p.type = argType(0);
+            p.init = argVal(1);
+        } else if (p.kind == "Fifo") {
+            expect(2);
+            p.type = argType(0);
+            p.capacity = static_cast<int>(argInt(1));
+        } else if (p.kind == "Bram") {
+            expect(2);
+            p.type = argType(0);
+            p.size = static_cast<int>(argInt(1));
+            if (inst.args.size() > 2)
+                p.init = argVal(2);
+        } else if (p.kind == "Sync") {
+            expect(4);
+            p.type = argType(0);
+            p.capacity = static_cast<int>(argInt(1));
+            p.domA = argStr(2);
+            p.domB = argStr(3);
+            // A Sync whose two sides live in the same domain is a
+            // plain FIFO; the compiler replaces it with one (the
+            // domain-polymorphism optimization of section 4.2).
+            if (p.domA == p.domB)
+                p.kind = "Fifo";
+        } else if (p.kind == "AudioDev") {
+            expect(1);
+            p.domA = argStr(0);
+        } else if (p.kind == "Bitmap") {
+            expect(3);
+            p.size = static_cast<int>(argInt(0) * argInt(1));
+            p.capacity = static_cast<int>(argInt(0));  // row stride
+            p.domA = argStr(2);
+        } else {
+            fatal("unknown primitive kind '" + p.kind + "' at " + path);
+        }
+        out.prims.push_back(std::move(p));
+        return out.prims.back().id;
+    }
+
+    int
+    instantiateModule(const std::string &def_name, const std::string &path)
+    {
+        const ModuleDef *def = prog.findModule(def_name);
+        if (!def)
+            fatal("module '" + def_name + "' is not defined");
+        if (instantiating.count(def_name)) {
+            fatal("recursive instantiation of module '" + def_name +
+                  "'");
+        }
+        instantiating.insert(def_name);
+
+        int mod_id = static_cast<int>(out.mods.size());
+        out.mods.push_back({});
+        out.mods[mod_id].id = mod_id;
+        out.mods[mod_id].defName = def_name;
+        out.mods[mod_id].path = path;
+
+        for (const auto &inst : def->insts) {
+            std::string child_path = joinPath(path, inst.name);
+            InstRef ref;
+            if (isPrimKind(inst.moduleName)) {
+                ref.isPrim = true;
+                ref.id = instantiatePrim(inst, child_path);
+            } else {
+                ref.isPrim = false;
+                ref.id = instantiateModule(inst.moduleName, child_path);
+            }
+            out.mods[mod_id].children[inst.name] = ref;
+        }
+
+        // Resolve and register methods before rules so that rules can
+        // call sibling methods... (methods of *this* module are not
+        // callable from its own rules in kernel BCL; only submodule
+        // methods are. Rules reference children.)
+        for (const auto &meth : def->methods) {
+            ElabMethod em;
+            em.id = static_cast<int>(out.methods.size());
+            em.modId = mod_id;
+            em.name = meth.name;
+            em.params = meth.params;
+            em.isAction = meth.isAction;
+            em.retType = meth.retType;
+            em.domain = meth.domain;
+            if (meth.isAction)
+                em.body = resolveAction(meth.body, mod_id);
+            else
+                em.value = resolveExpr(meth.value, mod_id);
+            out.mods[mod_id].methodIds.push_back(em.id);
+            out.methods.push_back(std::move(em));
+        }
+
+        for (const auto &rule : def->rules) {
+            ElabRule er;
+            er.id = static_cast<int>(out.rules.size());
+            er.modId = mod_id;
+            er.name = joinPath(path, rule.name);
+            er.body = resolveAction(rule.body, mod_id);
+            out.rules.push_back(std::move(er));
+        }
+
+        instantiating.erase(def_name);
+        return mod_id;
+    }
+
+    /** Resolve a method call target within module @p mod_id. */
+    void
+    resolveCall(const std::string &inst_name, const std::string &meth,
+                int mod_id, bool want_action, int num_args, int &inst,
+                bool &is_prim, int &meth_idx)
+    {
+        const ElabModule &mod = out.mods[mod_id];
+        auto it = mod.children.find(inst_name);
+        if (it == mod.children.end()) {
+            fatal("module " + mod.defName + ": unknown instance '" +
+                  inst_name + "' in call to " + inst_name + "." + meth);
+        }
+        const InstRef &ref = it->second;
+        inst = ref.id;
+        is_prim = ref.isPrim;
+        meth_idx = -1;
+        if (ref.isPrim) {
+            const ElabPrim &prim = out.prims[ref.id];
+            const PrimDecl *decl = findPrimDecl(prim.kind);
+            const PrimMethodDecl *pm = decl->findMethod(meth);
+            if (!pm) {
+                fatal("primitive " + prim.kind + " (" + prim.path +
+                      ") has no method '" + meth + "'");
+            }
+            if (pm->isAction != want_action) {
+                fatal("method " + prim.path + "." + meth +
+                      (want_action ? " is not an action method"
+                                   : " is not a value method"));
+            }
+            if (pm->numArgs != num_args) {
+                fatal("method " + prim.path + "." + meth + " expects " +
+                      std::to_string(pm->numArgs) + " args, got " +
+                      std::to_string(num_args));
+            }
+        } else {
+            const ElabModule &sub = out.mods[ref.id];
+            for (int mid : sub.methodIds) {
+                if (out.methods[mid].name == meth) {
+                    meth_idx = mid;
+                    break;
+                }
+            }
+            if (meth_idx < 0) {
+                fatal("module instance " + (sub.path.empty()
+                          ? sub.defName : sub.path) +
+                      " has no method '" + meth + "'");
+            }
+            const ElabMethod &em = out.methods[meth_idx];
+            if (em.isAction != want_action) {
+                fatal("method " + sub.path + "." + meth +
+                      (want_action ? " is not an action method"
+                                   : " is not a value method"));
+            }
+            if (static_cast<int>(em.params.size()) != num_args) {
+                fatal("method " + sub.path + "." + meth + " expects " +
+                      std::to_string(em.params.size()) + " args, got " +
+                      std::to_string(num_args));
+            }
+        }
+    }
+
+    ExprPtr
+    resolveExpr(const ExprPtr &e, int mod_id)
+    {
+        if (!e)
+            panic("null expression during elaboration");
+        auto copy = std::make_shared<Expr>(*e);
+        copy->args.clear();
+        for (const auto &a : e->args)
+            copy->args.push_back(resolveExpr(a, mod_id));
+        if (e->kind == ExprKind::CallV) {
+            resolveCall(e->name, e->meth, mod_id, false,
+                        static_cast<int>(e->args.size()), copy->inst,
+                        copy->isPrim, copy->methIdx);
+        }
+        return copy;
+    }
+
+    ActPtr
+    resolveAction(const ActPtr &a, int mod_id)
+    {
+        if (!a)
+            panic("null action during elaboration");
+        auto copy = std::make_shared<Action>(*a);
+        copy->subs.clear();
+        copy->exprs.clear();
+        for (const auto &e : a->exprs)
+            copy->exprs.push_back(resolveExpr(e, mod_id));
+        for (const auto &s : a->subs)
+            copy->subs.push_back(resolveAction(s, mod_id));
+        if (a->kind == ActKind::CallA) {
+            resolveCall(a->name, a->meth, mod_id, true,
+                        static_cast<int>(a->exprs.size()), copy->inst,
+                        copy->isPrim, copy->methIdx);
+        }
+        return copy;
+    }
+};
+
+} // namespace
+
+ElabProgram
+elaborate(const Program &prog)
+{
+    return Elaborator(prog).run();
+}
+
+} // namespace bcl

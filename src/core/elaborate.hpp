@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Static elaboration (section 5 of the paper): instantiate the module
+ * hierarchy starting at the root, producing a flat program in which
+ *
+ *   - every primitive instance has a global id and a path name,
+ *   - every user-module instance has a global id,
+ *   - every rule and method body is a resolved AST: CallV/CallA nodes
+ *     carry the global instance id and, for user methods, the index
+ *     into the global method table.
+ *
+ * The elaborated program is the input to the interpreter, analyses,
+ * partitioner, schedulers and code generators.
+ */
+#ifndef BCL_CORE_ELABORATE_HPP
+#define BCL_CORE_ELABORATE_HPP
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/ast.hpp"
+
+namespace bcl {
+
+/** An elaborated primitive instance. */
+struct ElabPrim
+{
+    int id = -1;
+    std::string kind;          ///< "Reg", "Fifo", ...
+    std::string path;          ///< hierarchical name, e.g. "ifft.buff0"
+    TypePtr type;              ///< element/content type (null for devices)
+    Value init;                ///< Reg initial value / Bram init vector
+    int capacity = 0;          ///< Fifo/Sync capacity
+    int size = 0;              ///< Bram size / Bitmap w*h
+    std::string domA, domB;    ///< Sync domains; domA = device domain
+    int channelId = -1;        ///< SyncTx/SyncRx: logical channel id
+};
+
+/** Reference to an instance from inside a module: prim or user module. */
+struct InstRef
+{
+    bool isPrim = false;
+    int id = -1;  ///< prim id or module id
+};
+
+/** An elaborated user-module instance. */
+struct ElabModule
+{
+    int id = -1;
+    std::string defName;   ///< name of the ModuleDef
+    std::string path;      ///< hierarchical instance path ("" for root)
+    std::map<std::string, InstRef> children;
+    std::vector<int> methodIds;  ///< indices into ElabProgram::methods
+};
+
+/** An elaborated method (body resolved against its module). */
+struct ElabMethod
+{
+    int id = -1;
+    int modId = -1;
+    std::string name;
+    std::vector<Param> params;
+    bool isAction = true;
+    ActPtr body;     ///< action methods
+    ExprPtr value;   ///< value methods
+    TypePtr retType;
+    std::string domain;  ///< explicit annotation, refined by inference
+};
+
+/** An elaborated rule. */
+struct ElabRule
+{
+    int id = -1;
+    int modId = -1;
+    std::string name;   ///< qualified, e.g. "ifft.stage1"
+    ActPtr body;
+    std::string domain; ///< filled by domain inference
+};
+
+/** The flat elaborated program. */
+struct ElabProgram
+{
+    std::vector<ElabPrim> prims;
+    std::vector<ElabModule> mods;    ///< mods[rootMod] is the root
+    std::vector<ElabMethod> methods;
+    std::vector<ElabRule> rules;
+    int rootMod = 0;
+
+    /** Index of prim with hierarchical @p path (panics when absent). */
+    int primByPath(const std::string &path) const;
+
+    /** Index of a root-interface method (panics when absent). */
+    int rootMethod(const std::string &name) const;
+
+    /** Index of rule with qualified @p name (-1 when absent). */
+    int ruleByName(const std::string &name) const;
+};
+
+/**
+ * Elaborate @p prog from its root module. Throws FatalError on
+ * malformed programs (unknown module/instance names, arity errors on
+ * primitive constructors, instantiation cycles).
+ */
+ElabProgram elaborate(const Program &prog);
+
+} // namespace bcl
+
+#endif // BCL_CORE_ELABORATE_HPP

@@ -1,0 +1,165 @@
+#include "core/inlining.hpp"
+
+#include <map>
+
+#include "common/logging.hpp"
+
+namespace bcl {
+
+namespace {
+
+/** Alpha-renaming inliner with a fresh-name counter. */
+class Inliner
+{
+  public:
+    explicit Inliner(const ElabProgram &prog) : prog(prog) {}
+
+    ExprPtr
+    expr(const ExprPtr &e, const std::map<std::string, std::string> &ren)
+    {
+        // Binder nodes are handled before the generic child clone so
+        // the body is visited exactly once (a second visit per level
+        // would make deep let chains exponential).
+        if (e->kind == ExprKind::Let) {
+            auto copy = std::make_shared<Expr>(*e);
+            copy->args.clear();
+            copy->args.push_back(expr(e->args[0], ren));
+            std::string fresh = freshName(e->name);
+            auto ren2 = ren;
+            ren2[e->name] = fresh;
+            copy->name = fresh;
+            copy->args.push_back(expr(e->args[1], ren2));
+            return copy;
+        }
+
+        auto copy = std::make_shared<Expr>(*e);
+        copy->args.clear();
+        for (const auto &a : e->args)
+            copy->args.push_back(expr(a, ren));
+
+        switch (e->kind) {
+          case ExprKind::Var: {
+            auto it = ren.find(e->name);
+            if (it != ren.end())
+                copy->name = it->second;
+            return copy;
+          }
+          case ExprKind::CallV: {
+            if (e->isPrim)
+                return copy;
+            const ElabMethod &m = prog.methods[e->methIdx];
+            // Bind parameters (strict) then inline the body.
+            std::map<std::string, std::string> callee_ren;
+            std::vector<std::pair<std::string, ExprPtr>> binds;
+            for (size_t i = 0; i < m.params.size(); i++) {
+                std::string fresh = freshName(m.params[i].name);
+                callee_ren[m.params[i].name] = fresh;
+                binds.emplace_back(fresh, copy->args[i]);
+            }
+            ExprPtr body = expr(m.value, callee_ren);
+            for (auto it = binds.rbegin(); it != binds.rend(); ++it)
+                body = letE(it->first, it->second, body);
+            return body;
+          }
+          default:
+            return copy;
+        }
+    }
+
+    ActPtr
+    action(const ActPtr &a, const std::map<std::string, std::string> &ren)
+    {
+        auto copy = std::make_shared<Action>(*a);
+        copy->exprs.clear();
+        copy->subs.clear();
+        for (const auto &e : a->exprs)
+            copy->exprs.push_back(expr(e, ren));
+
+        if (a->kind == ActKind::Let) {
+            std::string fresh = freshName(a->name);
+            auto ren2 = ren;
+            ren2[a->name] = fresh;
+            copy->name = fresh;
+            copy->subs.push_back(action(a->subs[0], ren2));
+            return copy;
+        }
+        for (const auto &s : a->subs)
+            copy->subs.push_back(action(s, ren));
+
+        if (a->kind == ActKind::CallA && !a->isPrim) {
+            const ElabMethod &m = prog.methods[a->methIdx];
+            std::map<std::string, std::string> callee_ren;
+            std::vector<std::pair<std::string, ExprPtr>> binds;
+            for (size_t i = 0; i < m.params.size(); i++) {
+                std::string fresh = freshName(m.params[i].name);
+                callee_ren[m.params[i].name] = fresh;
+                binds.emplace_back(fresh, copy->exprs[i]);
+            }
+            ActPtr body = action(m.body, callee_ren);
+            for (auto it = binds.rbegin(); it != binds.rend(); ++it)
+                body = letA(it->first, it->second, body);
+            return body;
+        }
+        return copy;
+    }
+
+  private:
+    std::string
+    freshName(const std::string &base)
+    {
+        return base + "$" + std::to_string(counter++);
+    }
+
+    const ElabProgram &prog;
+    int counter = 0;
+};
+
+} // namespace
+
+ActPtr
+inlineActionMethods(const ElabProgram &prog, const ActPtr &a)
+{
+    Inliner in(prog);
+    return in.action(a, {});
+}
+
+ExprPtr
+inlineExprMethods(const ElabProgram &prog, const ExprPtr &e)
+{
+    Inliner in(prog);
+    return in.expr(e, {});
+}
+
+ElabProgram
+inlineAllMethods(const ElabProgram &prog)
+{
+    ElabProgram out = prog;
+    for (auto &r : out.rules)
+        r.body = inlineActionMethods(prog, r.body);
+    for (auto &m : out.methods) {
+        if (m.isAction)
+            m.body = inlineActionMethods(prog, m.body);
+        else
+            m.value = inlineExprMethods(prog, m.value);
+    }
+    return out;
+}
+
+bool
+fullyInlined(const ActPtr &a)
+{
+    bool calls_user = false;
+    forEachNode(
+        a,
+        [&](const Action &n) {
+            if (n.kind == ActKind::CallA && !n.isPrim)
+                calls_user = true;
+        },
+        [&](const Expr &n) {
+            if (n.kind == ExprKind::CallV && !n.isPrim)
+                calls_user = true;
+        });
+    return !calls_user;
+}
+
+} // namespace bcl

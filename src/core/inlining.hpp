@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Method inlining (section 6.3 "Avoiding Try/Catch": "we can still
+ * improve the quality of code when all methods in a rule are
+ * inlined"). Calls to user-module methods are replaced by the callee
+ * body with parameters let-bound to the (strict) argument
+ * expressions; binders are alpha-renamed against capture. After
+ * inlining, every remaining call targets a primitive, which is what
+ * lets the C++ generator branch straight to rollback code instead of
+ * paying for a try/catch (Figure 9 vs Figure 10).
+ */
+#ifndef BCL_CORE_INLINING_HPP
+#define BCL_CORE_INLINING_HPP
+
+#include "core/elaborate.hpp"
+
+namespace bcl {
+
+/** Inline all user-method calls reachable from @p a. */
+ActPtr inlineActionMethods(const ElabProgram &prog, const ActPtr &a);
+
+/** Inline all user-method calls reachable from @p e. */
+ExprPtr inlineExprMethods(const ElabProgram &prog, const ExprPtr &e);
+
+/**
+ * Program-level pass: returns a copy of @p prog in which every rule
+ * body (and every method body, for the interface methods that remain
+ * externally callable) is fully inlined.
+ */
+ElabProgram inlineAllMethods(const ElabProgram &prog);
+
+/** True when no user-method calls remain under @p a. */
+bool fullyInlined(const ActPtr &a);
+
+} // namespace bcl
+
+#endif // BCL_CORE_INLINING_HPP

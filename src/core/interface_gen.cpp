@@ -1,0 +1,151 @@
+#include "core/interface_gen.hpp"
+
+#include "common/strutil.hpp"
+
+namespace bcl {
+
+namespace {
+
+std::string
+chanIdent(const ChannelSpec &c)
+{
+    std::string out;
+    for (char ch : c.name)
+        out += (std::isalnum(static_cast<unsigned char>(ch)) ? ch : '_');
+    return out;
+}
+
+std::string
+genHeader(const std::vector<ChannelSpec> &channels,
+          const std::string &base)
+{
+    IndentWriter w;
+    std::string guard = "BCL_GEN_" + base + "_CHANNELS_H";
+    for (auto &c : guard)
+        c = std::toupper(static_cast<unsigned char>(c));
+    w.writeLine("/* Generated HW/SW interface contract: one virtual");
+    w.writeLine(" * channel per split synchronizer. Both sides derive");
+    w.writeLine(" * message layout from the same BCL type, so there is");
+    w.writeLine(" * exactly one flattening (little-endian bit order,");
+    w.writeLine(" * fields in declaration order). */");
+    w.writeLine("#ifndef " + guard);
+    w.writeLine("#define " + guard);
+    w.blank();
+    for (const auto &c : channels) {
+        std::string id = chanIdent(c);
+        w.writeLine("/* " + c.name + ": " + c.fromDomain + " -> " +
+                    c.toDomain + ", payload " + c.msgType->str() +
+                    " */");
+        w.writeLine("#define " + base + "_CHAN_" + id + "_ID " +
+                    std::to_string(c.id));
+        w.writeLine("#define " + base + "_CHAN_" + id + "_WORDS " +
+                    std::to_string(c.payloadWords));
+        w.writeLine("#define " + base + "_CHAN_" + id + "_CREDITS " +
+                    std::to_string(c.capacity));
+        w.blank();
+    }
+    w.writeLine("#endif /* " + guard + " */");
+    return w.str();
+}
+
+std::string
+genSwProxy(const std::vector<ChannelSpec> &channels,
+           const std::string &base)
+{
+    IndentWriter w;
+    w.writeLine("// Generated software proxy: the \"Interface Only\"");
+    w.writeLine("// artifact. LinkDriver is the platform's word-level");
+    w.writeLine("// transport (LocalLink/HDMA or PCIe).");
+    w.writeLine("#include <cstdint>");
+    w.writeLine("#include <vector>");
+    w.blank();
+    w.openBlock("class " + base + "Proxy {");
+    w.writeLine("public:");
+    w.indent();
+    w.openBlock("struct LinkDriver {");
+    w.writeLine("virtual ~LinkDriver() = default;");
+    w.writeLine("virtual void sendMessage(int channel, const "
+                "std::uint32_t *words, int count) = 0;");
+    w.writeLine("virtual bool recvMessage(int channel, "
+                "std::uint32_t *words, int count) = 0;");
+    w.closeBlock("};");
+    w.blank();
+    w.writeLine("explicit " + base +
+                "Proxy(LinkDriver &link) : link(link) {}");
+    w.blank();
+    for (const auto &c : channels) {
+        std::string id = chanIdent(c);
+        if (c.fromDomain == "SW") {
+            w.openBlock("void send_" + id + "(const std::uint32_t (&payload)[" +
+                        std::to_string(c.payloadWords) + "]) {");
+            w.writeLine("link.sendMessage(" + std::to_string(c.id) +
+                        ", payload, " +
+                        std::to_string(c.payloadWords) + ");");
+            w.closeBlock("}");
+        } else if (c.toDomain == "SW") {
+            w.openBlock("bool recv_" + id + "(std::uint32_t (&payload)[" +
+                        std::to_string(c.payloadWords) + "]) {");
+            w.writeLine("return link.recvMessage(" +
+                        std::to_string(c.id) + ", payload, " +
+                        std::to_string(c.payloadWords) + ");");
+            w.closeBlock("}");
+        }
+    }
+    w.outdent();
+    w.writeLine("private:");
+    w.indent();
+    w.writeLine("LinkDriver &link;");
+    w.outdent();
+    w.closeBlock("};");
+    return w.str();
+}
+
+std::string
+genHwGlue(const std::vector<ChannelSpec> &channels,
+          const std::string &base)
+{
+    IndentWriter w;
+    w.writeLine("// Generated hardware-side glue: per-channel LIBDN");
+    w.writeLine("// FIFO halves, marshaling, and the arbiter over the");
+    w.writeLine("// physical link (Figure 6).");
+    w.openBlock("module mk" + base + "Glue (LinkIfc link, " + base +
+                "Channels ifc);");
+    for (const auto &c : channels) {
+        std::string id = chanIdent(c);
+        w.writeLine("LIBDNFifo#(" + std::to_string(c.payloadWords) +
+                    ") chan_" + id + " <- mkLIBDNFifo(" +
+                    std::to_string(c.capacity) + "); // " +
+                    c.fromDomain + " -> " + c.toDomain);
+    }
+    w.blank();
+    w.writeLine("Arbiter#(" + std::to_string(channels.size()) +
+                ") arb <- mkRoundRobinArbiter();");
+    for (const auto &c : channels) {
+        std::string id = chanIdent(c);
+        w.openBlock("rule marshal_" + id + " (arb.grant(" +
+                    std::to_string(c.id) + "));");
+        w.writeLine("// header word: channel id + length, then " +
+                    std::to_string(c.payloadWords) + " payload words");
+        w.writeLine("link.send(encodeHeader(" + std::to_string(c.id) +
+                    ", " + std::to_string(c.payloadWords) + "));");
+        w.writeLine("chan_" + id + ".startBurst();");
+        w.closeBlock("endrule");
+    }
+    w.closeBlock("endmodule");
+    return w.str();
+}
+
+} // namespace
+
+InterfaceArtifacts
+generateInterface(const std::vector<ChannelSpec> &channels,
+                  const std::string &base_name)
+{
+    InterfaceArtifacts out;
+    out.header = genHeader(channels, base_name);
+    out.swProxy = genSwProxy(channels, base_name);
+    out.hwGlue = genHwGlue(channels, base_name);
+    return out;
+}
+
+} // namespace bcl

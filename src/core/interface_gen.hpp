@@ -1,0 +1,44 @@
+/**
+ * @file
+ * HW/SW interface generation (section 4.4 and the "Interface Only"
+ * methodology of section 1): from the channel table of a partitioned
+ * program, emit
+ *
+ *   - a C header describing every virtual channel (id, direction,
+ *     message layout in 32-bit words) - the stable contract both
+ *     sides compile against,
+ *   - a C++ software proxy class (enq/deq over a word-level link
+ *     driver API, with marshaling),
+ *   - a BSV glue module instantiating the per-channel FIFO halves
+ *     and the arbiter over the physical link.
+ *
+ * "Because the interfaces are backed by fully functional reference
+ * implementations, there is no need to build simulators for testing
+ * and development purposes."
+ */
+#ifndef BCL_CORE_INTERFACE_GEN_HPP
+#define BCL_CORE_INTERFACE_GEN_HPP
+
+#include <string>
+#include <vector>
+
+#include "core/partition.hpp"
+
+namespace bcl {
+
+/** The three generated interface artifacts. */
+struct InterfaceArtifacts
+{
+    std::string header;    ///< channel table (C header)
+    std::string swProxy;   ///< software proxy class (C++)
+    std::string hwGlue;    ///< hardware-side glue (BSV)
+};
+
+/** Generate all interface artifacts for @p channels. */
+InterfaceArtifacts generateInterface(
+    const std::vector<ChannelSpec> &channels,
+    const std::string &base_name);
+
+} // namespace bcl
+
+#endif // BCL_CORE_INTERFACE_GEN_HPP

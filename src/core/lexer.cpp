@@ -1,0 +1,201 @@
+#include "core/lexer.hpp"
+
+#include <cctype>
+
+#include "common/logging.hpp"
+
+namespace bcl {
+
+const char *
+tokName(Tok t)
+{
+    switch (t) {
+      case Tok::Ident: return "identifier";
+      case Tok::Int: return "integer";
+      case Tok::LParen: return "'('";
+      case Tok::RParen: return "')'";
+      case Tok::LBracket: return "'['";
+      case Tok::RBracket: return "']'";
+      case Tok::LBrace: return "'{'";
+      case Tok::RBrace: return "'}'";
+      case Tok::Comma: return "','";
+      case Tok::Colon: return "':'";
+      case Tok::Semi: return "';'";
+      case Tok::Pipe: return "'|'";
+      case Tok::Eq: return "'='";
+      case Tok::Dot: return "'.'";
+      case Tok::Hash: return "'#'";
+      case Tok::Question: return "'?'";
+      case Tok::At: return "'@'";
+      case Tok::Assign: return "':='";
+      case Tok::Plus: return "'+'";
+      case Tok::Minus: return "'-'";
+      case Tok::Star: return "'*'";
+      case Tok::MulFx: return "'*fx'";
+      case Tok::DivFx: return "'/fx'";
+      case Tok::Shl: return "'<<'";
+      case Tok::LShr: return "'>>u'";
+      case Tok::AShr: return "'>>s'";
+      case Tok::Amp: return "'&'";
+      case Tok::Caret: return "'^'";
+      case Tok::Bang: return "'!'";
+      case Tok::EqEq: return "'=='";
+      case Tok::NotEq: return "'!='";
+      case Tok::Lt: return "'<'";
+      case Tok::Le: return "'<='";
+      case Tok::Gt: return "'>'";
+      case Tok::Ge: return "'>='";
+      case Tok::End: return "end of input";
+    }
+    return "?";
+}
+
+std::vector<Token>
+lex(const std::string &src)
+{
+    std::vector<Token> out;
+    int line = 1;
+    size_t i = 0;
+    auto push = [&](Tok k, std::string text = "", std::int64_t num = 0) {
+        out.push_back({k, std::move(text), num, line});
+    };
+    auto peek = [&](size_t off) -> char {
+        return i + off < src.size() ? src[i + off] : '\0';
+    };
+
+    while (i < src.size()) {
+        char c = src[i];
+        if (c == '\n') {
+            line++;
+            i++;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            i++;
+            continue;
+        }
+        if (c == '/' && peek(1) == '/') {
+            while (i < src.size() && src[i] != '\n')
+                i++;
+            continue;
+        }
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+            c == '$') {
+            size_t start = i;
+            while (i < src.size() &&
+                   (std::isalnum(static_cast<unsigned char>(src[i])) ||
+                    src[i] == '_' || src[i] == '$')) {
+                i++;
+            }
+            push(Tok::Ident, src.substr(start, i - start));
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            size_t start = i;
+            while (i < src.size() &&
+                   std::isdigit(static_cast<unsigned char>(src[i]))) {
+                i++;
+            }
+            push(Tok::Int, "",
+                 std::stoll(src.substr(start, i - start)));
+            continue;
+        }
+        switch (c) {
+          case '(': push(Tok::LParen); i++; continue;
+          case ')': push(Tok::RParen); i++; continue;
+          case '[': push(Tok::LBracket); i++; continue;
+          case ']': push(Tok::RBracket); i++; continue;
+          case '{': push(Tok::LBrace); i++; continue;
+          case '}': push(Tok::RBrace); i++; continue;
+          case ',': push(Tok::Comma); i++; continue;
+          case ';': push(Tok::Semi); i++; continue;
+          case '|': push(Tok::Pipe); i++; continue;
+          case '.': push(Tok::Dot); i++; continue;
+          case '#': push(Tok::Hash); i++; continue;
+          case '?': push(Tok::Question); i++; continue;
+          case '@': push(Tok::At); i++; continue;
+          case '+': push(Tok::Plus); i++; continue;
+          case '&': push(Tok::Amp); i++; continue;
+          case '^': push(Tok::Caret); i++; continue;
+          case ':':
+            if (peek(1) == '=') {
+                push(Tok::Assign);
+                i += 2;
+            } else {
+                push(Tok::Colon);
+                i++;
+            }
+            continue;
+          case '=':
+            if (peek(1) == '=') {
+                push(Tok::EqEq);
+                i += 2;
+            } else {
+                push(Tok::Eq);
+                i++;
+            }
+            continue;
+          case '!':
+            if (peek(1) == '=') {
+                push(Tok::NotEq);
+                i += 2;
+            } else {
+                push(Tok::Bang);
+                i++;
+            }
+            continue;
+          case '<':
+            if (peek(1) == '<') {
+                push(Tok::Shl);
+                i += 2;
+            } else if (peek(1) == '=') {
+                push(Tok::Le);
+                i += 2;
+            } else {
+                push(Tok::Lt);
+                i++;
+            }
+            continue;
+          case '>':
+            if (peek(1) == '>' && peek(2) == 'u') {
+                push(Tok::LShr);
+                i += 3;
+            } else if (peek(1) == '>' && peek(2) == 's') {
+                push(Tok::AShr);
+                i += 3;
+            } else if (peek(1) == '=') {
+                push(Tok::Ge);
+                i += 2;
+            } else {
+                push(Tok::Gt);
+                i++;
+            }
+            continue;
+          case '*':
+            if (peek(1) == 'f' && peek(2) == 'x') {
+                push(Tok::MulFx);
+                i += 3;
+            } else {
+                push(Tok::Star);
+                i++;
+            }
+            continue;
+          case '-': push(Tok::Minus); i++; continue;
+          case '/':
+            if (peek(1) == 'f' && peek(2) == 'x') {
+                push(Tok::DivFx);
+                i += 3;
+            } else {
+                fatal("lex: stray '/' at line " + std::to_string(line));
+            }
+            continue;
+          default:
+            fatal("lex: unexpected character '" + std::string(1, c) +
+                  "' at line " + std::to_string(line));
+        }
+    }
+    push(Tok::End);
+    return out;
+}
+
+} // namespace bcl

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Lexer for the textual kernel-BCL syntax. The concrete syntax is the
+ * one the pretty-printer (astprint.hpp) emits, so programs round-trip
+ * print -> parse -> print; `.bcl` files can also be written by hand
+ * in the same style (see examples/).
+ */
+#ifndef BCL_CORE_LEXER_HPP
+#define BCL_CORE_LEXER_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bcl {
+
+/** Token kinds. */
+enum class Tok : std::uint8_t
+{
+    Ident, Int,
+    LParen, RParen, LBracket, RBracket, LBrace, RBrace,
+    Comma, Colon, Semi, Pipe, Eq, Dot, Hash, Question, At,
+    Assign,                    // :=
+    Plus, Minus, Star, MulFx, DivFx,
+    Shl, LShr, AShr,           // << >>u >>s
+    Amp, Caret, Bang,
+    EqEq, NotEq, Lt, Le, Gt, Ge,
+    End
+};
+
+/** One token with source position for diagnostics. */
+struct Token
+{
+    Tok kind;
+    std::string text;   ///< Ident text
+    std::int64_t num = 0;  ///< Int payload
+    int line = 0;
+};
+
+/**
+ * Tokenize @p src. Comments run from "//" to end of line.
+ * @throws FatalError on unknown characters.
+ */
+std::vector<Token> lex(const std::string &src);
+
+/** Name of a token kind (diagnostics). */
+const char *tokName(Tok t);
+
+} // namespace bcl
+
+#endif // BCL_CORE_LEXER_HPP

@@ -1,0 +1,601 @@
+#include "core/parser.hpp"
+
+#include <map>
+#include <set>
+
+#include "common/logging.hpp"
+#include "core/lexer.hpp"
+
+namespace bcl {
+
+namespace {
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &src) : toks(lex(src)) {}
+
+    Program
+    program()
+    {
+        Program prog;
+        while (!at(Tok::End)) {
+            if (atKeyword("struct")) {
+                parseStructDecl();
+            } else if (atKeyword("module")) {
+                prog.modules.push_back(parseModule());
+            } else if (atKeyword("root")) {
+                next();
+                prog.root = expectIdent();
+            } else {
+                fail("expected 'struct', 'module' or 'root'");
+            }
+        }
+        if (prog.root.empty())
+            fail("missing 'root' directive");
+        return prog;
+    }
+
+  private:
+    // ----- token plumbing ------------------------------------------------
+    const Token &cur() const { return toks[pos]; }
+    const Token &la(size_t off) const
+    {
+        size_t i = pos + off;
+        return i < toks.size() ? toks[i] : toks.back();
+    }
+    bool at(Tok k) const { return cur().kind == k; }
+    bool
+    atKeyword(const char *kw) const
+    {
+        return at(Tok::Ident) && cur().text == kw;
+    }
+    void next() { if (pos + 1 < toks.size()) pos++; }
+
+    [[noreturn]] void
+    fail(const std::string &msg) const
+    {
+        fatal("parse error at line " + std::to_string(cur().line) +
+              ": " + msg + " (found " + tokName(cur().kind) +
+              (cur().kind == Tok::Ident ? " '" + cur().text + "'" : "") +
+              ")");
+    }
+
+    void
+    expect(Tok k)
+    {
+        if (!at(k))
+            fail(std::string("expected ") + tokName(k));
+        next();
+    }
+
+    std::string
+    expectIdent()
+    {
+        if (!at(Tok::Ident))
+            fail("expected identifier");
+        std::string s = cur().text;
+        next();
+        return s;
+    }
+
+    void
+    expectKeyword(const char *kw)
+    {
+        if (!atKeyword(kw))
+            fail(std::string("expected '") + kw + "'");
+        next();
+    }
+
+    std::int64_t
+    expectInt()
+    {
+        bool negate = false;
+        if (at(Tok::Minus)) {
+            negate = true;
+            next();
+        }
+        if (!at(Tok::Int))
+            fail("expected integer");
+        std::int64_t v = cur().num;
+        next();
+        return negate ? -v : v;
+    }
+
+    // ----- scopes --------------------------------------------------------
+    bool
+    isVar(const std::string &name) const
+    {
+        for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
+            if (it->count(name))
+                return true;
+        }
+        return false;
+    }
+
+    // ----- types ---------------------------------------------------------
+    TypePtr
+    parseType()
+    {
+        std::string name = expectIdent();
+        if (name == "Bool")
+            return Type::boolean();
+        if (name == "Bit") {
+            expect(Tok::Hash);
+            expect(Tok::LParen);
+            std::int64_t w = expectInt();
+            expect(Tok::RParen);
+            return Type::bits(static_cast<int>(w));
+        }
+        if (name == "Vector") {
+            expect(Tok::Hash);
+            expect(Tok::LParen);
+            std::int64_t n = expectInt();
+            expect(Tok::Comma);
+            TypePtr e = parseType();
+            expect(Tok::RParen);
+            return Type::vec(static_cast<int>(n), e);
+        }
+        auto it = structTypes.find(name);
+        if (it == structTypes.end())
+            fail("unknown type '" + name + "'");
+        return it->second;
+    }
+
+    void
+    parseStructDecl()
+    {
+        expectKeyword("struct");
+        std::string name = expectIdent();
+        expect(Tok::LBrace);
+        std::vector<std::pair<std::string, TypePtr>> fields;
+        while (!at(Tok::RBrace)) {
+            std::string fname = expectIdent();
+            expect(Tok::Colon);
+            fields.emplace_back(fname, parseType());
+            if (!at(Tok::RBrace))
+                expect(Tok::Comma);
+        }
+        expect(Tok::RBrace);
+        structTypes[name] = Type::record(name, std::move(fields));
+    }
+
+    // ----- values ----------------------------------------------------
+    Value
+    parseValue()
+    {
+        if (atKeyword("true")) {
+            next();
+            return Value::makeBool(true);
+        }
+        if (atKeyword("false")) {
+            next();
+            return Value::makeBool(false);
+        }
+        if (at(Tok::LBracket)) {
+            next();
+            std::vector<Value> elems;
+            while (!at(Tok::RBracket)) {
+                elems.push_back(parseValue());
+                if (!at(Tok::RBracket))
+                    expect(Tok::Comma);
+            }
+            expect(Tok::RBracket);
+            return Value::makeVec(std::move(elems));
+        }
+        if (at(Tok::LBrace)) {
+            next();
+            std::vector<std::pair<std::string, Value>> fields;
+            while (!at(Tok::RBrace)) {
+                std::string fname = expectIdent();
+                expect(Tok::Colon);
+                fields.emplace_back(fname, parseValue());
+                if (!at(Tok::RBrace))
+                    expect(Tok::Comma);
+            }
+            expect(Tok::RBrace);
+            return Value::makeStruct(std::move(fields));
+        }
+        std::int64_t v = expectInt();
+        expect(Tok::Colon);
+        std::int64_t w = expectInt();
+        return Value::makeInt(static_cast<int>(w), v);
+    }
+
+    // ----- expressions -------------------------------------------------
+    static PrimOp
+    infixOp(Tok k, bool &found)
+    {
+        found = true;
+        switch (k) {
+          case Tok::Plus: return PrimOp::Add;
+          case Tok::Minus: return PrimOp::Sub;
+          case Tok::Star: return PrimOp::Mul;
+          case Tok::Shl: return PrimOp::Shl;
+          case Tok::LShr: return PrimOp::LShr;
+          case Tok::AShr: return PrimOp::AShr;
+          case Tok::Amp: return PrimOp::And;
+          case Tok::Pipe: return PrimOp::Or;
+          case Tok::Caret: return PrimOp::Xor;
+          case Tok::EqEq: return PrimOp::Eq;
+          case Tok::NotEq: return PrimOp::Ne;
+          case Tok::Lt: return PrimOp::Lt;
+          case Tok::Le: return PrimOp::Le;
+          case Tok::Gt: return PrimOp::Gt;
+          case Tok::Ge: return PrimOp::Ge;
+          default:
+            found = false;
+            return PrimOp::Add;
+        }
+    }
+
+    /** Func-style op table: name -> op. */
+    static bool
+    funcOp(const std::string &name, PrimOp &op)
+    {
+        static const std::map<std::string, PrimOp> table = {
+            {"index", PrimOp::Index},   {"update", PrimOp::Update},
+            {"field", PrimOp::Field},   {"setfield", PrimOp::SetField},
+            {"vec", PrimOp::MakeVec},   {"struct", PrimOp::MakeStruct},
+            {"bitrev", PrimOp::BitRev}, {"neg", PrimOp::Neg},
+            {"sqrtfx", PrimOp::SqrtFx},
+        };
+        auto it = table.find(name);
+        if (it == table.end())
+            return false;
+        op = it->second;
+        return true;
+    }
+
+    std::vector<ExprPtr>
+    parseArgs()
+    {
+        expect(Tok::LParen);
+        std::vector<ExprPtr> args;
+        while (!at(Tok::RParen)) {
+            args.push_back(parseExpr());
+            if (!at(Tok::RParen))
+                expect(Tok::Comma);
+        }
+        expect(Tok::RParen);
+        return args;
+    }
+
+    ExprPtr
+    parseParenExpr()
+    {
+        expect(Tok::LParen);
+        // Let form: Ident '=' ...
+        if (at(Tok::Ident) && la(1).kind == Tok::Eq) {
+            std::string name = expectIdent();
+            expect(Tok::Eq);
+            ExprPtr bound = parseExpr();
+            expectKeyword("in");
+            scopes.push_back({name});
+            ExprPtr body = parseExpr();
+            scopes.pop_back();
+            expect(Tok::RParen);
+            return letE(name, std::move(bound), std::move(body));
+        }
+        ExprPtr first = parseExpr();
+        if (at(Tok::Question)) {
+            next();
+            ExprPtr t = parseExpr();
+            expect(Tok::Colon);
+            ExprPtr f = parseExpr();
+            expect(Tok::RParen);
+            return condE(std::move(first), std::move(t), std::move(f));
+        }
+        if (atKeyword("when")) {
+            next();
+            ExprPtr g = parseExpr();
+            expect(Tok::RParen);
+            return whenE(std::move(first), std::move(g));
+        }
+        bool is_infix = false;
+        Tok k = cur().kind;
+        PrimOp op = infixOp(k, is_infix);
+        if (is_infix) {
+            next();
+            ExprPtr rhs = parseExpr();
+            expect(Tok::RParen);
+            return primE(op, {std::move(first), std::move(rhs)});
+        }
+        if (at(Tok::MulFx) || at(Tok::DivFx)) {
+            PrimOp fxop =
+                at(Tok::MulFx) ? PrimOp::MulFx : PrimOp::DivFx;
+            next();
+            int imm = 0;
+            if (at(Tok::Hash)) {
+                next();
+                imm = static_cast<int>(expectInt());
+            }
+            ExprPtr rhs = parseExpr();
+            expect(Tok::RParen);
+            return primE(fxop, {std::move(first), std::move(rhs)}, imm);
+        }
+        expect(Tok::RParen);
+        return first;
+    }
+
+    ExprPtr
+    parseExpr()
+    {
+        if (at(Tok::LParen))
+            return parseParenExpr();
+        if (at(Tok::Minus) || at(Tok::Int) || at(Tok::LBracket) ||
+            at(Tok::LBrace)) {
+            return constE(parseValue());
+        }
+        if (atKeyword("true") || atKeyword("false"))
+            return constE(parseValue());
+        if (at(Tok::MulFx) || at(Tok::DivFx)) {
+            // Prefix function form: *fx#8(a, b).
+            PrimOp op = at(Tok::MulFx) ? PrimOp::MulFx : PrimOp::DivFx;
+            next();
+            int imm = 0;
+            if (at(Tok::Hash)) {
+                next();
+                imm = static_cast<int>(expectInt());
+            }
+            std::vector<ExprPtr> args = parseArgs();
+            return primE(op, std::move(args), imm);
+        }
+        if (at(Tok::Bang)) {
+            next();
+            std::vector<ExprPtr> args = parseArgs();
+            if (args.size() != 1)
+                fail("'!' takes one operand");
+            return primE(PrimOp::Not, std::move(args));
+        }
+        if (!at(Tok::Ident))
+            fail("expected expression");
+
+        std::string name = expectIdent();
+
+        // Func-style operators (possibly with a '#' immediate/names).
+        PrimOp op;
+        if ((at(Tok::Hash) || at(Tok::LParen)) && funcOp(name, op) &&
+            !isVar(name)) {
+            int imm = 0;
+            std::string str_arg;
+            if (at(Tok::Hash)) {
+                next();
+                if (at(Tok::Int)) {
+                    imm = static_cast<int>(expectInt());
+                } else {
+                    // Comma-joined field names up to '('.
+                    str_arg = expectIdent();
+                    while (at(Tok::Comma)) {
+                        next();
+                        str_arg += "," + expectIdent();
+                    }
+                }
+            }
+            std::vector<ExprPtr> args = parseArgs();
+            return primE(op, std::move(args), imm, str_arg);
+        }
+
+        // Method call inst.meth(args).
+        if (at(Tok::Dot)) {
+            next();
+            std::string meth = expectIdent();
+            std::vector<ExprPtr> args = parseArgs();
+            return callV(name, meth, std::move(args));
+        }
+
+        // Bare name: variable when bound, else register-read sugar.
+        if (isVar(name))
+            return varE(name);
+        return regRead(name);
+    }
+
+    // ----- actions ---------------------------------------------------
+    ActPtr
+    parseParenAction()
+    {
+        expect(Tok::LParen);
+        if (atKeyword("if")) {
+            next();
+            ExprPtr p = parseExpr();
+            expectKeyword("then");
+            ActPtr t = parseAction();
+            expect(Tok::RParen);
+            return ifA(std::move(p), std::move(t));
+        }
+        if (atKeyword("loop")) {
+            next();
+            ExprPtr c = parseExpr();
+            ActPtr body = parseAction();
+            expect(Tok::RParen);
+            return loopA(std::move(c), std::move(body));
+        }
+        if (at(Tok::Ident) && la(1).kind == Tok::Eq) {
+            std::string name = expectIdent();
+            expect(Tok::Eq);
+            ExprPtr bound = parseExpr();
+            expectKeyword("in");
+            scopes.push_back({name});
+            ActPtr body = parseAction();
+            scopes.pop_back();
+            expect(Tok::RParen);
+            return letA(name, std::move(bound), std::move(body));
+        }
+        ActPtr first = parseAction();
+        if (at(Tok::Pipe)) {
+            std::vector<ActPtr> subs = {first};
+            while (at(Tok::Pipe)) {
+                next();
+                subs.push_back(parseAction());
+            }
+            expect(Tok::RParen);
+            return parA(std::move(subs));
+        }
+        if (at(Tok::Semi)) {
+            std::vector<ActPtr> subs = {first};
+            while (at(Tok::Semi)) {
+                next();
+                subs.push_back(parseAction());
+            }
+            expect(Tok::RParen);
+            return seqA(std::move(subs));
+        }
+        if (atKeyword("when")) {
+            next();
+            ExprPtr g = parseExpr();
+            expect(Tok::RParen);
+            return whenA(std::move(first), std::move(g));
+        }
+        expect(Tok::RParen);
+        return first;
+    }
+
+    ActPtr
+    parseAction()
+    {
+        if (at(Tok::LParen))
+            return parseParenAction();
+        if (atKeyword("noAction")) {
+            next();
+            return noOpA();
+        }
+        if (atKeyword("localGuard")) {
+            next();
+            expect(Tok::LParen);
+            ActPtr body = parseAction();
+            expect(Tok::RParen);
+            return localGuardA(std::move(body));
+        }
+        std::string name = expectIdent();
+        if (at(Tok::Assign)) {
+            next();
+            return regWrite(name, parseExpr());
+        }
+        if (at(Tok::Dot)) {
+            next();
+            std::string meth = expectIdent();
+            std::vector<ExprPtr> args = parseArgs();
+            return callA(name, meth, std::move(args));
+        }
+        fail("expected ':=' or '.' in action");
+    }
+
+    // ----- module-level ------------------------------------------------
+    InstArg
+    parseInstArg()
+    {
+        if (at(Tok::At)) {
+            next();
+            return InstArg::str(expectIdent());
+        }
+        if (atKeyword("true") || atKeyword("false"))
+            return InstArg::val(parseValue());
+        if (at(Tok::Ident))
+            return InstArg::type(parseType());
+        // Plain integer vs value literal n:w.
+        if ((at(Tok::Int) || at(Tok::Minus)) &&
+            !(at(Tok::Int) && la(1).kind == Tok::Colon)) {
+            return InstArg::num(expectInt());
+        }
+        return InstArg::val(parseValue());
+    }
+
+    std::vector<Param>
+    parseParams()
+    {
+        expect(Tok::LParen);
+        std::vector<Param> params;
+        while (!at(Tok::RParen)) {
+            std::string pname = expectIdent();
+            expect(Tok::Colon);
+            params.push_back({pname, parseType()});
+            if (!at(Tok::RParen))
+                expect(Tok::Comma);
+        }
+        expect(Tok::RParen);
+        return params;
+    }
+
+    ModuleDef
+    parseModule()
+    {
+        expectKeyword("module");
+        ModuleDef m;
+        m.name = expectIdent();
+        while (!atKeyword("endmodule")) {
+            if (atKeyword("inst")) {
+                next();
+                InstDef inst;
+                inst.name = expectIdent();
+                expect(Tok::Eq);
+                inst.moduleName = expectIdent();
+                expect(Tok::LParen);
+                while (!at(Tok::RParen)) {
+                    inst.args.push_back(parseInstArg());
+                    if (!at(Tok::RParen))
+                        expect(Tok::Comma);
+                }
+                expect(Tok::RParen);
+                m.insts.push_back(std::move(inst));
+            } else if (atKeyword("rule")) {
+                next();
+                RuleDef r;
+                r.name = expectIdent();
+                expect(Tok::Eq);
+                scopes.push_back({});
+                r.body = parseAction();
+                scopes.pop_back();
+                m.rules.push_back(std::move(r));
+            } else if (atKeyword("amethod") || atKeyword("vmethod")) {
+                bool is_action = cur().text == "amethod";
+                next();
+                MethodDef meth;
+                meth.isAction = is_action;
+                if (at(Tok::LParen) && la(1).kind == Tok::Ident &&
+                    la(2).kind == Tok::RParen) {
+                    next();
+                    meth.domain = expectIdent();
+                    expect(Tok::RParen);
+                }
+                meth.name = expectIdent();
+                meth.params = parseParams();
+                std::set<std::string> pnames;
+                for (const auto &p : meth.params)
+                    pnames.insert(p.name);
+                scopes.push_back(std::move(pnames));
+                if (is_action) {
+                    expect(Tok::Eq);
+                    meth.body = parseAction();
+                } else {
+                    expect(Tok::Colon);
+                    meth.retType = parseType();
+                    expect(Tok::Eq);
+                    meth.value = parseExpr();
+                }
+                scopes.pop_back();
+                m.methods.push_back(std::move(meth));
+            } else {
+                fail("expected 'inst', 'rule', 'amethod', 'vmethod' or "
+                     "'endmodule'");
+            }
+        }
+        expectKeyword("endmodule");
+        return m;
+    }
+
+    std::vector<Token> toks;
+    size_t pos = 0;
+    std::vector<std::set<std::string>> scopes;
+    std::map<std::string, TypePtr> structTypes;
+};
+
+} // namespace
+
+Program
+parseProgram(const std::string &src)
+{
+    Parser p(src);
+    return p.program();
+}
+
+} // namespace bcl

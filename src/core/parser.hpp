@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Recursive-descent parser for textual kernel BCL. Accepts exactly
+ * the shape astprint.hpp emits (fully parenthesized compositions)
+ * plus named struct type declarations for hand-written files:
+ *
+ *   struct Complex { re: Bit#(32), im: Bit#(32) }
+ *
+ *   module Top
+ *     inst r = Reg(Bit#(32), 0:32)
+ *     inst f = Fifo(Bit#(32), 2)
+ *     inst s = Sync(Bit#(32), 4, @SW, @HW)
+ *     rule step = (r := (r + 1:32) when f.notEmpty())
+ *     amethod (SW) push(x: Bit#(32)) = f.enq(x)
+ *     vmethod peek() : Bit#(32) = f.first()
+ *   endmodule
+ *   root Top
+ *
+ * Identifier resolution: a bare name is a let/parameter variable when
+ * lexically bound, otherwise a register read of the instance with
+ * that name (the printer's reg-read sugar).
+ */
+#ifndef BCL_CORE_PARSER_HPP
+#define BCL_CORE_PARSER_HPP
+
+#include <string>
+
+#include "core/ast.hpp"
+
+namespace bcl {
+
+/**
+ * Parse a whole program (struct decls, modules, root directive).
+ * @throws FatalError with line info on syntax errors.
+ */
+Program parseProgram(const std::string &src);
+
+} // namespace bcl
+
+#endif // BCL_CORE_PARSER_HPP

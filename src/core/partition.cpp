@@ -1,0 +1,219 @@
+#include "core/partition.hpp"
+
+#include "common/logging.hpp"
+#include "core/primdecl.hpp"
+
+namespace bcl {
+
+const PartitionPart &
+PartitionResult::part(const std::string &domain) const
+{
+    for (const auto &p : parts) {
+        if (p.domain == domain)
+            return p;
+    }
+    panic("no partition for domain '" + domain + "'");
+}
+
+PartitionPart &
+PartitionResult::part(const std::string &domain)
+{
+    for (auto &p : parts) {
+        if (p.domain == domain)
+            return p;
+    }
+    panic("no partition for domain '" + domain + "'");
+}
+
+namespace {
+
+/** Rewrites resolved ASTs with per-part prim/method id remapping. */
+class Remapper
+{
+  public:
+    Remapper(const std::vector<int> &prim_map,
+             const std::vector<int> &method_map,
+             const std::string &domain)
+        : primMap(prim_map), methodMap(method_map), domain(domain)
+    {
+    }
+
+    ExprPtr
+    expr(const ExprPtr &e) const
+    {
+        auto copy = std::make_shared<Expr>(*e);
+        copy->args.clear();
+        for (const auto &a : e->args)
+            copy->args.push_back(expr(a));
+        if (e->kind == ExprKind::CallV)
+            remapCall(copy->inst, copy->isPrim, copy->methIdx,
+                      e->name + "." + e->meth);
+        return copy;
+    }
+
+    ActPtr
+    action(const ActPtr &a) const
+    {
+        auto copy = std::make_shared<Action>(*a);
+        copy->exprs.clear();
+        copy->subs.clear();
+        for (const auto &e : a->exprs)
+            copy->exprs.push_back(expr(e));
+        for (const auto &s : a->subs)
+            copy->subs.push_back(action(s));
+        if (a->kind == ActKind::CallA)
+            remapCall(copy->inst, copy->isPrim, copy->methIdx,
+                      a->name + "." + a->meth);
+        return copy;
+    }
+
+  private:
+    void
+    remapCall(int &inst, bool is_prim, int &meth_idx,
+              const std::string &what) const
+    {
+        if (is_prim) {
+            int mapped = primMap[inst];
+            if (mapped < 0) {
+                panic("partition " + domain + ": call " + what +
+                      " targets a primitive outside the partition");
+            }
+            inst = mapped;
+        } else {
+            int mapped = methodMap[meth_idx];
+            if (mapped < 0) {
+                panic("partition " + domain + ": call " + what +
+                      " targets a method outside the partition");
+            }
+            meth_idx = mapped;
+        }
+    }
+
+    const std::vector<int> &primMap;
+    const std::vector<int> &methodMap;
+    const std::string &domain;
+};
+
+} // namespace
+
+PartitionResult
+partitionProgram(const ElabProgram &prog, const DomainAssignment &domains)
+{
+    PartitionResult out;
+
+    for (const auto &dom : domains.domains) {
+        PartitionPart part;
+        part.domain = dom;
+        part.primMap.assign(prog.prims.size(), -1);
+        part.methodMap.assign(prog.methods.size(), -1);
+        part.ruleMap.assign(prog.rules.size(), -1);
+        out.parts.push_back(std::move(part));
+    }
+
+    // Pass 1: place primitives; split Syncs into channel endpoints.
+    for (size_t i = 0; i < prog.prims.size(); i++) {
+        const ElabPrim &prim = prog.prims[i];
+        const PrimDecl *decl = findPrimDecl(prim.kind);
+        if (decl->isSync) {
+            ChannelSpec chan;
+            chan.id = static_cast<int>(out.channels.size());
+            chan.name = prim.path;
+            chan.fromDomain = prim.domA;
+            chan.toDomain = prim.domB;
+            chan.msgType = prim.type;
+            chan.capacity = prim.capacity;
+            chan.payloadWords = (prim.type->flatWidth() + 31) / 32;
+
+            PartitionPart &from = out.part(prim.domA);
+            ElabPrim tx = prim;
+            tx.kind = "SyncTx";
+            tx.id = static_cast<int>(from.prog.prims.size());
+            tx.channelId = chan.id;
+            chan.txPrim = tx.id;
+            from.primMap[i] = tx.id;
+            from.prog.prims.push_back(std::move(tx));
+
+            PartitionPart &to = out.part(prim.domB);
+            ElabPrim rx = prim;
+            rx.kind = "SyncRx";
+            rx.id = static_cast<int>(to.prog.prims.size());
+            rx.channelId = chan.id;
+            chan.rxPrim = rx.id;
+            to.primMap[i] = rx.id;
+            to.prog.prims.push_back(std::move(rx));
+
+            out.channels.push_back(std::move(chan));
+        } else {
+            const std::string &dom = domains.primDomain[i];
+            PartitionPart &part = out.part(dom);
+            ElabPrim copy = prim;
+            copy.id = static_cast<int>(part.prog.prims.size());
+            part.primMap[i] = copy.id;
+            part.prog.prims.push_back(std::move(copy));
+        }
+    }
+
+    // Pass 2: assign method ids per part (bodies remapped in pass 3,
+    // after every method id is known, since methods may call methods).
+    for (size_t i = 0; i < prog.methods.size(); i++) {
+        PartitionPart &part = out.part(domains.methodDomain[i]);
+        int new_id = static_cast<int>(part.prog.methods.size());
+        part.methodMap[i] = new_id;
+        ElabMethod m = prog.methods[i];
+        m.id = new_id;
+        part.prog.methods.push_back(std::move(m));
+    }
+
+    // Pass 3: rewrite method bodies.
+    for (auto &part : out.parts) {
+        Remapper remap(part.primMap, part.methodMap, part.domain);
+        for (auto &m : part.prog.methods) {
+            if (m.isAction)
+                m.body = remap.action(m.body);
+            else
+                m.value = remap.expr(m.value);
+        }
+    }
+
+    // Pass 4: rules.
+    for (size_t i = 0; i < prog.rules.size(); i++) {
+        PartitionPart &part = out.part(domains.ruleDomain[i]);
+        Remapper remap(part.primMap, part.methodMap, part.domain);
+        ElabRule rule = prog.rules[i];
+        rule.id = static_cast<int>(part.prog.rules.size());
+        rule.body = remap.action(rule.body);
+        part.ruleMap[i] = rule.id;
+        part.prog.rules.push_back(std::move(rule));
+    }
+
+    // Pass 5: module skeletons (paths and method indices) so the
+    // partitioned programs still answer rootMethod() lookups.
+    for (auto &part : out.parts) {
+        part.prog.mods = prog.mods;
+        part.prog.rootMod = prog.rootMod;
+        for (auto &mod : part.prog.mods) {
+            std::vector<int> kept;
+            for (int mid : mod.methodIds) {
+                if (part.methodMap[mid] >= 0)
+                    kept.push_back(part.methodMap[mid]);
+            }
+            mod.methodIds = std::move(kept);
+            std::map<std::string, InstRef> children;
+            for (const auto &[name, ref] : mod.children) {
+                if (ref.isPrim) {
+                    if (part.primMap[ref.id] >= 0) {
+                        children[name] =
+                            InstRef{true, part.primMap[ref.id]};
+                    }
+                } else {
+                    children[name] = ref;  // module ids are preserved
+                }
+            }
+            mod.children = std::move(children);
+        }
+    }
+
+    return out;
+}
+
+} // namespace bcl

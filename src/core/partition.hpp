@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Partition extraction (section 4.3 / Figure 6 of the paper): carve an
+ * elaborated multi-domain program into one self-contained program per
+ * domain. Every Sync primitive is split into a SyncTx half (producer
+ * domain) and a SyncRx half (consumer domain) joined by a logical
+ * channel; the channel table is the generated HW/SW interface spec
+ * that the platform layer maps onto a physical link (section 4.4).
+ *
+ * "Once separated, each partition can now be treated as a distinct BCL
+ * program, which communicates with other partitions using synchronizer
+ * primitives."
+ */
+#ifndef BCL_CORE_PARTITION_HPP
+#define BCL_CORE_PARTITION_HPP
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/domains.hpp"
+#include "core/elaborate.hpp"
+
+namespace bcl {
+
+/** One logical channel created by splitting a Sync. */
+struct ChannelSpec
+{
+    int id = -1;
+    std::string name;        ///< hierarchical path of the origin Sync
+    std::string fromDomain;  ///< producer (enq) side
+    std::string toDomain;    ///< consumer (first/deq) side
+    TypePtr msgType;         ///< element type carried
+    int capacity = 0;        ///< synchronizer depth (flow control)
+    int payloadWords = 0;    ///< marshaled message size in 32-bit words
+    int txPrim = -1;         ///< SyncTx prim id in parts[fromDomain]
+    int rxPrim = -1;         ///< SyncRx prim id in parts[toDomain]
+};
+
+/** One extracted per-domain program. */
+struct PartitionPart
+{
+    std::string domain;
+    ElabProgram prog;
+    /** Map original prim id -> prim id in this part (-1 if absent). */
+    std::vector<int> primMap;
+    /** Map original method id -> method id here (-1 if absent). */
+    std::vector<int> methodMap;
+    /** Map original rule id -> rule id here (-1 if absent). */
+    std::vector<int> ruleMap;
+};
+
+/** Result of partitioning a program. */
+struct PartitionResult
+{
+    std::vector<PartitionPart> parts;
+    std::vector<ChannelSpec> channels;
+
+    /** Find the part for @p domain (panics when absent). */
+    const PartitionPart &part(const std::string &domain) const;
+    PartitionPart &part(const std::string &domain);
+};
+
+/**
+ * Split @p prog per @p domains. Every rule, method and non-Sync prim
+ * lands in exactly one part; Sync prims are split into channel
+ * endpoints. The overall semantics of the unpartitioned program are
+ * preserved because the synchronizers enforce latency-insensitivity
+ * (the LIBDN property); tests verify output equality end-to-end.
+ */
+PartitionResult partitionProgram(const ElabProgram &prog,
+                                 const DomainAssignment &domains);
+
+} // namespace bcl
+
+#endif // BCL_CORE_PARTITION_HPP

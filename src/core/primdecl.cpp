@@ -1,0 +1,207 @@
+#include "core/primdecl.hpp"
+
+#include "common/logging.hpp"
+
+namespace bcl {
+
+ConflictRel
+invertRel(ConflictRel r)
+{
+    switch (r) {
+      case ConflictRel::SB:
+        return ConflictRel::SA;
+      case ConflictRel::SA:
+        return ConflictRel::SB;
+      default:
+        return r;
+    }
+}
+
+ConflictRel
+meetRel(ConflictRel a, ConflictRel b)
+{
+    if (a == ConflictRel::C || b == ConflictRel::C)
+        return ConflictRel::C;
+    if (a == ConflictRel::CF)
+        return b;
+    if (b == ConflictRel::CF)
+        return a;
+    if (a == b)
+        return a;
+    // SB meets SA: no order satisfies both.
+    return ConflictRel::C;
+}
+
+const char *
+relName(ConflictRel r)
+{
+    switch (r) {
+      case ConflictRel::CF: return "CF";
+      case ConflictRel::SB: return "SB";
+      case ConflictRel::SA: return "SA";
+      case ConflictRel::C: return "C";
+    }
+    return "?";
+}
+
+const PrimMethodDecl *
+PrimDecl::findMethod(const std::string &name) const
+{
+    for (const auto &m : methods) {
+        if (m.name == name)
+            return &m;
+    }
+    return nullptr;
+}
+
+namespace {
+
+// {name, numArgs, isAction, domainSlot}
+const std::vector<PrimDecl> primTable = {
+    {"Reg",
+     {{"_read", 0, false, 0}, {"_write", 1, true, 0}},
+     false, false},
+    {"Fifo",
+     {{"enq", 1, true, 0}, {"deq", 0, true, 0}, {"first", 0, false, 0},
+      {"notEmpty", 0, false, 0}, {"notFull", 0, false, 0},
+      {"clear", 0, true, 0}},
+     false, false},
+    {"Bram",
+     {{"read", 1, false, 0}, {"write", 2, true, 0}},
+     false, false},
+    // Full synchronizer: producer side is slot 0, consumer side slot 1
+    // (interface Sync#(t, a, b) in section 4.2 of the paper).
+    {"Sync",
+     {{"enq", 1, true, 0}, {"notFull", 0, false, 0},
+      {"deq", 0, true, 1}, {"first", 0, false, 1},
+      {"notEmpty", 0, false, 1}},
+     true, false},
+    // Post-partitioning halves (section 4.3): the producer half keeps
+    // enq/notFull, the consumer half keeps first/deq/notEmpty. Both
+    // live entirely in one domain.
+    {"SyncTx",
+     {{"enq", 1, true, 0}, {"notFull", 0, false, 0}},
+     false, false},
+    {"SyncRx",
+     {{"deq", 0, true, 0}, {"first", 0, false, 0},
+      {"notEmpty", 0, false, 0}},
+     false, false},
+    {"AudioDev",
+     {{"output", 1, true, 0}},
+     false, true},
+    {"Bitmap",
+     {{"store", 2, true, 0}, {"get", 1, false, 0}},
+     false, true},
+};
+
+ConflictRel
+regConflict(const std::string &m1, const std::string &m2)
+{
+    bool r1 = m1 == "_read", r2 = m2 == "_read";
+    if (r1 && r2)
+        return ConflictRel::CF;
+    if (r1)
+        return ConflictRel::SB; // read before write
+    if (r2)
+        return ConflictRel::SA;
+    return ConflictRel::C;      // write / write
+}
+
+ConflictRel
+fifoConflict(const std::string &m1, const std::string &m2)
+{
+    auto cls = [](const std::string &m) -> int {
+        if (m == "first" || m == "notEmpty" || m == "notFull")
+            return 0; // pure observers
+        if (m == "enq")
+            return 1;
+        if (m == "deq")
+            return 2;
+        return 3;     // clear
+    };
+    int c1 = cls(m1), c2 = cls(m2);
+    if (c1 == 0 && c2 == 0)
+        return ConflictRel::CF;
+    if (c1 == 0)
+        return ConflictRel::SB; // observe before mutate
+    if (c2 == 0)
+        return ConflictRel::SA;
+    if (c1 == 3 || c2 == 3)
+        return ConflictRel::C;  // clear conflicts with all mutators
+    if (c1 == c2)
+        return ConflictRel::C;  // enq/enq, deq/deq
+    // enq / deq commute for a FIFO observed non-empty and non-full
+    // (the guards exclude the boundary cases within a step).
+    return ConflictRel::CF;
+}
+
+ConflictRel
+bramConflict(const std::string &m1, const std::string &m2)
+{
+    bool r1 = m1 == "read", r2 = m2 == "read";
+    if (r1 && r2)
+        return ConflictRel::CF;
+    if (r1)
+        return ConflictRel::SB;
+    if (r2)
+        return ConflictRel::SA;
+    // write/write: conservative, we do not reason about addresses.
+    return ConflictRel::C;
+}
+
+ConflictRel
+deviceConflict(const std::string &m1, const std::string &m2)
+{
+    auto pure = [](const std::string &m) { return m == "get"; };
+    if (pure(m1) && pure(m2))
+        return ConflictRel::CF;
+    if (pure(m1))
+        return ConflictRel::SB;
+    if (pure(m2))
+        return ConflictRel::SA;
+    return ConflictRel::C;
+}
+
+} // namespace
+
+const PrimDecl *
+findPrimDecl(const std::string &kind)
+{
+    for (const auto &p : primTable) {
+        if (p.kind == kind)
+            return &p;
+    }
+    return nullptr;
+}
+
+bool
+isPrimKind(const std::string &kind)
+{
+    return findPrimDecl(kind) != nullptr;
+}
+
+ConflictRel
+primConflict(const std::string &kind, const std::string &m1,
+             const std::string &m2)
+{
+    const PrimDecl *decl = findPrimDecl(kind);
+    if (!decl)
+        panic("primConflict: unknown primitive kind '" + kind + "'");
+    if (!decl->findMethod(m1) || !decl->findMethod(m2)) {
+        panic("primConflict: unknown method " + kind + "." + m1 + "/" +
+              m2);
+    }
+    if (kind == "Reg")
+        return regConflict(m1, m2);
+    if (kind == "Fifo" || kind == "Sync" || kind == "SyncTx" ||
+        kind == "SyncRx") {
+        return fifoConflict(m1, m2);
+    }
+    if (kind == "Bram")
+        return bramConflict(m1, m2);
+    if (kind == "AudioDev" || kind == "Bitmap")
+        return deviceConflict(m1, m2);
+    panic("primConflict: no table for kind '" + kind + "'");
+}
+
+} // namespace bcl

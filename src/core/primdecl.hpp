@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Static declarations of the primitive modules the kernel language
+ * bottoms out in. Everything stateful in an elaborated BCL program is
+ * an instance of one of these:
+ *
+ *   Reg      - a register (the paper: "ultimately all state is built
+ *              up from primitive elements called registers")
+ *   Fifo     - a guarded FIFO (mkFIFO / mkSizedFIFO)
+ *   Bram     - an addressable memory (parameter tables, scene memory)
+ *   Sync     - a synchronizer FIFO with its two ends in two
+ *              computational domains (section 4.2)
+ *   SyncTx / SyncRx - the two halves of a split Sync after
+ *              partitioning (section 4.3 / Figure 6)
+ *   AudioDev - PCM sink device (memory-mapped IO stand-in)
+ *   Bitmap   - frame buffer device for the ray tracer
+ *
+ * The table records, per method: arity, action-ness, and which domain
+ * slot the method belongs to. It also encodes the pairwise method
+ * conflict relations used for rule scheduling (section 6, "pair-wise
+ * static analysis to conservatively estimate conflicts").
+ */
+#ifndef BCL_CORE_PRIMDECL_HPP
+#define BCL_CORE_PRIMDECL_HPP
+
+#include <string>
+#include <vector>
+
+namespace bcl {
+
+/**
+ * Ordering relation between two methods (or two rules) executed in
+ * the same cycle / atomic step.
+ *
+ *   CF - conflict free: both may fire, any order, same outcome
+ *   SB - sequences before: ok if the first is ordered before the second
+ *   SA - sequences after: ok if the first is ordered after the second
+ *   C  - conflict: never fire together
+ */
+enum class ConflictRel : std::uint8_t { CF, SB, SA, C };
+
+/** Invert an ordering relation (SB <-> SA). */
+ConflictRel invertRel(ConflictRel r);
+
+/** Compose two relations (intersection of permitted orders). */
+ConflictRel meetRel(ConflictRel a, ConflictRel b);
+
+/** Name for diagnostics. */
+const char *relName(ConflictRel r);
+
+/** Declaration of one method of a primitive module. */
+struct PrimMethodDecl
+{
+    std::string name;
+    int numArgs;
+    bool isAction;
+    /**
+     * Domain slot: 0 = the instance's (single) domain, which for a
+     * Sync means its producer side; 1 = a Sync's consumer side.
+     */
+    int domainSlot;
+};
+
+/** Declaration of a primitive module kind. */
+struct PrimDecl
+{
+    std::string kind;
+    std::vector<PrimMethodDecl> methods;
+    bool isSync = false;    ///< spans two domains
+    bool isDevice = false;  ///< lives in a fixed, named domain
+
+    /** Find a method (nullptr when absent). */
+    const PrimMethodDecl *findMethod(const std::string &name) const;
+};
+
+/** Lookup a primitive declaration by kind (nullptr when unknown). */
+const PrimDecl *findPrimDecl(const std::string &kind);
+
+/** True when @p kind names a primitive module. */
+bool isPrimKind(const std::string &kind);
+
+/**
+ * Conflict relation between two methods of one primitive instance:
+ * how does a call of @p m1 relate to a call of @p m2 within the same
+ * scheduling step. Panics on unknown kind/methods.
+ */
+ConflictRel primConflict(const std::string &kind, const std::string &m1,
+                         const std::string &m2);
+
+} // namespace bcl
+
+#endif // BCL_CORE_PRIMDECL_HPP

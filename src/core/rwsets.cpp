@@ -1,0 +1,108 @@
+#include "core/rwsets.hpp"
+
+#include "common/logging.hpp"
+
+namespace bcl {
+
+void
+RWSets::absorb(const RWSets &other)
+{
+    uses.insert(other.uses.begin(), other.uses.end());
+    reads.insert(other.reads.begin(), other.reads.end());
+    writes.insert(other.writes.begin(), other.writes.end());
+}
+
+bool
+RWSets::writesReadBy(const RWSets &other) const
+{
+    for (int w : writes) {
+        if (other.reads.count(w))
+            return true;
+    }
+    return false;
+}
+
+bool
+RWSets::writesOverlap(const RWSets &other) const
+{
+    for (int w : writes) {
+        if (other.writes.count(w))
+            return true;
+    }
+    return false;
+}
+
+namespace {
+
+/** Recursion guard: user methods can form call chains but not cycles
+ *  (elaboration rejects recursive instantiation); depth-limit anyway. */
+constexpr int maxDepth = 64;
+
+void collectExpr(const ElabProgram &prog, const Expr &e, RWSets &out,
+                 int depth);
+
+void
+collectAction(const ElabProgram &prog, const Action &a, RWSets &out,
+              int depth)
+{
+    if (depth > maxDepth)
+        panic("rwsets: method call chain too deep");
+    for (const auto &e : a.exprs)
+        collectExpr(prog, *e, out, depth);
+    for (const auto &s : a.subs)
+        collectAction(prog, *s, out, depth);
+    if (a.kind == ActKind::CallA) {
+        if (a.isPrim) {
+            out.uses.emplace(a.inst, a.meth);
+            out.writes.insert(a.inst);
+        } else {
+            const ElabMethod &m = prog.methods[a.methIdx];
+            collectAction(prog, *m.body, out, depth + 1);
+        }
+    }
+}
+
+void
+collectExpr(const ElabProgram &prog, const Expr &e, RWSets &out,
+            int depth)
+{
+    if (depth > maxDepth)
+        panic("rwsets: method call chain too deep");
+    for (const auto &sub : e.args)
+        collectExpr(prog, *sub, out, depth);
+    if (e.kind == ExprKind::CallV) {
+        if (e.isPrim) {
+            out.uses.emplace(e.inst, e.meth);
+            out.reads.insert(e.inst);
+        } else {
+            const ElabMethod &m = prog.methods[e.methIdx];
+            collectExpr(prog, *m.value, out, depth + 1);
+        }
+    }
+}
+
+} // namespace
+
+RWSets
+actionRW(const ElabProgram &prog, const ActPtr &a)
+{
+    RWSets out;
+    collectAction(prog, *a, out, 0);
+    return out;
+}
+
+RWSets
+exprRW(const ElabProgram &prog, const ExprPtr &e)
+{
+    RWSets out;
+    collectExpr(prog, *e, out, 0);
+    return out;
+}
+
+RWSets
+ruleRW(const ElabProgram &prog, int rule_id)
+{
+    return actionRW(prog, prog.rules[rule_id].body);
+}
+
+} // namespace bcl

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Read/write-set analysis over elaborated actions and expressions.
+ * Collects, per rule, every primitive method it can invoke (including
+ * through user-module method calls). This feeds:
+ *   - conflict analysis (which rules can never fire together),
+ *   - sequentialization of parallel actions (W(A) vs R(B) tests),
+ *   - the dataflow-aware software scheduler (writer -> reader edges),
+ *   - domain inference (which domains a rule touches).
+ */
+#ifndef BCL_CORE_RWSETS_HPP
+#define BCL_CORE_RWSETS_HPP
+
+#include <set>
+#include <string>
+#include <utility>
+
+#include "core/elaborate.hpp"
+
+namespace bcl {
+
+/** The methods-used summary of an action or expression. */
+struct RWSets
+{
+    /** Every (prim id, method name) invoked. */
+    std::set<std::pair<int, std::string>> uses;
+
+    /** Prims observed through value methods (incl. guards). */
+    std::set<int> reads;
+
+    /** Prims mutated through action methods. */
+    std::set<int> writes;
+
+    /** Merge another summary into this one. */
+    void absorb(const RWSets &other);
+
+    /** True when this action's writes intersect other's reads. */
+    bool writesReadBy(const RWSets &other) const;
+
+    /** True when the write sets intersect. */
+    bool writesOverlap(const RWSets &other) const;
+};
+
+/** Summary of an elaborated action (recurses into user methods). */
+RWSets actionRW(const ElabProgram &prog, const ActPtr &a);
+
+/** Summary of an elaborated expression. */
+RWSets exprRW(const ElabProgram &prog, const ExprPtr &e);
+
+/** Summary of a rule body. */
+RWSets ruleRW(const ElabProgram &prog, int rule_id);
+
+} // namespace bcl
+
+#endif // BCL_CORE_RWSETS_HPP

@@ -1,0 +1,108 @@
+#include "core/schedule.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/logging.hpp"
+#include "core/rwsets.hpp"
+
+namespace bcl {
+
+SwSchedule
+buildSwSchedule(const ElabProgram &prog)
+{
+    int n = static_cast<int>(prog.rules.size());
+    std::vector<RWSets> rw;
+    rw.reserve(n);
+    for (int i = 0; i < n; i++)
+        rw.push_back(ruleRW(prog, i));
+
+    SwSchedule sched;
+    sched.enables.assign(n, {});
+
+    // writer -> reader edges ("the execution of one rule may enable
+    // another"). Self edges are omitted.
+    std::vector<std::vector<int>> succ(n);
+    std::vector<int> indeg(n, 0);
+    for (int i = 0; i < n; i++) {
+        for (int j = 0; j < n; j++) {
+            if (i == j)
+                continue;
+            if (rw[i].writesReadBy(rw[j])) {
+                sched.enables[i].push_back(j);
+                succ[i].push_back(j);
+                indeg[j]++;
+            }
+        }
+    }
+
+    // Kahn topological order; ties and cycles resolved by lowest rule
+    // id (program order).
+    std::priority_queue<int, std::vector<int>, std::greater<int>> ready;
+    std::vector<bool> placed(n, false);
+    for (int i = 0; i < n; i++) {
+        if (indeg[i] == 0)
+            ready.push(i);
+    }
+    while (static_cast<int>(sched.order.size()) < n) {
+        if (ready.empty()) {
+            // Cycle: break it at the lowest-id unplaced rule.
+            for (int i = 0; i < n; i++) {
+                if (!placed[i]) {
+                    indeg[i] = 0;
+                    ready.push(i);
+                    break;
+                }
+            }
+        }
+        int r = ready.top();
+        ready.pop();
+        if (placed[r])
+            continue;
+        placed[r] = true;
+        sched.order.push_back(r);
+        for (int s : succ[r]) {
+            if (!placed[s] && --indeg[s] == 0)
+                ready.push(s);
+        }
+    }
+    return sched;
+}
+
+namespace {
+
+void
+checkHwAction(const Action &a, const std::string &rule)
+{
+    switch (a.kind) {
+      case ActKind::Loop:
+        fatal("rule '" + rule +
+              "' contains a dynamic loop, which cannot execute in a "
+              "single clock cycle (not synthesizable; see section 6.4)");
+        break;
+      case ActKind::Seq:
+        fatal("rule '" + rule +
+              "' contains sequential composition, which is not "
+              "directly implementable in hardware (section 6.3)");
+        break;
+      default:
+        break;
+    }
+    for (const auto &s : a.subs)
+        checkHwAction(*s, rule);
+}
+
+} // namespace
+
+void
+validateForHardware(const ElabProgram &prog)
+{
+    for (const auto &r : prog.rules)
+        checkHwAction(*r.body, r.name);
+    for (const auto &m : prog.methods) {
+        if (m.isAction)
+            checkHwAction(*m.body, "method " + m.name);
+    }
+}
+
+} // namespace bcl

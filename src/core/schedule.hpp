@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Static schedule synthesis (section 6.3 "Scheduling" of the paper).
+ *
+ * Software: rules are ordered along the program dataflow so that one
+ * sweep "passes the algorithm over the data" - the writer of a FIFO
+ * is attempted before its reader, letting long chains of rules fire
+ * without guard failures. The enables-graph (writer -> reader edges)
+ * also powers the dynamic dataflow scheduler in the runtime.
+ *
+ * Hardware: rules keep program order as static priority; the per-cycle
+ * maximal conflict-free set is composed at simulation time from the
+ * ConflictMatrix ("in each clock cycle run each rule once on
+ * different data" - pipeline parallelism).
+ */
+#ifndef BCL_CORE_SCHEDULE_HPP
+#define BCL_CORE_SCHEDULE_HPP
+
+#include <vector>
+
+#include "core/conflict.hpp"
+#include "core/elaborate.hpp"
+
+namespace bcl {
+
+/** Static software schedule. */
+struct SwSchedule
+{
+    /** Rule ids in dataflow (topological) order. */
+    std::vector<int> order;
+
+    /** enables[r] = rules whose guards r's firing may raise. */
+    std::vector<std::vector<int>> enables;
+};
+
+/**
+ * Build the dataflow-ordered software schedule for @p prog. Cycles in
+ * the dataflow graph (feedback through state) are broken at the
+ * lowest-id rule, preserving program order inside strongly connected
+ * regions.
+ */
+SwSchedule buildSwSchedule(const ElabProgram &prog);
+
+/**
+ * Checks that @p prog is implementable as synchronous hardware:
+ * kernel loops and sequential composition cannot execute in a single
+ * clock cycle and are rejected (section 6.4: "loops with dynamic
+ * bounds can't be executed in a single cycle, such loops are not
+ * directly supported in BSV").
+ *
+ * @throws FatalError naming the offending rule.
+ */
+void validateForHardware(const ElabProgram &prog);
+
+} // namespace bcl
+
+#endif // BCL_CORE_SCHEDULE_HPP

@@ -1,0 +1,227 @@
+#include "core/sequentialize.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.hpp"
+#include "core/rwsets.hpp"
+
+namespace bcl {
+
+namespace {
+
+/** Can branches run in the order given by @p perm as a Seq? */
+bool
+orderWorks(const std::vector<RWSets> &rw, const std::vector<int> &perm)
+{
+    for (size_t i = 0; i < perm.size(); i++) {
+        for (size_t j = i + 1; j < perm.size(); j++) {
+            const RWSets &earlier = rw[static_cast<size_t>(perm[i])];
+            const RWSets &later = rw[static_cast<size_t>(perm[j])];
+            // A later branch must not observe an earlier branch's
+            // writes, and writes must stay disjoint (Par semantics).
+            if (earlier.writesReadBy(later) ||
+                earlier.writesOverlap(later)) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+/** Registers whose values some branch reads while another writes. */
+std::vector<int>
+conflictRegs(const ElabProgram &prog, const std::vector<RWSets> &rw)
+{
+    std::vector<int> regs;
+    for (size_t i = 0; i < rw.size(); i++) {
+        for (size_t j = 0; j < rw.size(); j++) {
+            if (i == j)
+                continue;
+            for (int w : rw[i].writes) {
+                if (rw[j].reads.count(w) &&
+                    prog.prims[static_cast<size_t>(w)].kind == "Reg" &&
+                    std::find(regs.begin(), regs.end(), w) ==
+                        regs.end()) {
+                    regs.push_back(w);
+                }
+            }
+        }
+    }
+    std::sort(regs.begin(), regs.end());
+    return regs;
+}
+
+/** Are all cross-branch conflicts register read-vs-write? */
+bool
+onlyRegReadWriteConflicts(const ElabProgram &prog,
+                          const std::vector<RWSets> &rw)
+{
+    for (size_t i = 0; i < rw.size(); i++) {
+        for (size_t j = 0; j < rw.size(); j++) {
+            if (i == j)
+                continue;
+            for (int w : rw[i].writes) {
+                if (rw[j].writes.count(w) && i < j)
+                    return false;  // write/write: genuine conflict
+                if (rw[j].reads.count(w) &&
+                    prog.prims[static_cast<size_t>(w)].kind != "Reg") {
+                    return false;  // FIFO/BRAM effects: keep Par
+                }
+            }
+        }
+    }
+    return true;
+}
+
+/** Substitute reads of register @p prim_id with Var(@p name). */
+ExprPtr
+substRegReadsE(const ExprPtr &e, int prim_id, const std::string &name)
+{
+    if (e->kind == ExprKind::CallV && e->isPrim && e->inst == prim_id &&
+        e->meth == "_read") {
+        return varE(name);
+    }
+    auto copy = std::make_shared<Expr>(*e);
+    copy->args.clear();
+    for (const auto &a : e->args)
+        copy->args.push_back(substRegReadsE(a, prim_id, name));
+    return copy;
+}
+
+ActPtr
+substRegReadsA(const ActPtr &a, int prim_id, const std::string &name)
+{
+    auto copy = std::make_shared<Action>(*a);
+    copy->exprs.clear();
+    copy->subs.clear();
+    for (const auto &e : a->exprs)
+        copy->exprs.push_back(substRegReadsE(e, prim_id, name));
+    for (const auto &s : a->subs)
+        copy->subs.push_back(substRegReadsA(s, prim_id, name));
+    return copy;
+}
+
+class Pass
+{
+  public:
+    Pass(const ElabProgram &prog, SeqStats *stats)
+        : prog(prog), stats(stats)
+    {
+    }
+
+    ActPtr
+    rewrite(const ActPtr &a)
+    {
+        auto copy = std::make_shared<Action>(*a);
+        copy->subs.clear();
+        for (const auto &s : a->subs)
+            copy->subs.push_back(rewrite(s));
+
+        if (a->kind != ActKind::Par)
+            return copy;
+        return rewritePar(copy);
+    }
+
+  private:
+    ActPtr
+    rewritePar(const std::shared_ptr<Action> &par)
+    {
+        std::vector<RWSets> rw;
+        rw.reserve(par->subs.size());
+        for (const auto &s : par->subs)
+            rw.push_back(actionRW(prog, s));
+
+        // 1. Try orders (branch counts are small; cap the search).
+        std::vector<int> perm(par->subs.size());
+        std::iota(perm.begin(), perm.end(), 0);
+        if (perm.size() <= 5) {
+            std::vector<int> p = perm;
+            do {
+                if (orderWorks(rw, p)) {
+                    std::vector<ActPtr> ordered;
+                    for (int i : p)
+                        ordered.push_back(
+                            par->subs[static_cast<size_t>(i)]);
+                    if (stats)
+                        stats->parsSequenced++;
+                    return seqA(std::move(ordered));
+                }
+            } while (std::next_permutation(p.begin(), p.end()));
+        } else if (orderWorks(rw, perm)) {
+            if (stats)
+                stats->parsSequenced++;
+            return seqA(par->subs);
+        }
+
+        // 2. Register pre-read fallback (the swap pattern).
+        if (onlyRegReadWriteConflicts(prog, rw)) {
+            std::vector<int> regs = conflictRegs(prog, rw);
+            if (!regs.empty()) {
+                auto pre_name = [&](int reg) {
+                    std::string name =
+                        "$pre_" +
+                        prog.prims[static_cast<size_t>(reg)].path;
+                    for (auto &c : name) {
+                        if (c == '.')
+                            c = '_';
+                    }
+                    return name;
+                };
+                // Substitute every conflicting register read first...
+                std::vector<ActPtr> subs = par->subs;
+                for (int reg : regs) {
+                    std::vector<ActPtr> substd;
+                    for (const auto &s : subs) {
+                        substd.push_back(
+                            substRegReadsA(s, reg, pre_name(reg)));
+                    }
+                    subs = std::move(substd);
+                }
+                // ...then sequence once and wrap all the pre-reads.
+                ActPtr body = seqA(std::move(subs));
+                for (auto it = regs.rbegin(); it != regs.rend(); ++it) {
+                    auto read = std::make_shared<Expr>();
+                    read->kind = ExprKind::CallV;
+                    read->name =
+                        prog.prims[static_cast<size_t>(*it)].path;
+                    read->meth = "_read";
+                    read->inst = *it;
+                    read->isPrim = true;
+                    body = letA(pre_name(*it), read, body);
+                }
+                if (stats)
+                    stats->parsWithPreread++;
+                return body;
+            }
+        }
+
+        if (stats)
+            stats->parsKept++;
+        return par;
+    }
+
+    const ElabProgram &prog;
+    SeqStats *stats;
+};
+
+} // namespace
+
+ActPtr
+sequentializeAction(const ElabProgram &prog, const ActPtr &a,
+                    SeqStats *stats)
+{
+    Pass pass(prog, stats);
+    return pass.rewrite(a);
+}
+
+ElabProgram
+sequentializeProgram(const ElabProgram &prog, SeqStats *stats)
+{
+    ElabProgram out = prog;
+    for (auto &r : out.rules)
+        r.body = sequentializeAction(prog, r.body, stats);
+    return out;
+}
+
+} // namespace bcl

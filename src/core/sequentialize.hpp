@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Sequentialization of parallel actions (section 6.3: "(A | B) is
+ * equivalent to (A ; B) if the intersection of the write-set of
+ * action A and the read-set of action B is empty", plus the converse
+ * order, plus the shadow-introduction fallback for true exchanges
+ * like the register swap).
+ *
+ * Parallel composition in software costs dynamic shadow frames; a
+ * sequential form executes in place. The pass:
+ *   1. tries every order of the parallel branches looking for one
+ *      where no later branch reads an earlier branch's writes (and
+ *      writes stay disjoint),
+ *   2. failing that, pre-reads the conflicting *registers* into lets
+ *      (static shadow state - "Even this turns out to be a win
+ *      because static allocation of state is more efficient than
+ *      dynamic allocation") and then sequences,
+ *   3. keeps the Par when branches conflict through non-register
+ *      state (FIFO contents cannot be pre-read).
+ */
+#ifndef BCL_CORE_SEQUENTIALIZE_HPP
+#define BCL_CORE_SEQUENTIALIZE_HPP
+
+#include "core/elaborate.hpp"
+
+namespace bcl {
+
+/** Statistics of one pass run. */
+struct SeqStats
+{
+    int parsSequenced = 0;    ///< Par nodes turned into Seq
+    int parsWithPreread = 0;  ///< needed let-bound register pre-reads
+    int parsKept = 0;         ///< left as Par (genuine conflicts)
+};
+
+/** Rewrite @p a bottom-up, sequentializing Par nodes where legal. */
+ActPtr sequentializeAction(const ElabProgram &prog, const ActPtr &a,
+                           SeqStats *stats = nullptr);
+
+/** Program-level pass over every rule body. */
+ElabProgram sequentializeProgram(const ElabProgram &prog,
+                                 SeqStats *stats = nullptr);
+
+} // namespace bcl
+
+#endif // BCL_CORE_SEQUENTIALIZE_HPP

@@ -1,0 +1,457 @@
+#include "core/typecheck.hpp"
+
+#include <map>
+
+#include "common/logging.hpp"
+#include "common/strutil.hpp"
+#include "core/primdecl.hpp"
+
+namespace bcl {
+
+bool
+typeCompatible(const TypePtr &a, const TypePtr &b)
+{
+    if (!a || !b)
+        return false;
+    if (a->equals(*b))
+        return true;
+    // Anonymous record vs named record of identical shape.
+    if (a->isStruct() && b->isStruct() &&
+        (a->name().empty() || b->name().empty())) {
+        const auto &fa = a->fields();
+        const auto &fb = b->fields();
+        if (fa.size() != fb.size())
+            return false;
+        for (size_t i = 0; i < fa.size(); i++) {
+            if (fa[i].first != fb[i].first ||
+                !typeCompatible(fa[i].second, fb[i].second)) {
+                return false;
+            }
+        }
+        return true;
+    }
+    if (a->isVec() && b->isVec()) {
+        return a->vecSize() == b->vecSize() &&
+               typeCompatible(a->elem(), b->elem());
+    }
+    return false;
+}
+
+namespace {
+
+/** Checker with a lexical environment of variable types. */
+class Checker
+{
+  public:
+    explicit Checker(const ElabProgram &prog) : prog(prog) {}
+
+    [[noreturn]] void
+    fail(const std::string &msg) const
+    {
+        fatal("type error in " + context + ": " + msg);
+    }
+
+    void
+    expect(bool ok, const std::string &msg) const
+    {
+        if (!ok)
+            fail(msg);
+    }
+
+    TypePtr
+    valueType(const Value &v) const
+    {
+        switch (v.kind()) {
+          case ValueKind::Bool:
+            return Type::boolean();
+          case ValueKind::Bits:
+            return Type::bits(v.width());
+          case ValueKind::Vec: {
+            expect(v.size() > 0, "empty vector literal");
+            TypePtr et = valueType(v.at(0));
+            for (const auto &e : v.elems()) {
+                expect(typeCompatible(et, valueType(e)),
+                       "heterogeneous vector literal");
+            }
+            return Type::vec(static_cast<int>(v.size()), et);
+          }
+          case ValueKind::Struct: {
+            std::vector<std::pair<std::string, TypePtr>> fields;
+            for (const auto &[n, fv] : v.fields())
+                fields.emplace_back(n, valueType(fv));
+            return Type::record("", std::move(fields));
+          }
+          case ValueKind::Invalid:
+            fail("invalid literal value");
+        }
+        fail("unreachable");
+    }
+
+    /** Result type of a primitive method (null = Unit/action). */
+    TypePtr
+    primResultType(const ElabPrim &prim, const std::string &meth) const
+    {
+        const std::string &k = prim.kind;
+        if (k == "Reg" && meth == "_read")
+            return prim.type;
+        if ((k == "Fifo" || k == "Sync" || k == "SyncRx" ||
+             k == "SyncTx") &&
+            meth == "first") {
+            return prim.type;
+        }
+        if (meth == "notEmpty" || meth == "notFull")
+            return Type::boolean();
+        if (k == "Bram" && meth == "read")
+            return prim.type;
+        if (k == "Bitmap" && meth == "get")
+            return Type::bits(32);
+        return nullptr;
+    }
+
+    void
+    checkPrimArgs(const ElabPrim &prim, const std::string &meth,
+                  const std::vector<TypePtr> &args) const
+    {
+        const std::string &k = prim.kind;
+        auto want = [&](size_t i, const TypePtr &t,
+                        const char *what) {
+            expect(typeCompatible(args[i], t),
+                   prim.path + "." + meth + ": " + what + " has type " +
+                       args[i]->str() + ", expected " + t->str());
+        };
+        if (meth == "_write" || meth == "enq") {
+            want(0, prim.type, "operand");
+        } else if (k == "Bram" && meth == "write") {
+            expect(args[0]->isBits(), "Bram address must be Bits");
+            want(1, prim.type, "data");
+        } else if (k == "Bram" && meth == "read") {
+            expect(args[0]->isBits(), "Bram address must be Bits");
+        } else if (k == "Bitmap" &&
+                   (meth == "store" || meth == "get")) {
+            expect(args[0]->isBits(), "Bitmap index must be Bits");
+            if (meth == "store")
+                want(1, Type::bits(32), "pixel");
+        } else if (k == "AudioDev" && meth == "output") {
+            // Any marshalable payload is acceptable.
+        }
+    }
+
+    TypePtr
+    exprType(const ExprPtr &e)
+    {
+        switch (e->kind) {
+          case ExprKind::Const:
+            return valueType(e->constVal);
+          case ExprKind::Var: {
+            for (auto it = env.rbegin(); it != env.rend(); ++it) {
+                if (it->first == e->name)
+                    return it->second;
+            }
+            fail("unbound variable '" + e->name + "'");
+          }
+          case ExprKind::Prim:
+            return primOpType(e);
+          case ExprKind::Cond: {
+            TypePtr p = exprType(e->args[0]);
+            expect(p->isBool(), "condition must be Bool, got " +
+                                    p->str());
+            TypePtr t = exprType(e->args[1]);
+            TypePtr f = exprType(e->args[2]);
+            expect(typeCompatible(t, f),
+                   "conditional arms differ: " + t->str() + " vs " +
+                       f->str());
+            return t;
+          }
+          case ExprKind::When: {
+            TypePtr g = exprType(e->args[1]);
+            expect(g->isBool(), "guard must be Bool, got " + g->str());
+            return exprType(e->args[0]);
+          }
+          case ExprKind::Let: {
+            TypePtr bound = exprType(e->args[0]);
+            env.emplace_back(e->name, bound);
+            TypePtr body = exprType(e->args[1]);
+            env.pop_back();
+            return body;
+          }
+          case ExprKind::CallV: {
+            std::vector<TypePtr> args;
+            for (const auto &a : e->args)
+                args.push_back(exprType(a));
+            if (e->isPrim) {
+                const ElabPrim &prim = prog.prims[e->inst];
+                checkPrimArgs(prim, e->meth, args);
+                TypePtr rt = primResultType(prim, e->meth);
+                expect(rt != nullptr, prim.path + "." + e->meth +
+                                          " is not a value method");
+                return rt;
+            }
+            const ElabMethod &m = prog.methods[e->methIdx];
+            checkUserArgs(m, args);
+            expect(m.retType != nullptr,
+                   "method " + m.name + " has no declared return type");
+            return m.retType;
+          }
+        }
+        fail("unreachable expression kind");
+    }
+
+    TypePtr
+    primOpType(const ExprPtr &e)
+    {
+        auto at = [&](size_t i) { return exprType(e->args[i]); };
+        switch (e->op) {
+          case PrimOp::Add:
+          case PrimOp::Sub:
+          case PrimOp::Mul:
+          case PrimOp::MulFx:
+          case PrimOp::DivFx: {
+            TypePtr a = at(0), b = at(1);
+            expect(a->isBits() && b->isBits() &&
+                       a->width() == b->width(),
+                   std::string(primOpName(e->op)) +
+                       ": operands must be same-width Bits, got " +
+                       a->str() + " and " + b->str());
+            return a;
+          }
+          case PrimOp::Neg:
+          case PrimOp::SqrtFx: {
+            TypePtr a = at(0);
+            expect(a->isBits(), "operand must be Bits");
+            return a;
+          }
+          case PrimOp::Shl:
+          case PrimOp::LShr:
+          case PrimOp::AShr: {
+            TypePtr a = at(0), b = at(1);
+            expect(a->isBits() && b->isBits(),
+                   "shift operands must be Bits");
+            return a;
+          }
+          case PrimOp::And:
+          case PrimOp::Or:
+          case PrimOp::Xor: {
+            TypePtr a = at(0), b = at(1);
+            if (a->isBool() && b->isBool())
+                return Type::boolean();
+            expect(a->isBits() && b->isBits() &&
+                       a->width() == b->width(),
+                   "logic operands must both be Bool or same-width "
+                   "Bits");
+            return a;
+          }
+          case PrimOp::Not: {
+            TypePtr a = at(0);
+            expect(a->isBool() || a->isBits(),
+                   "operand must be Bool or Bits");
+            return a;
+          }
+          case PrimOp::Eq:
+          case PrimOp::Ne: {
+            TypePtr a = at(0), b = at(1);
+            expect(typeCompatible(a, b),
+                   "comparison of incompatible types " + a->str() +
+                       " and " + b->str());
+            return Type::boolean();
+          }
+          case PrimOp::Lt:
+          case PrimOp::Le:
+          case PrimOp::Gt:
+          case PrimOp::Ge: {
+            TypePtr a = at(0), b = at(1);
+            expect(a->isBits() && b->isBits() &&
+                       a->width() == b->width(),
+                   "ordering needs same-width Bits");
+            return Type::boolean();
+          }
+          case PrimOp::Index: {
+            TypePtr v = at(0), i = at(1);
+            expect(v->isVec(), "index target must be a Vector");
+            expect(i->isBits(), "index must be Bits");
+            return v->elem();
+          }
+          case PrimOp::Update: {
+            TypePtr v = at(0), i = at(1), x = at(2);
+            expect(v->isVec(), "update target must be a Vector");
+            expect(i->isBits(), "index must be Bits");
+            expect(typeCompatible(v->elem(), x),
+                   "update element type mismatch");
+            return v;
+          }
+          case PrimOp::Field: {
+            TypePtr s = at(0);
+            expect(s->isStruct(), "field access on non-struct " +
+                                      s->str());
+            return s->field(e->strArg);
+          }
+          case PrimOp::SetField: {
+            TypePtr s = at(0), x = at(1);
+            expect(s->isStruct(), "setfield on non-struct");
+            expect(typeCompatible(s->field(e->strArg), x),
+                   "setfield type mismatch on ." + e->strArg);
+            return s;
+          }
+          case PrimOp::MakeVec: {
+            expect(!e->args.empty(), "empty vector construction");
+            TypePtr et = at(0);
+            for (size_t i = 1; i < e->args.size(); i++) {
+                expect(typeCompatible(et, at(i)),
+                       "heterogeneous MakeVec");
+            }
+            return Type::vec(static_cast<int>(e->args.size()), et);
+          }
+          case PrimOp::MakeStruct: {
+            std::vector<std::string> names =
+                splitString(e->strArg, ',');
+            expect(names.size() == e->args.size(),
+                   "MakeStruct name/operand mismatch");
+            std::vector<std::pair<std::string, TypePtr>> fields;
+            for (size_t i = 0; i < names.size(); i++)
+                fields.emplace_back(names[i], at(i));
+            return Type::record("", std::move(fields));
+          }
+          case PrimOp::BitRev: {
+            TypePtr a = at(0);
+            expect(a->isBits(), "bitrev operand must be Bits");
+            return a;
+          }
+        }
+        fail("unreachable prim op");
+    }
+
+    void
+    checkUserArgs(const ElabMethod &m, const std::vector<TypePtr> &args)
+    {
+        expect(args.size() == m.params.size(),
+               "method " + m.name + " arity mismatch");
+        for (size_t i = 0; i < args.size(); i++) {
+            expect(typeCompatible(args[i], m.params[i].type),
+                   "method " + m.name + " argument '" +
+                       m.params[i].name + "' has type " +
+                       args[i]->str() + ", expected " +
+                       m.params[i].type->str());
+        }
+    }
+
+    void
+    checkAction(const ActPtr &a)
+    {
+        switch (a->kind) {
+          case ActKind::NoOp:
+            return;
+          case ActKind::Par:
+          case ActKind::Seq:
+            for (const auto &s : a->subs)
+                checkAction(s);
+            return;
+          case ActKind::If: {
+            TypePtr p = exprType(a->exprs[0]);
+            expect(p->isBool(), "if predicate must be Bool");
+            checkAction(a->subs[0]);
+            return;
+          }
+          case ActKind::When: {
+            TypePtr g = exprType(a->exprs[0]);
+            expect(g->isBool(), "when guard must be Bool");
+            checkAction(a->subs[0]);
+            return;
+          }
+          case ActKind::Let: {
+            TypePtr bound = exprType(a->exprs[0]);
+            env.emplace_back(a->name, bound);
+            checkAction(a->subs[0]);
+            env.pop_back();
+            return;
+          }
+          case ActKind::Loop: {
+            TypePtr c = exprType(a->exprs[0]);
+            expect(c->isBool(), "loop condition must be Bool");
+            checkAction(a->subs[0]);
+            return;
+          }
+          case ActKind::LocalGuard:
+            checkAction(a->subs[0]);
+            return;
+          case ActKind::CallA: {
+            std::vector<TypePtr> args;
+            for (const auto &e : a->exprs)
+                args.push_back(exprType(e));
+            if (a->isPrim) {
+                const ElabPrim &prim = prog.prims[a->inst];
+                const PrimDecl *decl = findPrimDecl(prim.kind);
+                const PrimMethodDecl *pm = decl->findMethod(a->meth);
+                expect(pm && pm->isAction,
+                       prim.path + "." + a->meth +
+                           " is not an action method");
+                checkPrimArgs(prim, a->meth, args);
+            } else {
+                const ElabMethod &m = prog.methods[a->methIdx];
+                expect(m.isAction, "method " + m.name +
+                                       " is not an action method");
+                checkUserArgs(m, args);
+            }
+            return;
+          }
+        }
+        fail("unreachable action kind");
+    }
+
+    void
+    run()
+    {
+        for (const auto &r : prog.rules) {
+            context = "rule '" + r.name + "'";
+            env.clear();
+            checkAction(r.body);
+        }
+        for (const auto &m : prog.methods) {
+            context = "method '" + m.name + "'";
+            env.clear();
+            for (const auto &p : m.params)
+                env.emplace_back(p.name, p.type);
+            if (m.isAction) {
+                checkAction(m.body);
+            } else {
+                TypePtr rt = exprType(m.value);
+                if (m.retType) {
+                    expect(typeCompatible(rt, m.retType),
+                           "body has type " + rt->str() +
+                               ", declared " + m.retType->str());
+                }
+            }
+        }
+    }
+
+    TypePtr
+    typeOf(const ExprPtr &e, const std::vector<Param> &params)
+    {
+        context = "expression";
+        env.clear();
+        for (const auto &p : params)
+            env.emplace_back(p.name, p.type);
+        return exprType(e);
+    }
+
+  private:
+    const ElabProgram &prog;
+    std::vector<std::pair<std::string, TypePtr>> env;
+    std::string context;
+};
+
+} // namespace
+
+void
+typecheck(const ElabProgram &prog)
+{
+    Checker(prog).run();
+}
+
+TypePtr
+typeOfExpr(const ElabProgram &prog, const ExprPtr &e,
+           const std::vector<Param> &params)
+{
+    Checker checker(prog);
+    return checker.typeOf(e, params);
+}
+
+} // namespace bcl

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Type checking of elaborated kernel programs ("BCL is a modern
+ * statically-typed language"). Verifies, bottom-up:
+ *   - operator operand shapes (widths, vector/struct structure),
+ *   - guard positions are Bool,
+ *   - method argument and result types against primitive signatures
+ *     and user-method declarations,
+ *   - rules/action-methods are well-formed actions.
+ *
+ * Struct values built with MakeStruct are structurally typed
+ * (anonymous record); they are compatible with any named record of
+ * the same shape, which is how expression-built Complex values flow
+ * into Complex-typed state.
+ */
+#ifndef BCL_CORE_TYPECHECK_HPP
+#define BCL_CORE_TYPECHECK_HPP
+
+#include "core/elaborate.hpp"
+
+namespace bcl {
+
+/**
+ * Check every rule and method of @p prog.
+ * @throws FatalError with a path-qualified message on the first
+ * ill-typed construct.
+ */
+void typecheck(const ElabProgram &prog);
+
+/** Type of expression @p e under parameter bindings @p params
+ *  (exposed for tests and the code generators). */
+TypePtr typeOfExpr(const ElabProgram &prog, const ExprPtr &e,
+                   const std::vector<Param> &params = {});
+
+/** Structural compatibility (named record vs anonymous same-shape). */
+bool typeCompatible(const TypePtr &a, const TypePtr &b);
+
+} // namespace bcl
+
+#endif // BCL_CORE_TYPECHECK_HPP

@@ -1,0 +1,278 @@
+#include "core/types.hpp"
+
+#include "common/logging.hpp"
+
+namespace bcl {
+
+TypePtr
+Type::unit()
+{
+    static TypePtr t = [] {
+        auto p = std::shared_ptr<Type>(new Type());
+        p->kind_ = TypeKind::Unit;
+        return TypePtr(p);
+    }();
+    return t;
+}
+
+TypePtr
+Type::boolean()
+{
+    static TypePtr t = [] {
+        auto p = std::shared_ptr<Type>(new Type());
+        p->kind_ = TypeKind::Bool;
+        return TypePtr(p);
+    }();
+    return t;
+}
+
+TypePtr
+Type::bits(int width)
+{
+    if (width <= 0 || width > 64)
+        fatal("Bit#(" + std::to_string(width) + ") unsupported width");
+    auto p = std::shared_ptr<Type>(new Type());
+    p->kind_ = TypeKind::Bits;
+    p->width_ = width;
+    return p;
+}
+
+TypePtr
+Type::vec(int size, TypePtr elem)
+{
+    if (size <= 0)
+        fatal("Vector#(" + std::to_string(size) + ") must be non-empty");
+    if (!elem)
+        panic("Vector element type is null");
+    auto p = std::shared_ptr<Type>(new Type());
+    p->kind_ = TypeKind::Vec;
+    p->size_ = size;
+    p->elem_ = std::move(elem);
+    return p;
+}
+
+TypePtr
+Type::record(std::string name,
+             std::vector<std::pair<std::string, TypePtr>> fields)
+{
+    if (fields.empty())
+        fatal("struct '" + name + "' must have at least one field");
+    auto p = std::shared_ptr<Type>(new Type());
+    p->kind_ = TypeKind::Struct;
+    p->name_ = std::move(name);
+    p->fields_ = std::move(fields);
+    return p;
+}
+
+int
+Type::width() const
+{
+    if (kind_ != TypeKind::Bits)
+        panic("width() on non-Bits type " + str());
+    return width_;
+}
+
+int
+Type::vecSize() const
+{
+    if (kind_ != TypeKind::Vec)
+        panic("vecSize() on non-Vec type " + str());
+    return size_;
+}
+
+TypePtr
+Type::elem() const
+{
+    if (kind_ != TypeKind::Vec)
+        panic("elem() on non-Vec type " + str());
+    return elem_;
+}
+
+const std::vector<std::pair<std::string, TypePtr>> &
+Type::fields() const
+{
+    if (kind_ != TypeKind::Struct)
+        panic("fields() on non-Struct type " + str());
+    return fields_;
+}
+
+TypePtr
+Type::field(const std::string &fname) const
+{
+    for (const auto &[name, type] : fields()) {
+        if (name == fname)
+            return type;
+    }
+    panic("struct " + str() + " has no field '" + fname + "'");
+}
+
+int
+Type::flatWidth() const
+{
+    switch (kind_) {
+      case TypeKind::Unit:
+        return 0;
+      case TypeKind::Bool:
+        return 1;
+      case TypeKind::Bits:
+        return width_;
+      case TypeKind::Vec:
+        return size_ * elem_->flatWidth();
+      case TypeKind::Struct: {
+        int total = 0;
+        for (const auto &[name, type] : fields_)
+            total += type->flatWidth();
+        return total;
+      }
+    }
+    return 0;
+}
+
+bool
+Type::equals(const Type &other) const
+{
+    if (kind_ != other.kind_)
+        return false;
+    switch (kind_) {
+      case TypeKind::Unit:
+      case TypeKind::Bool:
+        return true;
+      case TypeKind::Bits:
+        return width_ == other.width_;
+      case TypeKind::Vec:
+        return size_ == other.size_ && elem_->equals(*other.elem_);
+      case TypeKind::Struct: {
+        if (name_ != other.name_ ||
+            fields_.size() != other.fields_.size()) {
+            return false;
+        }
+        for (size_t i = 0; i < fields_.size(); i++) {
+            if (fields_[i].first != other.fields_[i].first ||
+                !fields_[i].second->equals(*other.fields_[i].second)) {
+                return false;
+            }
+        }
+        return true;
+      }
+    }
+    return false;
+}
+
+std::string
+Type::str() const
+{
+    switch (kind_) {
+      case TypeKind::Unit:
+        return "Unit";
+      case TypeKind::Bool:
+        return "Bool";
+      case TypeKind::Bits:
+        return "Bit#(" + std::to_string(width_) + ")";
+      case TypeKind::Vec:
+        return "Vector#(" + std::to_string(size_) + ", " +
+               elem_->str() + ")";
+      case TypeKind::Struct:
+        return name_.empty() ? "struct{...}" : name_;
+    }
+    return "<?>";
+}
+
+bool
+Type::admits(const Value &v) const
+{
+    switch (kind_) {
+      case TypeKind::Unit:
+        return !v.valid();
+      case TypeKind::Bool:
+        return v.isBool();
+      case TypeKind::Bits:
+        return v.isBits() && v.width() == width_;
+      case TypeKind::Vec: {
+        if (!v.isVec() || v.size() != static_cast<size_t>(size_))
+            return false;
+        for (const Value &e : v.elems()) {
+            if (!elem_->admits(e))
+                return false;
+        }
+        return true;
+      }
+      case TypeKind::Struct: {
+        if (!v.isStruct() || v.size() != fields_.size())
+            return false;
+        for (size_t i = 0; i < fields_.size(); i++) {
+            if (v.fields()[i].first != fields_[i].first ||
+                !fields_[i].second->admits(v.fields()[i].second)) {
+                return false;
+            }
+        }
+        return true;
+      }
+    }
+    return false;
+}
+
+Value
+Type::zeroValue() const
+{
+    switch (kind_) {
+      case TypeKind::Unit:
+        return Value();
+      case TypeKind::Bool:
+        return Value::makeBool(false);
+      case TypeKind::Bits:
+        return Value::makeBits(width_, 0);
+      case TypeKind::Vec: {
+        std::vector<Value> elems(size_, elem_->zeroValue());
+        return Value::makeVec(std::move(elems));
+      }
+      case TypeKind::Struct: {
+        std::vector<std::pair<std::string, Value>> fields;
+        fields.reserve(fields_.size());
+        for (const auto &[name, type] : fields_)
+            fields.emplace_back(name, type->zeroValue());
+        return Value::makeStruct(std::move(fields));
+      }
+    }
+    return Value();
+}
+
+Value
+Type::unpackBits(const std::vector<bool> &stream, size_t &pos) const
+{
+    auto take = [&](int nbits) -> std::uint64_t {
+        if (pos + nbits > stream.size())
+            panic("unpackBits: stream exhausted for type " + str());
+        std::uint64_t raw = 0;
+        for (int i = 0; i < nbits; i++) {
+            if (stream[pos + i])
+                raw |= 1ull << i;
+        }
+        pos += nbits;
+        return raw;
+    };
+    switch (kind_) {
+      case TypeKind::Unit:
+        return Value();
+      case TypeKind::Bool:
+        return Value::makeBool(take(1) != 0);
+      case TypeKind::Bits:
+        return Value::makeBits(width_, take(width_));
+      case TypeKind::Vec: {
+        std::vector<Value> elems;
+        elems.reserve(size_);
+        for (int i = 0; i < size_; i++)
+            elems.push_back(elem_->unpackBits(stream, pos));
+        return Value::makeVec(std::move(elems));
+      }
+      case TypeKind::Struct: {
+        std::vector<std::pair<std::string, Value>> fields;
+        fields.reserve(fields_.size());
+        for (const auto &[name, type] : fields_)
+            fields.emplace_back(name, type->unpackBits(stream, pos));
+        return Value::makeStruct(std::move(fields));
+      }
+    }
+    return Value();
+}
+
+} // namespace bcl

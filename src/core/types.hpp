@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Static types of the BCL kernel language and their bit-level layout.
+ *
+ * The type language mirrors the subset of BSV the paper's kernel needs:
+ *   Bool, Bit#(n), Vector#(n, t), structs, and Unit (for Action results).
+ * Types carry their flattened bit width, which is exactly the metadata
+ * the marshaling layer (section 4.4 of the paper) needs to lay a value
+ * out identically on the hardware and software sides - the fix for the
+ * "data format issues" of section 2.3.
+ */
+#ifndef BCL_CORE_TYPES_HPP
+#define BCL_CORE_TYPES_HPP
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/value.hpp"
+
+namespace bcl {
+
+class Type;
+using TypePtr = std::shared_ptr<const Type>;
+
+/** Discriminator for Type. */
+enum class TypeKind : std::uint8_t { Unit, Bool, Bits, Vec, Struct };
+
+/**
+ * A BCL type. Types are immutable and shared; use the factory
+ * functions to build them.
+ */
+class Type
+{
+  public:
+    /** @name Factory functions */
+    /// @{
+    static TypePtr unit();
+    static TypePtr boolean();
+    static TypePtr bits(int width);
+    static TypePtr vec(int size, TypePtr elem);
+    static TypePtr record(
+        std::string name,
+        std::vector<std::pair<std::string, TypePtr>> fields);
+    /// @}
+
+    TypeKind kind() const { return kind_; }
+    bool isUnit() const { return kind_ == TypeKind::Unit; }
+    bool isBool() const { return kind_ == TypeKind::Bool; }
+    bool isBits() const { return kind_ == TypeKind::Bits; }
+    bool isVec() const { return kind_ == TypeKind::Vec; }
+    bool isStruct() const { return kind_ == TypeKind::Struct; }
+
+    /** Width of a Bits type (panics otherwise). */
+    int width() const;
+
+    /** Element count of a Vec type (panics otherwise). */
+    int vecSize() const;
+
+    /** Element type of a Vec type (panics otherwise). */
+    TypePtr elem() const;
+
+    /** Declared name of a struct type ("" for anonymous). */
+    const std::string &name() const { return name_; }
+
+    /** Fields of a Struct type (panics otherwise). */
+    const std::vector<std::pair<std::string, TypePtr>> &fields() const;
+
+    /** Type of field @p fname (panics when missing). */
+    TypePtr field(const std::string &fname) const;
+
+    /** Total flattened bit width (the marshaling footprint). */
+    int flatWidth() const;
+
+    /** Structural equality (names of structs participate). */
+    bool equals(const Type &other) const;
+
+    /** Readable rendering, e.g. "Vector#(64, Complex)". */
+    std::string str() const;
+
+    /** True when @p v is a well-formed inhabitant of this type. */
+    bool admits(const Value &v) const;
+
+    /** The canonical all-zero inhabitant of this type. */
+    Value zeroValue() const;
+
+    /**
+     * Rebuild a value of this type from a flat little-endian bit
+     * stream starting at @p pos (advanced past the consumed bits).
+     * Inverse of Value::packBits for well-typed values.
+     */
+    Value unpackBits(const std::vector<bool> &stream, size_t &pos) const;
+
+  private:
+    Type() = default;
+
+    TypeKind kind_ = TypeKind::Unit;
+    int width_ = 0;
+    int size_ = 0;
+    TypePtr elem_;
+    std::string name_;
+    std::vector<std::pair<std::string, TypePtr>> fields_;
+};
+
+} // namespace bcl
+
+#endif // BCL_CORE_TYPES_HPP

@@ -1,0 +1,281 @@
+#include "core/value.hpp"
+
+#include "common/logging.hpp"
+
+namespace bcl {
+
+std::uint64_t
+truncToWidth(std::uint64_t raw, int width)
+{
+    if (width <= 0 || width > 64)
+        panic("bit width out of range: " + std::to_string(width));
+    if (width == 64)
+        return raw;
+    return raw & ((1ull << width) - 1);
+}
+
+std::int64_t
+signExtend(std::uint64_t raw, int width)
+{
+    if (width <= 0 || width > 64)
+        panic("bit width out of range: " + std::to_string(width));
+    if (width == 64)
+        return static_cast<std::int64_t>(raw);
+    std::uint64_t sign_bit = 1ull << (width - 1);
+    std::uint64_t trunc = truncToWidth(raw, width);
+    if (trunc & sign_bit)
+        return static_cast<std::int64_t>(trunc | ~((1ull << width) - 1));
+    return static_cast<std::int64_t>(trunc);
+}
+
+Value
+Value::makeBits(int width, std::uint64_t raw)
+{
+    Value v;
+    v.kind_ = ValueKind::Bits;
+    v.width_ = width;
+    v.bits_ = truncToWidth(raw, width);
+    return v;
+}
+
+Value
+Value::makeInt(int width, std::int64_t val)
+{
+    return makeBits(width, static_cast<std::uint64_t>(val));
+}
+
+Value
+Value::makeBool(bool b)
+{
+    Value v;
+    v.kind_ = ValueKind::Bool;
+    v.width_ = 1;
+    v.bits_ = b ? 1 : 0;
+    return v;
+}
+
+Value
+Value::makeVec(std::vector<Value> elems)
+{
+    Value v;
+    v.kind_ = ValueKind::Vec;
+    v.elems_ = std::move(elems);
+    return v;
+}
+
+Value
+Value::makeStruct(std::vector<std::pair<std::string, Value>> fields)
+{
+    Value v;
+    v.kind_ = ValueKind::Struct;
+    v.fields_ = std::move(fields);
+    return v;
+}
+
+int
+Value::width() const
+{
+    if (kind_ != ValueKind::Bits)
+        panic("width() on non-Bits value " + str());
+    return width_;
+}
+
+std::uint64_t
+Value::asUInt() const
+{
+    if (kind_ != ValueKind::Bits && kind_ != ValueKind::Bool)
+        panic("asUInt() on non-scalar value " + str());
+    return bits_;
+}
+
+std::int64_t
+Value::asInt() const
+{
+    if (kind_ != ValueKind::Bits)
+        panic("asInt() on non-Bits value " + str());
+    return signExtend(bits_, width_);
+}
+
+bool
+Value::asBool() const
+{
+    if (kind_ != ValueKind::Bool)
+        panic("asBool() on non-Bool value " + str());
+    return bits_ != 0;
+}
+
+const std::vector<Value> &
+Value::elems() const
+{
+    if (kind_ != ValueKind::Vec)
+        panic("elems() on non-Vec value " + str());
+    return elems_;
+}
+
+const Value &
+Value::at(size_t i) const
+{
+    const auto &es = elems();
+    if (i >= es.size()) {
+        panic("vector index " + std::to_string(i) + " out of range " +
+              std::to_string(es.size()));
+    }
+    return es[i];
+}
+
+size_t
+Value::size() const
+{
+    if (kind_ == ValueKind::Vec)
+        return elems_.size();
+    if (kind_ == ValueKind::Struct)
+        return fields_.size();
+    panic("size() on scalar value " + str());
+}
+
+const std::vector<std::pair<std::string, Value>> &
+Value::fields() const
+{
+    if (kind_ != ValueKind::Struct)
+        panic("fields() on non-Struct value " + str());
+    return fields_;
+}
+
+const Value &
+Value::field(const std::string &name) const
+{
+    for (const auto &[fname, fval] : fields()) {
+        if (fname == name)
+            return fval;
+    }
+    panic("struct has no field '" + name + "': " + str());
+}
+
+Value
+Value::withElem(size_t i, Value v) const
+{
+    Value copy = *this;
+    if (copy.kind_ != ValueKind::Vec || i >= copy.elems_.size())
+        panic("withElem out of range on " + str());
+    copy.elems_[i] = std::move(v);
+    return copy;
+}
+
+Value
+Value::withField(const std::string &name, Value v) const
+{
+    Value copy = *this;
+    if (copy.kind_ != ValueKind::Struct)
+        panic("withField on non-Struct " + str());
+    for (auto &[fname, fval] : copy.fields_) {
+        if (fname == name) {
+            fval = std::move(v);
+            return copy;
+        }
+    }
+    panic("withField: no field '" + name + "' in " + str());
+}
+
+bool
+Value::operator==(const Value &other) const
+{
+    if (kind_ != other.kind_)
+        return false;
+    switch (kind_) {
+      case ValueKind::Invalid:
+        return true;
+      case ValueKind::Bits:
+        return width_ == other.width_ && bits_ == other.bits_;
+      case ValueKind::Bool:
+        return bits_ == other.bits_;
+      case ValueKind::Vec:
+        return elems_ == other.elems_;
+      case ValueKind::Struct:
+        return fields_ == other.fields_;
+    }
+    return false;
+}
+
+std::string
+Value::str() const
+{
+    switch (kind_) {
+      case ValueKind::Invalid:
+        return "<invalid>";
+      case ValueKind::Bits:
+        return std::to_string(asInt()) + "'b" + std::to_string(width_);
+      case ValueKind::Bool:
+        return bits_ ? "true" : "false";
+      case ValueKind::Vec: {
+        std::string out = "[";
+        for (size_t i = 0; i < elems_.size(); i++) {
+            if (i)
+                out += ", ";
+            out += elems_[i].str();
+        }
+        return out + "]";
+      }
+      case ValueKind::Struct: {
+        std::string out = "{";
+        for (size_t i = 0; i < fields_.size(); i++) {
+            if (i)
+                out += ", ";
+            out += fields_[i].first + ": " + fields_[i].second.str();
+        }
+        return out + "}";
+      }
+    }
+    return "<?>";
+}
+
+void
+Value::packBits(std::vector<bool> &out) const
+{
+    switch (kind_) {
+      case ValueKind::Invalid:
+        panic("packBits on invalid value");
+      case ValueKind::Bits:
+        for (int i = 0; i < width_; i++)
+            out.push_back((bits_ >> i) & 1);
+        return;
+      case ValueKind::Bool:
+        out.push_back(bits_ != 0);
+        return;
+      case ValueKind::Vec:
+        for (const Value &e : elems_)
+            e.packBits(out);
+        return;
+      case ValueKind::Struct:
+        for (const auto &[name, val] : fields_)
+            val.packBits(out);
+        return;
+    }
+}
+
+int
+Value::flatWidth() const
+{
+    switch (kind_) {
+      case ValueKind::Invalid:
+        return 0;
+      case ValueKind::Bits:
+        return width_;
+      case ValueKind::Bool:
+        return 1;
+      case ValueKind::Vec: {
+        int total = 0;
+        for (const Value &e : elems_)
+            total += e.flatWidth();
+        return total;
+      }
+      case ValueKind::Struct: {
+        int total = 0;
+        for (const auto &[name, val] : fields_)
+            total += val.flatWidth();
+        return total;
+      }
+    }
+    return 0;
+}
+
+} // namespace bcl

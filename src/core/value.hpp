@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Runtime values of the BCL kernel language. A value is one of:
+ *   - Bits: a fixed-width two's-complement bit vector (width <= 64),
+ *   - Bool: a boolean,
+ *   - Vec: a fixed-length vector of values,
+ *   - Struct: a record of named fields.
+ *
+ * Values are plain value types: copying a Value snapshots it. The whole
+ * transactional runtime (change-log shadows, parallel-branch isolation,
+ * rollback) relies on this.
+ */
+#ifndef BCL_CORE_VALUE_HPP
+#define BCL_CORE_VALUE_HPP
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bcl {
+
+/** Discriminator for Value. */
+enum class ValueKind : std::uint8_t { Invalid, Bits, Bool, Vec, Struct };
+
+/**
+ * A BCL runtime value. See file comment for the four variants.
+ *
+ * Bits values store their payload truncated to the declared width; the
+ * signed view (asInt) sign-extends from the top declared bit, matching
+ * hardware semantics for fixed-width arithmetic.
+ */
+class Value
+{
+  public:
+    /** Constructs the Invalid value (unready / poison). */
+    Value() = default;
+
+    /** @name Factory functions */
+    /// @{
+    static Value makeBits(int width, std::uint64_t raw);
+    static Value makeInt(int width, std::int64_t v);
+    static Value makeBool(bool b);
+    static Value makeVec(std::vector<Value> elems);
+    static Value makeStruct(
+        std::vector<std::pair<std::string, Value>> fields);
+    /// @}
+
+    ValueKind kind() const { return kind_; }
+    bool valid() const { return kind_ != ValueKind::Invalid; }
+    bool isBits() const { return kind_ == ValueKind::Bits; }
+    bool isBool() const { return kind_ == ValueKind::Bool; }
+    bool isVec() const { return kind_ == ValueKind::Vec; }
+    bool isStruct() const { return kind_ == ValueKind::Struct; }
+
+    /** Bit width of a Bits value. Panics on other kinds. */
+    int width() const;
+
+    /** Raw (zero-extended) payload of a Bits value. */
+    std::uint64_t asUInt() const;
+
+    /** Sign-extended payload of a Bits value. */
+    std::int64_t asInt() const;
+
+    /** Payload of a Bool value. Panics on other kinds. */
+    bool asBool() const;
+
+    /** Elements of a Vec value (panics otherwise). */
+    const std::vector<Value> &elems() const;
+
+    /** Element @p i of a Vec (panics when out of range). */
+    const Value &at(size_t i) const;
+
+    /** Number of elements of a Vec / fields of a Struct. */
+    size_t size() const;
+
+    /** Fields of a Struct value (panics otherwise). */
+    const std::vector<std::pair<std::string, Value>> &fields() const;
+
+    /** Field @p name of a Struct (panics when missing). */
+    const Value &field(const std::string &name) const;
+
+    /** Functional update: copy of this Vec with element i replaced. */
+    Value withElem(size_t i, Value v) const;
+
+    /** Functional update: copy of this Struct with a field replaced. */
+    Value withField(const std::string &name, Value v) const;
+
+    /** Deep structural equality. */
+    bool operator==(const Value &other) const;
+    bool operator!=(const Value &other) const
+    {
+        return !(*this == other);
+    }
+
+    /** Human-readable rendering for diagnostics and golden tests. */
+    std::string str() const;
+
+    /**
+     * Flatten into a little-endian bit stream (LSB of the first scalar
+     * first). Used by the marshaling layer; see marshal.hpp.
+     */
+    void packBits(std::vector<bool> &out) const;
+
+    /** Total number of flattened bits. */
+    int flatWidth() const;
+
+  private:
+    ValueKind kind_ = ValueKind::Invalid;
+    int width_ = 0;
+    std::uint64_t bits_ = 0;
+    std::vector<Value> elems_;
+    std::vector<std::pair<std::string, Value>> fields_;
+};
+
+/** Truncate @p raw to @p width bits (width in [1,64]). */
+std::uint64_t truncToWidth(std::uint64_t raw, int width);
+
+/** Sign-extend the low @p width bits of @p raw. */
+std::int64_t signExtend(std::uint64_t raw, int width);
+
+} // namespace bcl
+
+#endif // BCL_CORE_VALUE_HPP

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Fixed-point arithmetic matching the paper's evaluation setup: "all
+ * computation was done using 32-bit fixed point values with 24-bits of
+ * fractional precision" (section 7.1).
+ *
+ * The operations here are the native-C++ mirror of the kernel
+ * interpreter's PrimOp semantics (wrap-around 32-bit add/sub, MulFx =
+ * 64x64->128 product arithmetic-shifted right). Keeping the two
+ * bit-identical is what lets every partitioning of an application be
+ * verified against the hand-written baseline sample for sample.
+ */
+#ifndef BCL_FIXPT_FIXPT_HPP
+#define BCL_FIXPT_FIXPT_HPP
+
+#include <cmath>
+#include <cstdint>
+
+namespace bcl {
+
+/** Floor square root of a 64-bit unsigned value (bit-by-bit; the
+ *  exact semantics of the kernel's SqrtFx primitive). */
+inline std::uint64_t
+isqrt64(std::uint64_t v)
+{
+    std::uint64_t res = 0;
+    std::uint64_t bit = 1ull << 62;
+    while (bit > v)
+        bit >>= 2;
+    while (bit != 0) {
+        if (v >= res + bit) {
+            v -= res + bit;
+            res = (res >> 1) + bit;
+        } else {
+            res >>= 1;
+        }
+        bit >>= 2;
+    }
+    return res;
+}
+
+/** Q8.24 fixed point on 32 bits (the paper's format). */
+struct Fix32
+{
+    static constexpr int fracBits = 24;
+
+    std::int32_t raw = 0;
+
+    constexpr Fix32() = default;
+    constexpr explicit Fix32(std::int32_t r) : raw(r) {}
+
+    /** Convert from double (round-to-nearest, used for tables). */
+    static Fix32
+    fromDouble(double v)
+    {
+        return Fix32(static_cast<std::int32_t>(
+            std::llround(v * (1ll << fracBits))));
+    }
+
+    double toDouble() const
+    {
+        return static_cast<double>(raw) / (1ll << fracBits);
+    }
+
+    /** Wrap-around addition (kernel PrimOp::Add at width 32). */
+    friend Fix32
+    operator+(Fix32 a, Fix32 b)
+    {
+        return Fix32(static_cast<std::int32_t>(
+            static_cast<std::uint32_t>(a.raw) +
+            static_cast<std::uint32_t>(b.raw)));
+    }
+
+    friend Fix32
+    operator-(Fix32 a, Fix32 b)
+    {
+        return Fix32(static_cast<std::int32_t>(
+            static_cast<std::uint32_t>(a.raw) -
+            static_cast<std::uint32_t>(b.raw)));
+    }
+
+    friend Fix32
+    operator-(Fix32 a)
+    {
+        return Fix32(static_cast<std::int32_t>(
+            0u - static_cast<std::uint32_t>(a.raw)));
+    }
+
+    /**
+     * Fixed-point multiply (kernel PrimOp::MulFx with imm = 24):
+     * full-width product, arithmetic shift right, truncate to 32.
+     */
+    friend Fix32
+    operator*(Fix32 a, Fix32 b)
+    {
+        __int128 prod = static_cast<__int128>(a.raw) *
+                        static_cast<__int128>(b.raw);
+        return Fix32(
+            static_cast<std::int32_t>(prod >> fracBits));
+    }
+
+    friend bool operator==(Fix32 a, Fix32 b) { return a.raw == b.raw; }
+    friend bool operator!=(Fix32 a, Fix32 b) { return a.raw != b.raw; }
+};
+
+/**
+ * Q16.16 fixed point on 32 bits - the ray tracer's format (wider
+ * integer range for squared distances). Operations mirror the kernel
+ * primitives exactly: MulFx/DivFx/SqrtFx with imm = 16.
+ */
+struct Fx16
+{
+    static constexpr int fracBits = 16;
+
+    std::int32_t raw = 0;
+
+    constexpr Fx16() = default;
+    constexpr explicit Fx16(std::int32_t r) : raw(r) {}
+
+    static Fx16
+    fromDouble(double v)
+    {
+        return Fx16(static_cast<std::int32_t>(
+            std::llround(v * (1ll << fracBits))));
+    }
+
+    double toDouble() const
+    {
+        return static_cast<double>(raw) / (1ll << fracBits);
+    }
+
+    friend Fx16
+    operator+(Fx16 a, Fx16 b)
+    {
+        return Fx16(static_cast<std::int32_t>(
+            static_cast<std::uint32_t>(a.raw) +
+            static_cast<std::uint32_t>(b.raw)));
+    }
+
+    friend Fx16
+    operator-(Fx16 a, Fx16 b)
+    {
+        return Fx16(static_cast<std::int32_t>(
+            static_cast<std::uint32_t>(a.raw) -
+            static_cast<std::uint32_t>(b.raw)));
+    }
+
+    friend Fx16
+    operator-(Fx16 a)
+    {
+        return Fx16(static_cast<std::int32_t>(
+            0u - static_cast<std::uint32_t>(a.raw)));
+    }
+
+    /** Kernel MulFx imm=16. */
+    friend Fx16
+    operator*(Fx16 a, Fx16 b)
+    {
+        __int128 prod = static_cast<__int128>(a.raw) *
+                        static_cast<__int128>(b.raw);
+        return Fx16(static_cast<std::int32_t>(prod >> fracBits));
+    }
+
+    /** Kernel DivFx imm=16 (b == 0 -> 0, trunc toward zero). */
+    friend Fx16
+    operator/(Fx16 a, Fx16 b)
+    {
+        if (b.raw == 0)
+            return Fx16(0);
+        __int128 num = static_cast<__int128>(a.raw) << fracBits;
+        return Fx16(static_cast<std::int32_t>(num / b.raw));
+    }
+
+    /** Kernel SqrtFx imm=16 (negative -> 0). */
+    Fx16
+    sqrt() const
+    {
+        std::int64_t x = raw < 0 ? 0 : raw;
+        return Fx16(static_cast<std::int32_t>(
+            isqrt64(static_cast<std::uint64_t>(x) << fracBits)));
+    }
+
+    friend bool operator==(Fx16 a, Fx16 b) { return a.raw == b.raw; }
+    friend bool operator<(Fx16 a, Fx16 b) { return a.raw < b.raw; }
+    friend bool operator<=(Fx16 a, Fx16 b) { return a.raw <= b.raw; }
+    friend bool operator>(Fx16 a, Fx16 b) { return a.raw > b.raw; }
+    friend bool operator>=(Fx16 a, Fx16 b) { return a.raw >= b.raw; }
+};
+
+/** Complex number over Fix32 (the paper's Complex#(FixPt)). */
+struct CFix
+{
+    Fix32 re, im;
+
+    friend CFix
+    operator+(CFix a, CFix b)
+    {
+        return {a.re + b.re, a.im + b.im};
+    }
+
+    friend CFix
+    operator-(CFix a, CFix b)
+    {
+        return {a.re - b.re, a.im - b.im};
+    }
+
+    /** Complex multiply: 4 real multiplies + 2 adds (matches the
+     *  expression tree the BCL builder emits). */
+    friend CFix
+    operator*(CFix a, CFix b)
+    {
+        return {a.re * b.re - a.im * b.im,
+                a.re * b.im + a.im * b.re};
+    }
+
+    /** Multiply by +i (swap/negate, no multipliers). */
+    CFix mulI() const { return {-im, re}; }
+
+    /** Multiply by -i. */
+    CFix mulNegI() const { return {im, -re}; }
+
+    friend bool
+    operator==(CFix a, CFix b)
+    {
+        return a.re == b.re && a.im == b.im;
+    }
+};
+
+} // namespace bcl
+
+#endif // BCL_FIXPT_FIXPT_HPP

@@ -1,0 +1,60 @@
+#include "hwsim/clocksim.hpp"
+
+namespace bcl {
+
+ClockSim::ClockSim(const ElabProgram &prog, Store &store)
+    : I(prog, store), matrix(prog),
+      numRules(static_cast<int>(prog.rules.size()))
+{
+    validateForHardware(prog);
+    stats_.perRuleFires.assign(numRules, 0);
+}
+
+int
+ClockSim::cycle()
+{
+    chosen.clear();
+    int fired = 0;
+    // Static priority = program order (the order rules were
+    // generated); a rule joins the cycle's set when it is composable
+    // after every rule already chosen and its guard holds against the
+    // current (intra-cycle) state. CF/SB composition guarantees the
+    // sequential in-cycle execution below is a valid witness order
+    // for one-rule-at-a-time semantics.
+    for (int r = 0; r < numRules; r++) {
+        bool ok = true;
+        for (int c : chosen) {
+            if (!matrix.composableInOrder(c, r)) {
+                ok = false;
+                break;
+            }
+        }
+        if (!ok)
+            continue;
+        if (I.fireRule(r)) {
+            chosen.push_back(r);
+            stats_.perRuleFires[r]++;
+            fired++;
+        }
+    }
+    stats_.cycles++;
+    stats_.rulesFired += fired;
+    if (fired > 0)
+        stats_.busyCycles++;
+    lastFired = fired;
+    return fired;
+}
+
+std::uint64_t
+ClockSim::run(std::uint64_t max_cycles)
+{
+    std::uint64_t used = 0;
+    while (used < max_cycles) {
+        used++;
+        if (cycle() == 0)
+            break;
+    }
+    return used;
+}
+
+} // namespace bcl

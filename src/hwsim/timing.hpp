@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Combinational-depth estimation for hardware rules. Models the
+ * clock-period consequence the paper discusses in section 4.5: the
+ * single-rule (unpipelined) IFFT unrolls into "an extremely long
+ * combinational path which will need to be clocked very slowly",
+ * while the per-stage pipelined variant cuts the critical path.
+ *
+ * Depth is measured in gate-delay units along the longest
+ * expression/action path of each rule (multipliers cost more than
+ * adders, muxes cost one unit, method data paths add register/FIFO
+ * access delay). The achievable clock period of a module is the
+ * maximum rule depth; relative frequencies between designs are what
+ * the estimator is calibrated for, not absolute MHz.
+ */
+#ifndef BCL_HWSIM_TIMING_HPP
+#define BCL_HWSIM_TIMING_HPP
+
+#include <string>
+#include <vector>
+
+#include "core/elaborate.hpp"
+
+namespace bcl {
+
+/** Gate-delay estimate for one rule. */
+struct RuleTiming
+{
+    std::string rule;
+    int depth = 0;  ///< longest combinational path, delay units
+};
+
+/** Timing summary of a hardware partition. */
+struct HwTiming
+{
+    std::vector<RuleTiming> rules;
+    int criticalDepth = 0;      ///< max over rules
+    std::string criticalRule;
+
+    /**
+     * Estimated achievable frequency relative to a reference design
+     * of @p ref_depth (e.g. pipelined variant): freq scales inversely
+     * with critical depth.
+     */
+    double speedupOver(int ref_depth) const
+    {
+        return criticalDepth == 0
+                   ? 1.0
+                   : static_cast<double>(ref_depth) / criticalDepth;
+    }
+};
+
+/** Estimate combinational depth of every rule of @p prog. */
+HwTiming estimateTiming(const ElabProgram &prog);
+
+} // namespace bcl
+
+#endif // BCL_HWSIM_TIMING_HPP

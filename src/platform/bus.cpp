@@ -1,0 +1,41 @@
+#include "platform/bus.hpp"
+
+namespace bcl {
+
+BusParams
+BusParams::embeddedLocalLink()
+{
+    BusParams p;
+    p.requestLatency = 34;
+    p.perMessageOverhead = 14;
+    p.perWordCycles = 1;
+    p.maxBurstWords = 1024;
+    return p;
+}
+
+BusParams
+BusParams::pcie()
+{
+    BusParams p;
+    // Higher propagation latency across the PCIe root complex, but
+    // the same fabric-side streaming rate per 32-bit beat.
+    p.requestLatency = 220;
+    p.perMessageOverhead = 40;
+    p.perWordCycles = 1;
+    p.maxBurstWords = 512;
+    return p;
+}
+
+std::uint64_t
+BusParams::occupancyCycles(int words) const
+{
+    // +1: every message carries a header word (channel id + length).
+    int total = words + 1;
+    int bursts = (total + maxBurstWords - 1) / maxBurstWords;
+    if (bursts < 1)
+        bursts = 1;
+    return static_cast<std::uint64_t>(bursts) * perMessageOverhead +
+           static_cast<std::uint64_t>(total) * perWordCycles;
+}
+
+} // namespace bcl

@@ -1,0 +1,86 @@
+#include "platform/channel.hpp"
+
+#include "common/logging.hpp"
+
+namespace bcl {
+
+ChannelTransport::ChannelTransport(const ChannelSpec &spec,
+                                   Store &tx_store, Store &rx_store,
+                                   LinkArbiter &link_arb,
+                                   const BusParams &bus_params)
+    : spec_(spec), txStore(tx_store), rxStore(rx_store), link(link_arb),
+      bus(bus_params)
+{
+    if (spec_.txPrim < 0 || spec_.rxPrim < 0)
+        panic("channel '" + spec_.name + "' endpoints unresolved");
+}
+
+void
+ChannelTransport::pump(std::uint64_t now)
+{
+    lastPumpTime = now;
+    PrimState &tx = txStore.at(spec_.txPrim);
+    while (!tx.queue.empty()) {
+        if (rxCreditsFree() <= 0) {
+            // Consumer full: leave staged; producer back-pressure
+            // propagates through the SyncTx guard.
+            stats_.stallCycles++;
+            break;
+        }
+        Value msg = tx.queue.front();
+        // Marshaling happens here conceptually; the word count drives
+        // the timing. (Values cross the model by structure, the
+        // bit-exactness of marshal/demarshal is covered by tests.)
+        int words = spec_.payloadWords;
+        std::uint64_t occupancy = bus.occupancyCycles(words);
+        std::uint64_t start = link.acquire(now, occupancy);
+        std::uint64_t arrive = start + occupancy + bus.requestLatency;
+
+        tx.queue.erase(tx.queue.begin());
+        inflight.push_back({std::move(msg), arrive});
+        stats_.messages++;
+        stats_.payloadWords += static_cast<std::uint64_t>(words);
+    }
+}
+
+bool
+ChannelTransport::deliver(std::uint64_t now)
+{
+    bool any = false;
+    while (!inflight.empty() && inflight.front().deliverAt <= now) {
+        PrimState &rx = rxStore.at(spec_.rxPrim);
+        if (static_cast<int>(rx.queue.size()) >= spec_.capacity)
+            panic("channel '" + spec_.name +
+                  "': credit accounting violated (rx overflow)");
+        rx.queue.push_back(std::move(inflight.front().msg));
+        inflight.pop_front();
+        any = true;
+    }
+    return any;
+}
+
+std::uint64_t
+ChannelTransport::nextEventAt() const
+{
+    std::uint64_t next = std::numeric_limits<std::uint64_t>::max();
+    if (!inflight.empty())
+        next = inflight.front().deliverAt;
+    const PrimState &tx = txStore.at(spec_.txPrim);
+    if (!tx.queue.empty() && rxCreditsFree() > 0) {
+        std::uint64_t pickup =
+            lastPumpTime > link.freeTime() ? lastPumpTime
+                                           : link.freeTime();
+        if (pickup < next)
+            next = pickup;
+    }
+    return next;
+}
+
+bool
+ChannelTransport::busy() const
+{
+    return !inflight.empty() ||
+           !txStore.at(spec_.txPrim).queue.empty();
+}
+
+} // namespace bcl

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Virtual-channel transport: moves messages between the two halves of
+ * a split synchronizer across the modeled link (sections 4.3/4.4 and
+ * Figure 6 of the paper: "Each synchronizer is 'split' between
+ * hardware and software, and arbitration, marshaling, and
+ * de-marshaling logic is generated to connect the two over the
+ * physical channel").
+ *
+ * Flow control is credit-based: a message is picked up from the
+ * producer half only when the consumer half is guaranteed to have a
+ * slot when it arrives (queue occupancy + messages in flight <
+ * capacity). Together with per-channel staging queues in front of the
+ * shared LinkArbiter this gives the LIBDN no-deadlock /
+ * no-head-of-line-blocking property.
+ */
+#ifndef BCL_PLATFORM_CHANNEL_HPP
+#define BCL_PLATFORM_CHANNEL_HPP
+
+#include <cstdint>
+#include <deque>
+#include <limits>
+
+#include "core/partition.hpp"
+#include "platform/bus.hpp"
+#include "platform/marshal.hpp"
+#include "runtime/store.hpp"
+
+namespace bcl {
+
+/** Traffic counters of one channel. */
+struct ChannelStats
+{
+    std::uint64_t messages = 0;
+    std::uint64_t payloadWords = 0;
+    std::uint64_t stallCycles = 0;  ///< pickup deferred for credit
+};
+
+/** Runtime transport for one logical channel (one direction). */
+class ChannelTransport
+{
+  public:
+    /**
+     * @param spec The channel (from partitioning).
+     * @param tx_store Store of the producer partition.
+     * @param rx_store Store of the consumer partition.
+     * @param link Shared per-direction arbiter.
+     * @param bus Timing parameters.
+     */
+    ChannelTransport(const ChannelSpec &spec, Store &tx_store,
+                     Store &rx_store, LinkArbiter &link,
+                     const BusParams &bus);
+
+    /**
+     * Pick up messages staged in the producer half at time @p now:
+     * marshal, acquire the link, and put them in flight. Safe to call
+     * repeatedly with non-decreasing @p now.
+     */
+    void pump(std::uint64_t now);
+
+    /**
+     * Move messages whose arrival time has passed into the consumer
+     * half. @return true when at least one message was delivered.
+     */
+    bool deliver(std::uint64_t now);
+
+    /** Earliest pending event (arrival or deferred pickup), or
+     *  UINT64_MAX when nothing is pending. */
+    std::uint64_t nextEventAt() const;
+
+    /** Messages staged or in flight? */
+    bool busy() const;
+
+    const ChannelSpec &spec() const { return spec_; }
+    const ChannelStats &stats() const { return stats_; }
+
+  private:
+    struct InFlight
+    {
+        Value msg;
+        std::uint64_t deliverAt;
+    };
+
+    int
+    rxCreditsFree() const
+    {
+        const PrimState &rx = rxStore.at(spec_.rxPrim);
+        return spec_.capacity - static_cast<int>(rx.queue.size()) -
+               static_cast<int>(inflight.size());
+    }
+
+    ChannelSpec spec_;
+    Store &txStore;
+    Store &rxStore;
+    LinkArbiter &link;
+    BusParams bus;
+    std::deque<InFlight> inflight;
+    std::uint64_t lastPumpTime = 0;
+    ChannelStats stats_;
+};
+
+} // namespace bcl
+
+#endif // BCL_PLATFORM_CHANNEL_HPP

@@ -1,0 +1,290 @@
+#include "platform/cosim.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hpp"
+
+namespace bcl {
+
+CoSim::CoSim(const PartitionResult &parts, CosimConfig config)
+    : cfg(std::move(config))
+{
+    for (const auto &part : parts.parts) {
+        if (cfg.kindOf(part.domain) == DomainKind::Software) {
+            SwProc p;
+            p.domain = part.domain;
+            p.store = std::make_unique<Store>(part.prog);
+            p.interp = std::make_unique<Interp>(part.prog, *p.store);
+            p.interp->costs() = cfg.swCosts;
+            p.engine =
+                std::make_unique<RuleEngine>(*p.interp, cfg.swStrategy);
+            swProcs.push_back(std::move(p));
+        } else {
+            HwProc p;
+            p.domain = part.domain;
+            p.store = std::make_unique<Store>(part.prog);
+            p.sim = std::make_unique<ClockSim>(part.prog, *p.store);
+            hwProcs.push_back(std::move(p));
+        }
+    }
+
+    for (const auto &chan : parts.channels) {
+        auto key = std::make_pair(chan.fromDomain, chan.toDomain);
+        auto it = links.find(key);
+        if (it == links.end()) {
+            it = links.emplace(key, std::make_unique<LinkArbiter>())
+                     .first;
+        }
+        transports.push_back(std::make_unique<ChannelTransport>(
+            chan, storeOf(chan.fromDomain), storeOf(chan.toDomain),
+            *it->second, cfg.bus));
+    }
+}
+
+void
+CoSim::setDriver(const std::string &domain, SwDriver driver)
+{
+    for (auto &p : swProcs) {
+        if (p.domain == domain) {
+            p.driver = std::move(driver);
+            return;
+        }
+    }
+    panic("setDriver: no software domain '" + domain + "'");
+}
+
+Store &
+CoSim::storeOf(const std::string &domain)
+{
+    for (auto &p : swProcs) {
+        if (p.domain == domain)
+            return *p.store;
+    }
+    for (auto &p : hwProcs) {
+        if (p.domain == domain)
+            return *p.store;
+    }
+    panic("storeOf: no domain '" + domain + "'");
+}
+
+Interp &
+CoSim::swInterp(const std::string &domain)
+{
+    for (auto &p : swProcs) {
+        if (p.domain == domain)
+            return *p.interp;
+    }
+    panic("swInterp: no software domain '" + domain + "'");
+}
+
+const HwStats *
+CoSim::hwStats(const std::string &domain) const
+{
+    for (const auto &p : hwProcs) {
+        if (p.domain == domain)
+            return &p.sim->stats();
+    }
+    return nullptr;
+}
+
+std::uint64_t
+CoSim::now() const
+{
+    double t = 0;
+    for (const auto &p : swProcs)
+        t = std::max(t, p.time);
+    for (const auto &p : hwProcs)
+        t = std::max(t, static_cast<double>(p.time));
+    return static_cast<std::uint64_t>(t);
+}
+
+std::uint64_t
+CoSim::swWork() const
+{
+    std::uint64_t w = 0;
+    for (const auto &p : swProcs)
+        w += p.interp->stats().work;
+    return w;
+}
+
+void
+CoSim::pumpFrom(const std::string &domain, std::uint64_t time)
+{
+    for (auto &t : transports) {
+        if (t->spec().fromDomain == domain)
+            t->pump(time);
+    }
+}
+
+bool
+CoSim::deliverTo(const std::string &domain, std::uint64_t time)
+{
+    bool any = false;
+    for (auto &t : transports) {
+        if (t->spec().toDomain == domain)
+            any |= t->deliver(time);
+    }
+    return any;
+}
+
+std::uint64_t
+CoSim::nextChannelEvent() const
+{
+    std::uint64_t next = std::numeric_limits<std::uint64_t>::max();
+    for (const auto &t : transports)
+        next = std::min(next, t->nextEventAt());
+    return next;
+}
+
+bool
+CoSim::sliceSoftware(SwProc &sw)
+{
+    const double work_to_cycles =
+        cfg.swCyclesPerWork / cfg.cpuClockRatio;
+    bool progress = false;
+    int fired = 0;
+    while (fired < cfg.swQuantum) {
+        // Re-pump on every step: a transfer deferred for credits must
+        // start as soon as the consumer drains, even if no further
+        // producer-side rule fires.
+        pumpFrom(sw.domain, static_cast<std::uint64_t>(sw.time));
+        if (deliverTo(sw.domain,
+                      static_cast<std::uint64_t>(sw.time))) {
+            sw.engine->poke();
+            sw.driverBlocked = false;
+        }
+        StepResult r = sw.engine->step();
+        if (r.rule >= 0) {
+            sw.time += static_cast<double>(r.workDelta) *
+                       work_to_cycles;
+            if (r.fired) {
+                fired++;
+                progress = true;
+                pumpFrom(sw.domain,
+                         static_cast<std::uint64_t>(sw.time));
+            }
+            continue;
+        }
+        // Engine quiescent: try the host driver once.
+        if (sw.driver.step && !sw.driverBlocked) {
+            std::uint64_t w = sw.driver.step(*sw.interp);
+            if (w > 0) {
+                sw.time += static_cast<double>(w) * work_to_cycles;
+                sw.engine->poke();
+                progress = true;
+                pumpFrom(sw.domain,
+                         static_cast<std::uint64_t>(sw.time));
+                continue;
+            }
+            sw.driverBlocked = true;
+        }
+        break;
+    }
+    return progress;
+}
+
+bool
+CoSim::sliceHardware(HwProc &hw, std::uint64_t horizon)
+{
+    bool progress = false;
+    // The slice always attempts at least one cycle, and an *active*
+    // partition keeps clocking past the horizon until its internal
+    // pipelines drain - hardware does not stop because software has
+    // nothing to say to it.
+    bool active = true;
+    while (hw.time < horizon || active) {
+        pumpFrom(hw.domain, hw.time);
+        if (deliverTo(hw.domain, hw.time))
+            progress = true;
+        int fired = hw.sim->cycle();
+        hw.time++;
+        active = fired > 0;
+        if (fired > 0) {
+            progress = true;
+            pumpFrom(hw.domain, hw.time);
+            continue;
+        }
+        if (hw.time >= horizon)
+            break;
+        // Idle inside the horizon: jump to the next delivery
+        // addressed to us (or stop).
+        std::uint64_t next = std::numeric_limits<std::uint64_t>::max();
+        for (const auto &t : transports) {
+            if (t->spec().toDomain == hw.domain)
+                next = std::min(next, t->nextEventAt());
+        }
+        if (next == std::numeric_limits<std::uint64_t>::max() ||
+            next >= horizon) {
+            break;
+        }
+        hw.time = std::max(hw.time, next);
+    }
+    return progress;
+}
+
+std::uint64_t
+CoSim::run(const std::function<bool(CoSim &)> &done)
+{
+    while (!done(*this)) {
+        if (now() > cfg.maxFpgaCycles)
+            fatal("co-simulation exceeded maxFpgaCycles");
+
+        bool progress = false;
+
+        for (auto &sw : swProcs)
+            progress |= sliceSoftware(sw);
+
+        // Hardware catches up to the latest software time plus one
+        // bus latency (so in-flight messages can land).
+        std::uint64_t horizon = 1;
+        for (auto &sw : swProcs) {
+            horizon = std::max(
+                horizon, static_cast<std::uint64_t>(sw.time) + 1);
+        }
+        std::uint64_t chan_next = nextChannelEvent();
+        if (chan_next != std::numeric_limits<std::uint64_t>::max())
+            horizon = std::max(horizon, chan_next + 1);
+
+        for (auto &hw : hwProcs)
+            progress |= sliceHardware(hw, horizon);
+
+        if (progress)
+            continue;
+
+        // Nothing ran. If channel events are pending, advance every
+        // blocked process to the event time, restart any deferred
+        // pickups, and retry.
+        std::uint64_t next = nextChannelEvent();
+        if (next != std::numeric_limits<std::uint64_t>::max()) {
+            for (auto &sw : swProcs) {
+                if (sw.time < static_cast<double>(next + 1))
+                    sw.time = static_cast<double>(next + 1);
+                sw.engine->poke();
+                sw.driverBlocked = false;
+                pumpFrom(sw.domain,
+                         static_cast<std::uint64_t>(sw.time));
+            }
+            for (auto &hw : hwProcs) {
+                // +1: the delivery must be visible in the cycle that
+                // observes it.
+                std::uint64_t t = next + 1;
+                if (hw.time < t)
+                    hw.time = t;
+                pumpFrom(hw.domain, hw.time);
+            }
+            continue;
+        }
+
+        // True quiescence: acceptable only when done() says so - the
+        // caller's predicate runs once more; otherwise deadlock.
+        if (done(*this))
+            break;
+        fatal("co-simulation deadlock: all partitions quiescent, no "
+              "messages in flight, and the completion predicate is "
+              "not satisfied");
+    }
+    return now();
+}
+
+} // namespace bcl

@@ -1,0 +1,58 @@
+#include "platform/marshal.hpp"
+
+#include "common/logging.hpp"
+
+namespace bcl {
+
+std::vector<std::uint32_t>
+marshalValue(const Value &v)
+{
+    std::vector<bool> bits;
+    v.packBits(bits);
+    std::vector<std::uint32_t> words((bits.size() + 31) / 32, 0);
+    for (size_t i = 0; i < bits.size(); i++) {
+        if (bits[i])
+            words[i / 32] |= 1u << (i % 32);
+    }
+    return words;
+}
+
+Value
+demarshalValue(const TypePtr &t, const std::vector<std::uint32_t> &words)
+{
+    int want = t->flatWidth();
+    if (static_cast<int>(words.size()) * 32 < want) {
+        panic("demarshal: " + std::to_string(words.size()) +
+              " words cannot hold " + t->str());
+    }
+    std::vector<bool> bits(static_cast<size_t>(want));
+    for (int i = 0; i < want; i++)
+        bits[static_cast<size_t>(i)] = (words[i / 32] >> (i % 32)) & 1;
+    size_t pos = 0;
+    Value v = t->unpackBits(bits, pos);
+    if (pos != bits.size())
+        panic("demarshal: type consumed wrong number of bits");
+    return v;
+}
+
+std::uint32_t
+encodeHeader(const MessageHeader &h)
+{
+    if (h.channel < 0 || h.channel >= (1 << 12))
+        panic("channel id out of range: " + std::to_string(h.channel));
+    if (h.words < 0 || h.words >= (1 << 20))
+        panic("message length out of range: " + std::to_string(h.words));
+    return (static_cast<std::uint32_t>(h.channel) << 20) |
+           static_cast<std::uint32_t>(h.words);
+}
+
+MessageHeader
+decodeHeader(std::uint32_t w)
+{
+    MessageHeader h;
+    h.channel = static_cast<int>(w >> 20);
+    h.words = static_cast<int>(w & 0xfffff);
+    return h;
+}
+
+} // namespace bcl

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Marshaling/demarshaling of typed BCL values into 32-bit bus words
+ * (section 4.4 of the paper: "the compiler handles the problem of
+ * marshaling and demarshaling messages"). Both sides of a channel
+ * derive the layout from the same Type, which is exactly how BCL
+ * eliminates the struct-layout/endianness mismatches of section 2.3:
+ * there is a single canonical flattening (little-endian bit order,
+ * fields in declaration order), not a per-compiler one.
+ */
+#ifndef BCL_PLATFORM_MARSHAL_HPP
+#define BCL_PLATFORM_MARSHAL_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+#include "core/value.hpp"
+
+namespace bcl {
+
+/** Flatten @p v into 32-bit words (canonical layout). */
+std::vector<std::uint32_t> marshalValue(const Value &v);
+
+/** Rebuild a value of type @p t from @p words (inverse of marshal). */
+Value demarshalValue(const TypePtr &t,
+                     const std::vector<std::uint32_t> &words);
+
+/** Message header carried in the first bus word of every transfer. */
+struct MessageHeader
+{
+    int channel = 0;  ///< virtual channel id (12 bits)
+    int words = 0;    ///< payload length in words (20 bits)
+};
+
+/** Pack a header into one word. */
+std::uint32_t encodeHeader(const MessageHeader &h);
+
+/** Unpack a header word. */
+MessageHeader decodeHeader(std::uint32_t w);
+
+} // namespace bcl
+
+#endif // BCL_PLATFORM_MARSHAL_HPP

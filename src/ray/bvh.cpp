@@ -1,0 +1,146 @@
+#include "ray/bvh.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.hpp"
+
+namespace bcl {
+namespace ray {
+
+namespace {
+
+constexpr int kLeafSize = 2;
+
+struct Builder
+{
+    const std::vector<Sphere> &spheres;
+    Bvh out;
+
+    int
+    build(std::vector<int> &idx, size_t lo, size_t hi)
+    {
+        Aabb box = Aabb::empty();
+        for (size_t i = lo; i < hi; i++)
+            box.grow(spheres[static_cast<size_t>(idx[i])]);
+
+        int node_id = static_cast<int>(out.nodes.size());
+        out.nodes.push_back({});
+        out.nodes[node_id].box = box;
+
+        if (hi - lo <= kLeafSize) {
+            out.nodes[node_id].leaf = 1;
+            out.nodes[node_id].a =
+                static_cast<std::int32_t>(out.leafPrims.size());
+            out.nodes[node_id].b = static_cast<std::int32_t>(hi - lo);
+            for (size_t i = lo; i < hi; i++)
+                out.leafPrims.push_back(idx[i]);
+            return node_id;
+        }
+
+        int axis = box.longestAxis();
+        auto key = [&](int s) {
+            const Vec3 &c = spheres[static_cast<size_t>(s)].center;
+            return axis == 0 ? c.x.raw : axis == 1 ? c.y.raw : c.z.raw;
+        };
+        size_t mid = lo + (hi - lo) / 2;
+        std::nth_element(idx.begin() + lo, idx.begin() + mid,
+                         idx.begin() + hi,
+                         [&](int s1, int s2) { return key(s1) < key(s2); });
+
+        int left = build(idx, lo, mid);
+        int right = build(idx, mid, hi);
+        out.nodes[node_id].a = left;
+        out.nodes[node_id].b = right;
+        out.nodes[node_id].leaf = 0;
+        return node_id;
+    }
+};
+
+int
+depthOf(const Bvh &bvh, int node)
+{
+    const BvhNode &n = bvh.nodes[static_cast<size_t>(node)];
+    if (n.leaf)
+        return 1;
+    return 1 + std::max(depthOf(bvh, n.a), depthOf(bvh, n.b));
+}
+
+} // namespace
+
+int
+Bvh::maxDepth() const
+{
+    return nodes.empty() ? 0 : depthOf(*this, 0);
+}
+
+Bvh
+buildBvh(const std::vector<Sphere> &spheres)
+{
+    if (spheres.empty())
+        fatal("buildBvh: empty scene");
+    std::vector<int> idx(spheres.size());
+    std::iota(idx.begin(), idx.end(), 0);
+    Builder b{spheres, {}};
+    b.build(idx, 0, idx.size());
+    return std::move(b.out);
+}
+
+TraceHit
+traverse(const Bvh &bvh, const std::vector<Sphere> &spheres,
+         const Ray3 &r)
+{
+    TraceHit best;
+    best.t = Fx16(0x7fffffff);
+
+    std::vector<int> stack;
+    stack.push_back(0);
+    while (!stack.empty()) {
+        int node_id = stack.back();
+        stack.pop_back();
+        const BvhNode &n = bvh.nodes[static_cast<size_t>(node_id)];
+        best.boxTests++;
+        HitT bh = boxIntersect(r, n.box);
+        if (!bh.hit || bh.t >= best.t)
+            continue;
+        if (n.leaf) {
+            for (int i = 0; i < n.b; i++) {
+                int s = bvh.leafPrims[static_cast<size_t>(n.a + i)];
+                best.geomTests++;
+                HitT gh = sphereIntersect(
+                    r, spheres[static_cast<size_t>(s)]);
+                if (gh.hit && gh.t < best.t) {
+                    best.t = gh.t;
+                    best.sphere = s;
+                    best.hit = true;
+                }
+            }
+        } else {
+            // Push b then a so a is tested first - the order the
+            // hardware FSM reproduces (PUSH2 writes b above a).
+            stack.push_back(n.b);
+            stack.push_back(n.a);
+        }
+    }
+    return best;
+}
+
+TraceHit
+bruteForce(const std::vector<Sphere> &spheres, const Ray3 &r)
+{
+    TraceHit best;
+    best.t = Fx16(0x7fffffff);
+    for (size_t s = 0; s < spheres.size(); s++) {
+        best.geomTests++;
+        HitT gh = sphereIntersect(r, spheres[s]);
+        if (gh.hit && gh.t < best.t) {
+            best.t = gh.t;
+            best.sphere = static_cast<int>(s);
+            best.hit = true;
+        }
+    }
+    return best;
+}
+
+} // namespace ray
+} // namespace bcl

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Bounding volume hierarchy construction and traversal (the "BVH
+ * Ctor" and the reference path of "BVH Trav" from Figure 14). The
+ * paper: "With the scene in this form, we can perform log(n)
+ * intersection tests instead of n in the number of scene primitives."
+ *
+ * Construction is median-split on the longest axis with small leaves;
+ * it runs in software in every partition (the Ctor stays SW in all of
+ * Figure 14's configurations). The flattened node array doubles as
+ * the BRAM image for the hardware partitions.
+ */
+#ifndef BCL_RAY_BVH_HPP
+#define BCL_RAY_BVH_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "ray/geom.hpp"
+
+namespace bcl {
+namespace ray {
+
+/** A flattened BVH node. Internal: a/b = child indices; leaf: a =
+ *  first index into leafPrims, b = primitive count. */
+struct BvhNode
+{
+    Aabb box;
+    std::int32_t a = 0;
+    std::int32_t b = 0;
+    std::int32_t leaf = 0;  ///< 1 = leaf
+};
+
+/** The built hierarchy. */
+struct Bvh
+{
+    std::vector<BvhNode> nodes;       ///< nodes[0] is the root
+    std::vector<std::int32_t> leafPrims;  ///< sphere indices
+
+    /** Maximum traversal stack depth possible for this tree. */
+    int maxDepth() const;
+};
+
+/** Build a BVH over @p spheres (leaf size <= 2). */
+Bvh buildBvh(const std::vector<Sphere> &spheres);
+
+/** Closest-hit result of a traversal. */
+struct TraceHit
+{
+    bool hit = false;
+    Fx16 t{0};
+    int sphere = -1;
+    std::uint64_t boxTests = 0;   ///< statistics
+    std::uint64_t geomTests = 0;
+};
+
+/**
+ * Reference stack traversal: closest hit of @p r against the scene.
+ * Visits children strictly in (a, b) push order so the hardware FSM
+ * reproduces the identical test sequence (and therefore identical
+ * fixed-point results).
+ */
+TraceHit traverse(const Bvh &bvh, const std::vector<Sphere> &spheres,
+                  const Ray3 &r);
+
+/** Brute-force closest hit over all spheres (oracle for tests and
+ *  the log(n)-vs-n scaling bench). */
+TraceHit bruteForce(const std::vector<Sphere> &spheres, const Ray3 &r);
+
+} // namespace ray
+} // namespace bcl
+
+#endif // BCL_RAY_BVH_HPP

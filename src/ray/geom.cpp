@@ -1,0 +1,97 @@
+#include "ray/geom.hpp"
+
+#include <algorithm>
+
+namespace bcl {
+namespace ray {
+
+void
+Aabb::grow(const Sphere &s)
+{
+    lo.x = std::min(lo.x, s.center.x - s.radius);
+    lo.y = std::min(lo.y, s.center.y - s.radius);
+    lo.z = std::min(lo.z, s.center.z - s.radius);
+    hi.x = std::max(hi.x, s.center.x + s.radius);
+    hi.y = std::max(hi.y, s.center.y + s.radius);
+    hi.z = std::max(hi.z, s.center.z + s.radius);
+}
+
+void
+Aabb::grow(const Aabb &b)
+{
+    lo.x = std::min(lo.x, b.lo.x);
+    lo.y = std::min(lo.y, b.lo.y);
+    lo.z = std::min(lo.z, b.lo.z);
+    hi.x = std::max(hi.x, b.hi.x);
+    hi.y = std::max(hi.y, b.hi.y);
+    hi.z = std::max(hi.z, b.hi.z);
+}
+
+int
+Aabb::longestAxis() const
+{
+    Fx16 ex = hi.x - lo.x, ey = hi.y - lo.y, ez = hi.z - lo.z;
+    if (ex >= ey && ex >= ez)
+        return 0;
+    return ey >= ez ? 1 : 2;
+}
+
+Aabb
+Aabb::empty()
+{
+    constexpr std::int32_t big = 0x7fffffff;
+    Aabb b;
+    b.lo = {Fx16(big), Fx16(big), Fx16(big)};
+    b.hi = {Fx16(-big), Fx16(-big), Fx16(-big)};
+    return b;
+}
+
+HitT
+boxIntersect(const Ray3 &r, const Aabb &b)
+{
+    // Per axis: t1 = (lo - o)/d, t2 = (hi - o)/d; near = min, far =
+    // max; tnear = max over axes, tfar = min over axes.
+    auto axis = [&](Fx16 lo, Fx16 hi, Fx16 o, Fx16 d, Fx16 &near,
+                    Fx16 &far) {
+        Fx16 t1 = (lo - o) / d;
+        Fx16 t2 = (hi - o) / d;
+        near = t1 <= t2 ? t1 : t2;
+        far = t1 <= t2 ? t2 : t1;
+    };
+    Fx16 nx, fx, ny, fy, nz, fz;
+    axis(b.lo.x, b.hi.x, r.o.x, r.d.x, nx, fx);
+    axis(b.lo.y, b.hi.y, r.o.y, r.d.y, ny, fy);
+    axis(b.lo.z, b.hi.z, r.o.z, r.d.z, nz, fz);
+    Fx16 tnear = nx >= ny ? nx : ny;
+    tnear = tnear >= nz ? tnear : nz;
+    Fx16 tfar = fx <= fy ? fx : fy;
+    tfar = tfar <= fz ? tfar : fz;
+
+    HitT h;
+    h.hit = tnear <= tfar && tfar >= Fx16(0);
+    h.t = tnear >= Fx16(0) ? tnear : Fx16(0);
+    return h;
+}
+
+HitT
+sphereIntersect(const Ray3 &r, const Sphere &s)
+{
+    Vec3 oc = r.o - s.center;
+    Fx16 a = dot(r.d, r.d);
+    Fx16 b = dot(oc, r.d);
+    Fx16 c = dot(oc, oc) - s.radius * s.radius;
+    Fx16 disc = b * b - a * c;
+    HitT h;
+    if (disc < Fx16(0))
+        return h;
+    Fx16 sq = disc.sqrt();
+    Fx16 t = (-b - sq) / a;
+    if (t > Fx16(kHitEpsilonRaw)) {
+        h.hit = true;
+        h.t = t;
+    }
+    return h;
+}
+
+} // namespace ray
+} // namespace bcl

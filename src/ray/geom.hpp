@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Geometry substrate for the ray tracer of section 7.2: Q16.16 vector
+ * math, axis-aligned boxes, spheres, and the two intersection kernels
+ * ("Box Inter" and "Geom Inter" in Figure 14). The functions here are
+ * the single source of truth for the intersection math: the native
+ * reference calls them directly and the BCL builder emits the same
+ * operation sequence, so images match bit for bit.
+ */
+#ifndef BCL_RAY_GEOM_HPP
+#define BCL_RAY_GEOM_HPP
+
+#include <cstdint>
+
+#include "fixpt/fixpt.hpp"
+
+namespace bcl {
+namespace ray {
+
+/** 3-vector in Q16.16. */
+struct Vec3
+{
+    Fx16 x, y, z;
+
+    friend Vec3
+    operator+(Vec3 a, Vec3 b)
+    {
+        return {a.x + b.x, a.y + b.y, a.z + b.z};
+    }
+
+    friend Vec3
+    operator-(Vec3 a, Vec3 b)
+    {
+        return {a.x - b.x, a.y - b.y, a.z - b.z};
+    }
+
+    /** Component-wise scale. */
+    friend Vec3
+    operator*(Vec3 a, Fx16 s)
+    {
+        return {a.x * s, a.y * s, a.z * s};
+    }
+};
+
+/** Dot product (three MulFx + two adds, matching the kernel emit). */
+inline Fx16
+dot(Vec3 a, Vec3 b)
+{
+    return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+
+/** A sphere primitive. */
+struct Sphere
+{
+    Vec3 center;
+    Fx16 radius;
+    std::uint32_t color = 0;  ///< packed 0x00RRGGBB base color
+};
+
+/** An axis-aligned bounding box. */
+struct Aabb
+{
+    Vec3 lo, hi;
+
+    /** Grow to cover @p s. */
+    void grow(const Sphere &s);
+
+    /** Grow to cover another box. */
+    void grow(const Aabb &b);
+
+    /** The axis (0/1/2) with the largest extent. */
+    int longestAxis() const;
+
+    /** An empty (inverted) box ready for grow(). */
+    static Aabb empty();
+};
+
+/** A ray (origin + unnormalized direction). */
+struct Ray3
+{
+    Vec3 o, d;
+};
+
+/** Result of an intersection test. */
+struct HitT
+{
+    bool hit = false;
+    Fx16 t{0};
+};
+
+/**
+ * Slab test of @p r against @p b ("Box Inter"): entry distance of the
+ * ray into the box, hit when the slabs overlap in front of the
+ * origin. Exact op order documented in DESIGN.md; direction
+ * components must be nonzero (workload guarantees it).
+ */
+HitT boxIntersect(const Ray3 &r, const Aabb &b);
+
+/**
+ * Quadratic sphere test ("Geom Inter"): nearest positive root beyond
+ * a small epsilon.
+ */
+HitT sphereIntersect(const Ray3 &r, const Sphere &s);
+
+/** The epsilon used by sphereIntersect (raw Q16.16). */
+constexpr std::int32_t kHitEpsilonRaw = 1 << 8;  // 2^-8
+
+} // namespace ray
+} // namespace bcl
+
+#endif // BCL_RAY_GEOM_HPP

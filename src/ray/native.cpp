@@ -1,0 +1,105 @@
+#include "ray/native.hpp"
+
+namespace bcl {
+namespace ray {
+
+namespace {
+
+constexpr std::uint64_t wAdd = 1;
+constexpr std::uint64_t wMul = 4;
+constexpr std::uint64_t wDiv = 12;
+constexpr std::uint64_t wSqrt = 20;
+constexpr std::uint64_t wElem = 2;
+
+constexpr std::uint64_t boxTestWork =
+    6 * (wAdd + wDiv) + 8 * wAdd + 4 * wElem;
+constexpr std::uint64_t geomTestWork =
+    3 * (3 * wMul + 2 * wAdd) + 3 * wMul + wSqrt + wDiv + 6 * wElem;
+constexpr std::uint64_t nodeStepWork = 6 * wElem;
+constexpr std::uint64_t shadeWork =
+    2 * (3 * wMul + 2 * wAdd) + wSqrt + wDiv + 8 * wMul + 10 * wElem;
+
+} // namespace
+
+std::uint32_t
+scaleColor(std::uint32_t packed, Fx16 factor)
+{
+    auto ch = [&](int shift) -> std::uint32_t {
+        std::int32_t c =
+            static_cast<std::int32_t>((packed >> shift) & 0xff);
+        // Plain 32-bit multiply then >>16, matching the kernel emit
+        // (Mul + LShr on raws).
+        std::int32_t scaled = static_cast<std::int32_t>(
+            (static_cast<std::int64_t>(c) * factor.raw) & 0xffffffffll);
+        return static_cast<std::uint32_t>((scaled >> 16) & 0xff);
+    };
+    return (ch(16) << 16) | (ch(8) << 8) | ch(0);
+}
+
+std::uint32_t
+shadeHit(const Sphere &sphere, const Ray3 &r, Fx16 t, const Camera &cam,
+         const ShadeParams &sp)
+{
+    Vec3 p = {r.o.x + r.d.x * t, r.o.y + r.d.y * t,
+              r.o.z + r.d.z * t};
+    Vec3 n = p - sphere.center;
+    Fx16 ndl = dot(n, cam.lightDir);
+    Fx16 nlen = dot(n, n).sqrt();
+    Fx16 shade = sp.ambient;
+    if (ndl > Fx16(0))
+        shade = sp.ambient + (sp.diffuse * ndl) / nlen;
+    if (shade > Fx16::fromDouble(1.0))
+        shade = Fx16::fromDouble(1.0);
+    return scaleColor(sphere.color, shade);
+}
+
+RenderResult
+renderNative(const std::vector<Sphere> &scene, const Bvh &bvh,
+             const Camera &cam, int w, int h, const ShadeParams &sp)
+{
+    RenderResult out;
+    out.pixels.assign(static_cast<size_t>(w) * h, 0);
+
+    for (int py = 0; py < h; py++) {
+        for (int px = 0; px < w; px++) {
+            Ray3 r = primaryRay(cam, px, py, w, h);
+            out.work += 6 * wElem;
+            TraceHit hit = traverse(bvh, scene, r);
+            out.boxTests += hit.boxTests;
+            out.geomTests += hit.geomTests;
+            out.work += hit.boxTests * (boxTestWork + nodeStepWork) +
+                        hit.geomTests * geomTestWork;
+
+            std::uint32_t pixel = sp.background;
+            if (hit.hit) {
+                const Sphere &s =
+                    scene[static_cast<size_t>(hit.sphere)];
+                pixel = shadeHit(s, r, hit.t, cam, sp);
+                out.work += shadeWork;
+
+                // Shadow ray toward the light.
+                Vec3 p = {r.o.x + r.d.x * hit.t,
+                          r.o.y + r.d.y * hit.t,
+                          r.o.z + r.d.z * hit.t};
+                Vec3 n = p - s.center;
+                Ray3 shadow;
+                shadow.o = p + n * sp.shadowPush;
+                shadow.d = cam.lightDir;
+                out.work += 6 * wMul;
+                TraceHit sh = traverse(bvh, scene, shadow);
+                out.boxTests += sh.boxTests;
+                out.geomTests += sh.geomTests;
+                out.work +=
+                    sh.boxTests * (boxTestWork + nodeStepWork) +
+                    sh.geomTests * geomTestWork;
+                if (sh.hit)
+                    pixel = scaleColor(pixel, sp.shadowFactor);
+            }
+            out.pixels[static_cast<size_t>(py) * w + px] = pixel;
+        }
+    }
+    return out;
+}
+
+} // namespace ray
+} // namespace bcl

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Hand-written reference ray tracer (the full-software oracle of
+ * section 7.2). Renders the identical image, bit for bit, as every
+ * BCL partitioning: primary ray -> BVH closest hit -> Lambert-style
+ * shading with one shadow ray, all in Q16.16 with the shared
+ * intersection kernels of geom.hpp. Instrumented with the same
+ * abstract work units as the other native baselines.
+ */
+#ifndef BCL_RAY_NATIVE_HPP
+#define BCL_RAY_NATIVE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "ray/bvh.hpp"
+#include "ray/scenegen.hpp"
+
+namespace bcl {
+namespace ray {
+
+/** Shading constants (quantized once; shared with the BCL emit). */
+struct ShadeParams
+{
+    Fx16 ambient = Fx16::fromDouble(0.15);
+    Fx16 diffuse = Fx16::fromDouble(0.85);
+    Fx16 shadowFactor = Fx16::fromDouble(0.45);
+    Fx16 shadowPush = Fx16::fromDouble(0.25);  ///< origin offset x n
+    std::uint32_t background = 0x101010;
+};
+
+/** Result of a native render. */
+struct RenderResult
+{
+    std::vector<std::uint32_t> pixels;  ///< row-major 0x00RRGGBB
+    std::uint64_t work = 0;
+    std::uint64_t boxTests = 0;
+    std::uint64_t geomTests = 0;
+};
+
+/** Scale a packed color's channels by a Q16.16 factor (the exact
+ *  channel math of the shading rules). */
+std::uint32_t scaleColor(std::uint32_t packed, Fx16 factor);
+
+/** Shade a confirmed hit (no shadow applied yet). */
+std::uint32_t shadeHit(const Sphere &sphere, const Ray3 &r, Fx16 t,
+                       const Camera &cam, const ShadeParams &sp);
+
+/** Render a w x h image. */
+RenderResult renderNative(const std::vector<Sphere> &scene,
+                          const Bvh &bvh, const Camera &cam, int w,
+                          int h,
+                          const ShadeParams &sp = ShadeParams{});
+
+} // namespace ray
+} // namespace bcl
+
+#endif // BCL_RAY_NATIVE_HPP

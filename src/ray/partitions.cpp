@@ -1,0 +1,111 @@
+#include "ray/partitions.hpp"
+
+#include "common/logging.hpp"
+#include "core/domains.hpp"
+#include "core/elaborate.hpp"
+#include "core/partition.hpp"
+
+namespace bcl {
+namespace ray {
+
+std::vector<RayPartition>
+allRayPartitions()
+{
+    return {RayPartition::A, RayPartition::B, RayPartition::C,
+            RayPartition::D};
+}
+
+const char *
+rayPartitionName(RayPartition p)
+{
+    switch (p) {
+      case RayPartition::A: return "A";
+      case RayPartition::B: return "B";
+      case RayPartition::C: return "C";
+      case RayPartition::D: return "D";
+    }
+    return "?";
+}
+
+const char *
+rayPartitionDescription(RayPartition p)
+{
+    switch (p) {
+      case RayPartition::A: return "full SW";
+      case RayPartition::B: return "Box+Geom intersect in HW";
+      case RayPartition::C: return "BVH traversal engine + BRAM scene in HW";
+      case RayPartition::D: return "Geom intersect in HW";
+    }
+    return "?";
+}
+
+RayConfig
+rayPartitionConfig(RayPartition p, int width, int height)
+{
+    RayConfig cfg;
+    cfg.width = width;
+    cfg.height = height;
+    switch (p) {
+      case RayPartition::A:
+        break;
+      case RayPartition::B:
+        cfg.boxDom = "HW";
+        cfg.geomDom = "HW";
+        break;
+      case RayPartition::C:
+        cfg.travDom = "HW";
+        cfg.boxDom = "HW";
+        cfg.geomDom = "HW";
+        break;
+      case RayPartition::D:
+        cfg.geomDom = "HW";
+        break;
+    }
+    return cfg;
+}
+
+RayRunResult
+runRayPartition(RayPartition p, int width, int height, int prim_count,
+                const CosimConfig *cfg_override, std::uint64_t seed)
+{
+    std::vector<Sphere> scene = makeScene(prim_count, seed);
+    Bvh bvh = buildBvh(scene);
+    Camera cam = makeCamera();
+
+    Program prog = makeRayProgram(rayPartitionConfig(p, width, height),
+                                  scene, bvh, cam);
+    ElabProgram elab = elaborate(prog);
+    DomainAssignment doms = inferDomains(elab);
+    PartitionResult parts = partitionProgram(elab, doms);
+
+    CosimConfig cfg = cfg_override ? *cfg_override : CosimConfig{};
+    CoSim cosim(parts, cfg);
+
+    const PartitionPart &sw = parts.part("SW");
+    int done_cnt = sw.prog.primByPath("doneCnt");
+    int fb = sw.prog.primByPath("fb");
+    const std::uint64_t total =
+        static_cast<std::uint64_t>(width) * height;
+
+    std::uint64_t cycles = cosim.run([&](CoSim &cs) {
+        return cs.storeOf("SW").at(done_cnt).val.asUInt() == total;
+    });
+
+    RayRunResult res;
+    res.fpgaCycles = cycles;
+    res.swWork = cosim.swInterp().stats().work;
+    const Value &image = cosim.storeOf("SW").at(fb).val;
+    res.pixels.reserve(total);
+    for (const Value &px : image.elems())
+        res.pixels.push_back(static_cast<std::uint32_t>(px.asUInt()));
+    if (const HwStats *hw = cosim.hwStats("HW"))
+        res.hwRuleFires = hw->rulesFired;
+    for (const auto &chan : cosim.channels()) {
+        res.messages += chan->stats().messages;
+        res.channelWords += chan->stats().payloadWords;
+    }
+    return res;
+}
+
+} // namespace ray
+} // namespace bcl

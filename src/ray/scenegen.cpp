@@ -1,0 +1,64 @@
+#include "ray/scenegen.hpp"
+
+#include "common/rng.hpp"
+
+namespace bcl {
+namespace ray {
+
+Camera
+makeCamera()
+{
+    Camera cam;
+    cam.origin = {Fx16::fromDouble(0.0), Fx16::fromDouble(0.0),
+                  Fx16::fromDouble(-4.0)};
+    cam.pixelScale = Fx16::fromDouble(0.0625);
+    // Light from up-left-behind, normalized in double then quantized.
+    cam.lightDir = {Fx16::fromDouble(-0.4851), Fx16::fromDouble(0.7276),
+                    Fx16::fromDouble(-0.4851)};
+    return cam;
+}
+
+std::vector<Sphere>
+makeScene(int count, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Sphere> spheres;
+    spheres.reserve(count);
+    for (int i = 0; i < count; i++) {
+        Sphere s;
+        // Coordinates in [-3, 3] x [-3, 3] x [1, 6]; radius in
+        // [0.05, 0.30]. Squared distances stay < 100, well inside
+        // Q16.16.
+        s.center.x = Fx16(static_cast<std::int32_t>(
+            rng.range(-(3 << 16), 3 << 16)));
+        s.center.y = Fx16(static_cast<std::int32_t>(
+            rng.range(-(3 << 16), 3 << 16)));
+        s.center.z = Fx16(static_cast<std::int32_t>(
+            rng.range(1 << 16, 6 << 16)));
+        s.radius = Fx16(static_cast<std::int32_t>(
+            rng.range(3277, 19661)));
+        std::uint32_t r8 = 64 + static_cast<std::uint32_t>(rng.below(192));
+        std::uint32_t g8 = 64 + static_cast<std::uint32_t>(rng.below(192));
+        std::uint32_t b8 = 64 + static_cast<std::uint32_t>(rng.below(192));
+        s.color = (r8 << 16) | (g8 << 8) | b8;
+        spheres.push_back(s);
+    }
+    return spheres;
+}
+
+Ray3
+primaryRay(const Camera &cam, int px, int py, int w, int h)
+{
+    Ray3 r;
+    r.o = cam.origin;
+    // d = ((px - w/2)*scale + scale/2, ..., 1.0); all components
+    // nonzero by the half-pixel offset.
+    Fx16 half = Fx16(cam.pixelScale.raw / 2);
+    r.d.x = Fx16((px - w / 2) * cam.pixelScale.raw) + half;
+    r.d.y = Fx16((py - h / 2) * cam.pixelScale.raw) + half;
+    r.d.z = Fx16::fromDouble(1.0);
+    return r;
+}
+
+} // namespace ray
+} // namespace bcl

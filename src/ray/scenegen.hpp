@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Deterministic procedural scenes for the ray tracer benchmark
+ * ("a small benchmark consisting of 1024 geometry primitives",
+ * section 7.2). Spheres are scattered in a slab in front of the
+ * camera with bounded coordinates so every intermediate value of the
+ * Q16.16 math stays in range.
+ */
+#ifndef BCL_RAY_SCENEGEN_HPP
+#define BCL_RAY_SCENEGEN_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "ray/geom.hpp"
+
+namespace bcl {
+namespace ray {
+
+/** Camera / lighting setup shared by every implementation. */
+struct Camera
+{
+    Vec3 origin;    ///< ray origin
+    Fx16 pixelScale;  ///< screen-space step per pixel
+    Vec3 lightDir;  ///< unit-ish light direction (toward the light)
+};
+
+/** The canonical camera. */
+Camera makeCamera();
+
+/** Generate @p count spheres (deterministic in @p seed). */
+std::vector<Sphere> makeScene(int count, std::uint64_t seed = 4242);
+
+/** Primary ray through pixel (px, py) of a w x h image. */
+Ray3 primaryRay(const Camera &cam, int px, int py, int w, int h);
+
+} // namespace ray
+} // namespace bcl
+
+#endif // BCL_RAY_SCENEGEN_HPP

@@ -1,0 +1,740 @@
+#include "ray/trace_bcl.hpp"
+
+#include "common/logging.hpp"
+#include "core/builder.hpp"
+
+namespace bcl {
+namespace ray {
+
+namespace {
+
+constexpr int fb16 = Fx16::fracBits;
+
+// Traversal FSM states.
+constexpr int stIdle = 0;
+constexpr int stPop = 1;
+constexpr int stBoxWait = 2;
+constexpr int stPush2 = 3;
+constexpr int stLeaf = 4;
+constexpr int stGeomWait = 5;
+
+TypePtr
+w32()
+{
+    return Type::bits(32);
+}
+
+ExprPtr
+c32(std::int64_t v)
+{
+    return intE(32, v);
+}
+
+ExprPtr
+cfx(Fx16 v)
+{
+    return intE(32, v.raw);
+}
+
+ExprPtr
+fmul(ExprPtr a, ExprPtr b)
+{
+    return primE(PrimOp::MulFx, {std::move(a), std::move(b)}, fb16);
+}
+
+ExprPtr
+fdiv(ExprPtr a, ExprPtr b)
+{
+    return primE(PrimOp::DivFx, {std::move(a), std::move(b)}, fb16);
+}
+
+ExprPtr
+fsqrt(ExprPtr a)
+{
+    return primE(PrimOp::SqrtFx, {std::move(a)}, fb16);
+}
+
+ExprPtr
+add2(ExprPtr a, ExprPtr b)
+{
+    return primE(PrimOp::Add, {std::move(a), std::move(b)});
+}
+
+ExprPtr
+sub2(ExprPtr a, ExprPtr b)
+{
+    return primE(PrimOp::Sub, {std::move(a), std::move(b)});
+}
+
+ExprPtr
+fld(const ExprPtr &s, const std::string &name)
+{
+    return primE(PrimOp::Field, {s}, 0, name);
+}
+
+ExprPtr
+eq2(ExprPtr a, ExprPtr b)
+{
+    return primE(PrimOp::Eq, {std::move(a), std::move(b)});
+}
+
+ExprPtr
+and2(ExprPtr a, ExprPtr b)
+{
+    return primE(PrimOp::And, {std::move(a), std::move(b)});
+}
+
+/** dot over named vector components of two let-bound struct vars. */
+ExprPtr
+dot3(const ExprPtr &ax, const ExprPtr &ay, const ExprPtr &az,
+     const ExprPtr &bx, const ExprPtr &by, const ExprPtr &bz)
+{
+    // (x*x' + y*y') + z*z' - matches geom.hpp's dot().
+    return add2(add2(fmul(ax, bx), fmul(ay, by)), fmul(az, bz));
+}
+
+/** Build a MakeStruct with the given field names/values. */
+ExprPtr
+mkRec(const std::vector<std::pair<std::string, ExprPtr>> &fields)
+{
+    std::vector<std::string> names;
+    std::vector<ExprPtr> vals;
+    for (const auto &[n, v] : fields) {
+        names.push_back(n);
+        vals.push_back(v);
+    }
+    std::string joined;
+    for (size_t i = 0; i < names.size(); i++) {
+        if (i)
+            joined += ",";
+        joined += names[i];
+    }
+    return primE(PrimOp::MakeStruct, vals, 0, joined);
+}
+
+ActPtr
+letChainA(std::vector<std::pair<std::string, ExprPtr>> binds, ActPtr body)
+{
+    for (auto it = binds.rbegin(); it != binds.rend(); ++it)
+        body = letA(it->first, it->second, body);
+    return body;
+}
+
+/** Record types. */
+TypePtr
+rayType()
+{
+    static TypePtr t = Type::record(
+        "Ray", {{"kind", Type::bits(32)}, {"tag", Type::bits(32)},
+                {"ox", Type::bits(32)}, {"oy", Type::bits(32)},
+                {"oz", Type::bits(32)}, {"dx", Type::bits(32)},
+                {"dy", Type::bits(32)}, {"dz", Type::bits(32)}});
+    return t;
+}
+
+TypePtr
+boxReqType()
+{
+    static TypePtr t = Type::record(
+        "BoxReq",
+        {{"ox", Type::bits(32)}, {"oy", Type::bits(32)},
+         {"oz", Type::bits(32)}, {"dx", Type::bits(32)},
+         {"dy", Type::bits(32)}, {"dz", Type::bits(32)},
+         {"lx", Type::bits(32)}, {"ly", Type::bits(32)},
+         {"lz", Type::bits(32)}, {"hx", Type::bits(32)},
+         {"hy", Type::bits(32)}, {"hz", Type::bits(32)}});
+    return t;
+}
+
+TypePtr
+geomReqType()
+{
+    static TypePtr t = Type::record(
+        "GeomReq",
+        {{"ox", Type::bits(32)}, {"oy", Type::bits(32)},
+         {"oz", Type::bits(32)}, {"dx", Type::bits(32)},
+         {"dy", Type::bits(32)}, {"dz", Type::bits(32)},
+         {"cx", Type::bits(32)}, {"cy", Type::bits(32)},
+         {"cz", Type::bits(32)}, {"r", Type::bits(32)}});
+    return t;
+}
+
+TypePtr
+rspType()
+{
+    static TypePtr t = Type::record(
+        "Rsp", {{"hit", Type::bits(32)}, {"t", Type::bits(32)}});
+    return t;
+}
+
+TypePtr
+hitRecType()
+{
+    static TypePtr t = Type::record(
+        "HitRec",
+        {{"kind", Type::bits(32)}, {"tag", Type::bits(32)},
+         {"hit", Type::bits(32)}, {"t", Type::bits(32)},
+         {"px", Type::bits(32)}, {"py", Type::bits(32)},
+         {"pz", Type::bits(32)}, {"cx", Type::bits(32)},
+         {"cy", Type::bits(32)}, {"cz", Type::bits(32)},
+         {"idx", Type::bits(32)}});
+    return t;
+}
+
+TypePtr
+bvhNodeType()
+{
+    static TypePtr t = Type::record(
+        "BvhN", {{"lx", Type::bits(32)}, {"ly", Type::bits(32)},
+                 {"lz", Type::bits(32)}, {"hx", Type::bits(32)},
+                 {"hy", Type::bits(32)}, {"hz", Type::bits(32)},
+                 {"a", Type::bits(32)}, {"b", Type::bits(32)},
+                 {"leaf", Type::bits(32)}});
+    return t;
+}
+
+TypePtr
+sphType()
+{
+    static TypePtr t = Type::record(
+        "Sph", {{"cx", Type::bits(32)}, {"cy", Type::bits(32)},
+                {"cz", Type::bits(32)}, {"r", Type::bits(32)}});
+    return t;
+}
+
+Value
+i32v(std::int64_t v)
+{
+    return Value::makeInt(32, v);
+}
+
+Value
+bvhNodeValue(const BvhNode &n)
+{
+    return Value::makeStruct({{"lx", i32v(n.box.lo.x.raw)},
+                              {"ly", i32v(n.box.lo.y.raw)},
+                              {"lz", i32v(n.box.lo.z.raw)},
+                              {"hx", i32v(n.box.hi.x.raw)},
+                              {"hy", i32v(n.box.hi.y.raw)},
+                              {"hz", i32v(n.box.hi.z.raw)},
+                              {"a", i32v(n.a)},
+                              {"b", i32v(n.b)},
+                              {"leaf", i32v(n.leaf)}});
+}
+
+Value
+sphereValue(const Sphere &s)
+{
+    return Value::makeStruct({{"cx", i32v(s.center.x.raw)},
+                              {"cy", i32v(s.center.y.raw)},
+                              {"cz", i32v(s.center.z.raw)},
+                              {"r", i32v(s.radius.raw)}});
+}
+
+/** Channel-scale color: And(LShr(Mul(ch, f), 16), 0xff) per channel,
+ *  repacked - the exact math of native scaleColor(). Operands must be
+ *  cheap (vars/consts). */
+ExprPtr
+scaleColorE(const ExprPtr &packed, const ExprPtr &factor)
+{
+    auto ch = [&](int shift) {
+        ExprPtr c = primE(PrimOp::And,
+                          {primE(PrimOp::LShr, {packed, c32(shift)}),
+                           c32(0xff)});
+        return primE(PrimOp::And,
+                     {primE(PrimOp::LShr,
+                            {primE(PrimOp::Mul, {c, factor}),
+                             c32(16)}),
+                      c32(0xff)});
+    };
+    return primE(PrimOp::Or,
+                 {primE(PrimOp::Or,
+                        {primE(PrimOp::Shl, {ch(16), c32(16)}),
+                         primE(PrimOp::Shl, {ch(8), c32(8)})}),
+                  ch(0)});
+}
+
+} // namespace
+
+Program
+makeRayProgram(const RayConfig &cfg, const std::vector<Sphere> &scene,
+               const Bvh &bvh, const Camera &cam, const ShadeParams &sp)
+{
+    if (bvh.maxDepth() > 30)
+        fatal("makeRayProgram: BVH too deep for the 64-entry stack");
+
+    const int W = cfg.width, H = cfg.height;
+    ModuleBuilder b("RayTop");
+
+    // --- memories -----------------------------------------------------
+    std::vector<Value> nodes, sphs, leaves, colors;
+    for (const auto &n : bvh.nodes)
+        nodes.push_back(bvhNodeValue(n));
+    for (const auto &s : scene)
+        sphs.push_back(sphereValue(s));
+    for (std::int32_t i : bvh.leafPrims)
+        leaves.push_back(i32v(i));
+    for (const auto &s : scene)
+        colors.push_back(i32v(s.color));
+
+    b.addBram("bvhT", bvhNodeType(), static_cast<int>(nodes.size()),
+              nodes);
+    b.addBram("leafT", w32(), static_cast<int>(leaves.size()), leaves);
+    b.addBram("sceneT", sphType(), static_cast<int>(sphs.size()), sphs);
+    b.addBram("colorT", w32(), static_cast<int>(colors.size()), colors);
+    b.addBram("pendT", w32(), W * H);
+    b.addBram("stackB", w32(), 64);
+    b.addBitmap("fb", W, H, "SW");
+
+    // --- synchronizers (one virtual channel per ray class) -------------
+    b.addSync("rayQ", rayType(), cfg.syncDepth, "SW", cfg.travDom);
+    b.addSync("shadowQ", rayType(), cfg.syncDepth, "SW", cfg.travDom);
+    b.addSync("hitQ", hitRecType(), cfg.syncDepth, cfg.travDom, "SW");
+    b.addSync("hitQ2", hitRecType(), cfg.syncDepth, cfg.travDom, "SW");
+    b.addSync("boxReqQ", boxReqType(), cfg.syncDepth, cfg.travDom,
+              cfg.boxDom);
+    b.addSync("boxRspQ", rspType(), cfg.syncDepth, cfg.boxDom,
+              cfg.travDom);
+    b.addSync("geomReqQ", geomReqType(), cfg.syncDepth, cfg.travDom,
+              cfg.geomDom);
+    b.addSync("geomRspQ", rspType(), cfg.syncDepth, cfg.geomDom,
+              cfg.travDom);
+
+    // --- registers ------------------------------------------------------
+    b.addReg("px", w32());
+    b.addReg("py", w32());
+    b.addReg("doneCnt", w32());
+    for (const char *r : {"cox", "coy", "coz", "cdx", "cdy", "cdz",
+                          "ckind", "ctag", "sp", "best", "bestIdx",
+                          "nA", "nB", "nLeaf", "li", "curS", "state"}) {
+        b.addReg(r, w32());
+    }
+
+    // ====================================================================
+    // Ray Gen (SW)
+    // ====================================================================
+    {
+        // d = ((px - W/2)*scale + half, (py - H/2)*scale + half, 1).
+        ExprPtr half = c32(cam.pixelScale.raw / 2);
+        ExprPtr dx = add2(primE(PrimOp::Mul,
+                                {sub2(regRead("px"), c32(W / 2)),
+                                 c32(cam.pixelScale.raw)}),
+                          half);
+        ExprPtr dy = add2(primE(PrimOp::Mul,
+                                {sub2(regRead("py"), c32(H / 2)),
+                                 c32(cam.pixelScale.raw)}),
+                          half);
+        ExprPtr ray = mkRec(
+            {{"kind", c32(0)},
+             {"tag", add2(primE(PrimOp::Mul, {regRead("py"), c32(W)}),
+                          regRead("px"))},
+             {"ox", cfx(cam.origin.x)},
+             {"oy", cfx(cam.origin.y)},
+             {"oz", cfx(cam.origin.z)},
+             {"dx", std::move(dx)},
+             {"dy", std::move(dy)},
+             {"dz", cfx(Fx16::fromDouble(1.0))}});
+        ExprPtr last_col = eq2(regRead("px"), c32(W - 1));
+        ActPtr body = parA(
+            {callA("rayQ", "enq", {std::move(ray)}),
+             ifA(last_col,
+                 parA({regWrite("px", c32(0)),
+                       regWrite("py", add2(regRead("py"), c32(1)))})),
+             ifA(primE(PrimOp::Ne, {regRead("px"), c32(W - 1)}),
+                 regWrite("px", add2(regRead("px"), c32(1))))});
+        b.addRule("rayGen",
+                  whenA(std::move(body),
+                        primE(PrimOp::Lt, {regRead("py"), c32(H)})));
+    }
+
+    // ====================================================================
+    // BVH Trav FSM (travDom). Shadow rays have priority (program
+    // order) so the feedback path drains first.
+    // ====================================================================
+    auto start_rule = [&](const char *name, const char *queue,
+                          int kind) {
+        ActPtr body = letA(
+            "m", callV(queue, "first"),
+            parA({callA(queue, "deq"),
+                  regWrite("cox", fld(varE("m"), "ox")),
+                  regWrite("coy", fld(varE("m"), "oy")),
+                  regWrite("coz", fld(varE("m"), "oz")),
+                  regWrite("cdx", fld(varE("m"), "dx")),
+                  regWrite("cdy", fld(varE("m"), "dy")),
+                  regWrite("cdz", fld(varE("m"), "dz")),
+                  regWrite("ckind", c32(kind)),
+                  regWrite("ctag", fld(varE("m"), "tag")),
+                  callA("stackB", "write", {c32(0), c32(0)}),
+                  regWrite("sp", c32(1)),
+                  regWrite("best", c32(0x7fffffff)),
+                  regWrite("bestIdx", c32(-1)),
+                  regWrite("state", c32(stPop))}));
+        b.addRule(name, whenA(std::move(body),
+                              eq2(regRead("state"), c32(stIdle))));
+    };
+    start_rule("startShadow", "shadowQ", 1);
+    start_rule("startPrimary", "rayQ", 0);
+
+    // finish (hit): emit the record, compute p = o + d*t here so the
+    // software shader never needs the ray back.
+    {
+        auto emit_rec = [&](bool hit) -> ExprPtr {
+            if (!hit) {
+                return mkRec({{"kind", regRead("ckind")},
+                              {"tag", regRead("ctag")},
+                              {"hit", c32(0)},
+                              {"t", c32(0)},
+                              {"px", c32(0)},
+                              {"py", c32(0)},
+                              {"pz", c32(0)},
+                              {"cx", c32(0)},
+                              {"cy", c32(0)},
+                              {"cz", c32(0)},
+                              {"idx", c32(0)}});
+            }
+            return mkRec(
+                {{"kind", regRead("ckind")},
+                 {"tag", regRead("ctag")},
+                 {"hit", c32(1)},
+                 {"t", varE("bt")},
+                 {"px", add2(regRead("cox"),
+                             fmul(regRead("cdx"), varE("bt")))},
+                 {"py", add2(regRead("coy"),
+                             fmul(regRead("cdy"), varE("bt")))},
+                 {"pz", add2(regRead("coz"),
+                             fmul(regRead("cdz"), varE("bt")))},
+                 {"cx", fld(varE("sph"), "cx")},
+                 {"cy", fld(varE("sph"), "cy")},
+                 {"cz", fld(varE("sph"), "cz")},
+                 {"idx", regRead("bestIdx")}});
+        };
+        ActPtr hit_body = letChainA(
+            {{"bt", regRead("best")},
+             {"sph", callV("sceneT", "read", {regRead("bestIdx")})},
+             {"rec", emit_rec(true)}},
+            parA({ifA(eq2(regRead("ckind"), c32(0)),
+                      callA("hitQ", "enq", {varE("rec")})),
+                  ifA(eq2(regRead("ckind"), c32(1)),
+                      callA("hitQ2", "enq", {varE("rec")})),
+                  regWrite("state", c32(stIdle))}));
+        ExprPtr hit_guard = and2(
+            and2(eq2(regRead("state"), c32(stPop)),
+                 eq2(regRead("sp"), c32(0))),
+            primE(PrimOp::Ge, {regRead("bestIdx"), c32(0)}));
+        b.addRule("finishHit", whenA(std::move(hit_body),
+                                     std::move(hit_guard)));
+
+        ActPtr miss_body = letA(
+            "rec", emit_rec(false),
+            parA({ifA(eq2(regRead("ckind"), c32(0)),
+                      callA("hitQ", "enq", {varE("rec")})),
+                  ifA(eq2(regRead("ckind"), c32(1)),
+                      callA("hitQ2", "enq", {varE("rec")})),
+                  regWrite("state", c32(stIdle))}));
+        ExprPtr miss_guard = and2(
+            and2(eq2(regRead("state"), c32(stPop)),
+                 eq2(regRead("sp"), c32(0))),
+            primE(PrimOp::Lt, {regRead("bestIdx"), c32(0)}));
+        b.addRule("finishMiss", whenA(std::move(miss_body),
+                                      std::move(miss_guard)));
+    }
+
+    // popNode: pop the stack, fetch the node, fire a box request.
+    {
+        ActPtr body = letChainA(
+            {{"top", callV("stackB", "read",
+                           {sub2(regRead("sp"), c32(1))})},
+             {"nd", callV("bvhT", "read", {varE("top")})}},
+            parA({regWrite("sp", sub2(regRead("sp"), c32(1))),
+                  regWrite("nA", fld(varE("nd"), "a")),
+                  regWrite("nB", fld(varE("nd"), "b")),
+                  regWrite("nLeaf", fld(varE("nd"), "leaf")),
+                  callA("boxReqQ", "enq",
+                        {mkRec({{"ox", regRead("cox")},
+                                {"oy", regRead("coy")},
+                                {"oz", regRead("coz")},
+                                {"dx", regRead("cdx")},
+                                {"dy", regRead("cdy")},
+                                {"dz", regRead("cdz")},
+                                {"lx", fld(varE("nd"), "lx")},
+                                {"ly", fld(varE("nd"), "ly")},
+                                {"lz", fld(varE("nd"), "lz")},
+                                {"hx", fld(varE("nd"), "hx")},
+                                {"hy", fld(varE("nd"), "hy")},
+                                {"hz", fld(varE("nd"), "hz")}})}),
+                  regWrite("state", c32(stBoxWait))}));
+        ExprPtr guard = and2(eq2(regRead("state"), c32(stPop)),
+                             primE(PrimOp::Gt, {regRead("sp"), c32(0)}));
+        b.addRule("popNode", whenA(std::move(body), std::move(guard)));
+    }
+
+    // boxResp: prune, descend into a leaf, or push children.
+    {
+        ExprPtr proceed = and2(
+            eq2(fld(varE("r"), "hit"), c32(1)),
+            primE(PrimOp::Lt, {fld(varE("r"), "t"), regRead("best")}));
+        ActPtr body = letChainA(
+            {{"r", callV("boxRspQ", "first")}, {"go", proceed}},
+            parA({callA("boxRspQ", "deq"),
+                  ifA(primE(PrimOp::Not, {varE("go")}),
+                      regWrite("state", c32(stPop))),
+                  ifA(and2(varE("go"),
+                           eq2(regRead("nLeaf"), c32(1))),
+                      parA({regWrite("li", c32(0)),
+                            regWrite("state", c32(stLeaf))})),
+                  ifA(and2(varE("go"),
+                           eq2(regRead("nLeaf"), c32(0))),
+                      parA({callA("stackB", "write",
+                                  {regRead("sp"), regRead("nB")}),
+                            regWrite("state", c32(stPush2))}))}));
+        b.addRule("boxResp",
+                  whenA(std::move(body),
+                        eq2(regRead("state"), c32(stBoxWait))));
+    }
+
+    // push2: second child (a) lands on top, so it pops first.
+    {
+        ActPtr body = parA(
+            {callA("stackB", "write",
+                   {add2(regRead("sp"), c32(1)), regRead("nA")}),
+             regWrite("sp", add2(regRead("sp"), c32(2))),
+             regWrite("state", c32(stPop))});
+        b.addRule("push2", whenA(std::move(body),
+                                 eq2(regRead("state"), c32(stPush2))));
+    }
+
+    // leafStep: fire one sphere test.
+    {
+        ActPtr body = letChainA(
+            {{"sidx", callV("leafT", "read",
+                            {add2(regRead("nA"), regRead("li"))})},
+             {"sph", callV("sceneT", "read", {varE("sidx")})}},
+            parA({regWrite("curS", varE("sidx")),
+                  callA("geomReqQ", "enq",
+                        {mkRec({{"ox", regRead("cox")},
+                                {"oy", regRead("coy")},
+                                {"oz", regRead("coz")},
+                                {"dx", regRead("cdx")},
+                                {"dy", regRead("cdy")},
+                                {"dz", regRead("cdz")},
+                                {"cx", fld(varE("sph"), "cx")},
+                                {"cy", fld(varE("sph"), "cy")},
+                                {"cz", fld(varE("sph"), "cz")},
+                                {"r", fld(varE("sph"), "r")}})}),
+                  regWrite("state", c32(stGeomWait))}));
+        b.addRule("leafStep", whenA(std::move(body),
+                                    eq2(regRead("state"), c32(stLeaf))));
+    }
+
+    // geomResp: fold the test result into the running best.
+    {
+        ExprPtr better = and2(
+            eq2(fld(varE("r"), "hit"), c32(1)),
+            primE(PrimOp::Lt, {fld(varE("r"), "t"), regRead("best")}));
+        ExprPtr more = primE(
+            PrimOp::Lt, {add2(regRead("li"), c32(1)), regRead("nB")});
+        ActPtr body = letChainA(
+            {{"r", callV("geomRspQ", "first")}, {"bet", better},
+             {"mo", more}},
+            parA({callA("geomRspQ", "deq"),
+                  ifA(varE("bet"),
+                      parA({regWrite("best", fld(varE("r"), "t")),
+                            regWrite("bestIdx", regRead("curS"))})),
+                  ifA(varE("mo"),
+                      parA({regWrite("li", add2(regRead("li"), c32(1))),
+                            regWrite("state", c32(stLeaf))})),
+                  ifA(primE(PrimOp::Not, {varE("mo")}),
+                      regWrite("state", c32(stPop)))}));
+        b.addRule("geomResp",
+                  whenA(std::move(body),
+                        eq2(regRead("state"), c32(stGeomWait))));
+    }
+
+    // ====================================================================
+    // Box Inter engine (boxDom) - the slab test of geom.cpp.
+    // ====================================================================
+    {
+        std::vector<std::pair<std::string, ExprPtr>> binds;
+        binds.emplace_back("q", callV("boxReqQ", "first"));
+        auto axis = [&](const char *lo, const char *hi, const char *o,
+                        const char *d, const std::string &pfx) {
+            ExprPtr t1 = fdiv(sub2(fld(varE("q"), lo), fld(varE("q"), o)),
+                              fld(varE("q"), d));
+            ExprPtr t2 = fdiv(sub2(fld(varE("q"), hi), fld(varE("q"), o)),
+                              fld(varE("q"), d));
+            binds.emplace_back(pfx + "t1", std::move(t1));
+            binds.emplace_back(pfx + "t2", std::move(t2));
+            ExprPtr le = primE(PrimOp::Le,
+                               {varE(pfx + "t1"), varE(pfx + "t2")});
+            binds.emplace_back(pfx + "n",
+                               condE(le, varE(pfx + "t1"),
+                                     varE(pfx + "t2")));
+            ExprPtr le2 = primE(PrimOp::Le,
+                                {varE(pfx + "t1"), varE(pfx + "t2")});
+            binds.emplace_back(pfx + "f",
+                               condE(le2, varE(pfx + "t2"),
+                                     varE(pfx + "t1")));
+        };
+        axis("lx", "hx", "ox", "dx", "x");
+        axis("ly", "hy", "oy", "dy", "y");
+        axis("lz", "hz", "oz", "dz", "z");
+        binds.emplace_back(
+            "tn1", condE(primE(PrimOp::Ge, {varE("xn"), varE("yn")}),
+                         varE("xn"), varE("yn")));
+        binds.emplace_back(
+            "tnear", condE(primE(PrimOp::Ge, {varE("tn1"), varE("zn")}),
+                           varE("tn1"), varE("zn")));
+        binds.emplace_back(
+            "tf1", condE(primE(PrimOp::Le, {varE("xf"), varE("yf")}),
+                         varE("xf"), varE("yf")));
+        binds.emplace_back(
+            "tfar", condE(primE(PrimOp::Le, {varE("tf1"), varE("zf")}),
+                          varE("tf1"), varE("zf")));
+        binds.emplace_back(
+            "hitb", and2(primE(PrimOp::Le, {varE("tnear"), varE("tfar")}),
+                         primE(PrimOp::Ge, {varE("tfar"), c32(0)})));
+        binds.emplace_back(
+            "tt", condE(primE(PrimOp::Ge, {varE("tnear"), c32(0)}),
+                        varE("tnear"), c32(0)));
+        ActPtr body = letChainA(
+            std::move(binds),
+            parA({callA("boxRspQ", "enq",
+                        {mkRec({{"hit", condE(varE("hitb"), c32(1),
+                                              c32(0))},
+                                {"t", varE("tt")}})}),
+                  callA("boxReqQ", "deq")}));
+        b.addRule("boxInter", std::move(body));
+    }
+
+    // ====================================================================
+    // Geom Inter engine (geomDom) - the sphere test of geom.cpp.
+    // ====================================================================
+    {
+        std::vector<std::pair<std::string, ExprPtr>> binds;
+        binds.emplace_back("q", callV("geomReqQ", "first"));
+        auto qf = [&](const char *f) { return fld(varE("q"), f); };
+        binds.emplace_back("ocx", sub2(qf("ox"), qf("cx")));
+        binds.emplace_back("ocy", sub2(qf("oy"), qf("cy")));
+        binds.emplace_back("ocz", sub2(qf("oz"), qf("cz")));
+        binds.emplace_back("qa", dot3(qf("dx"), qf("dy"), qf("dz"),
+                                      qf("dx"), qf("dy"), qf("dz")));
+        binds.emplace_back("qb",
+                           dot3(varE("ocx"), varE("ocy"), varE("ocz"),
+                                qf("dx"), qf("dy"), qf("dz")));
+        binds.emplace_back(
+            "qc", sub2(dot3(varE("ocx"), varE("ocy"), varE("ocz"),
+                            varE("ocx"), varE("ocy"), varE("ocz")),
+                       fmul(qf("r"), qf("r"))));
+        binds.emplace_back("disc", sub2(fmul(varE("qb"), varE("qb")),
+                                        fmul(varE("qa"), varE("qc"))));
+        binds.emplace_back("sq", fsqrt(varE("disc")));
+        binds.emplace_back(
+            "tt", fdiv(sub2(primE(PrimOp::Neg, {varE("qb")}),
+                            varE("sq")),
+                       varE("qa")));
+        binds.emplace_back(
+            "hitb", and2(primE(PrimOp::Ge, {varE("disc"), c32(0)}),
+                         primE(PrimOp::Gt,
+                               {varE("tt"), c32(kHitEpsilonRaw)})));
+        ActPtr body = letChainA(
+            std::move(binds),
+            parA({callA("geomRspQ", "enq",
+                        {mkRec({{"hit", condE(varE("hitb"), c32(1),
+                                              c32(0))},
+                                {"t", varE("tt")}})}),
+                  callA("geomReqQ", "deq")}));
+        b.addRule("geomInter", std::move(body));
+    }
+
+    // ====================================================================
+    // Light/Color (SW)
+    // ====================================================================
+    {
+        // Primary results: shade, stash, fire the shadow ray.
+        std::vector<std::pair<std::string, ExprPtr>> binds;
+        binds.emplace_back("h", callV("hitQ", "first"));
+        auto hf = [&](const char *f) { return fld(varE("h"), f); };
+        binds.emplace_back("nx", sub2(hf("px"), hf("cx")));
+        binds.emplace_back("ny", sub2(hf("py"), hf("cy")));
+        binds.emplace_back("nz", sub2(hf("pz"), hf("cz")));
+        binds.emplace_back(
+            "ndl", dot3(varE("nx"), varE("ny"), varE("nz"),
+                        cfx(cam.lightDir.x), cfx(cam.lightDir.y),
+                        cfx(cam.lightDir.z)));
+        binds.emplace_back(
+            "nlen", fsqrt(dot3(varE("nx"), varE("ny"), varE("nz"),
+                               varE("nx"), varE("ny"), varE("nz"))));
+        binds.emplace_back(
+            "sh0",
+            condE(primE(PrimOp::Gt, {varE("ndl"), c32(0)}),
+                  add2(cfx(sp.ambient),
+                       fdiv(fmul(cfx(sp.diffuse), varE("ndl")),
+                            varE("nlen"))),
+                  cfx(sp.ambient)));
+        binds.emplace_back(
+            "shade",
+            condE(primE(PrimOp::Gt,
+                        {varE("sh0"), cfx(Fx16::fromDouble(1.0))}),
+                  cfx(Fx16::fromDouble(1.0)), varE("sh0")));
+        binds.emplace_back("base", callV("colorT", "read", {hf("idx")}));
+        binds.emplace_back("prelim",
+                           scaleColorE(varE("base"), varE("shade")));
+        ExprPtr shadow_ray = mkRec(
+            {{"kind", c32(1)},
+             {"tag", hf("tag")},
+             {"ox", add2(hf("px"), fmul(varE("nx"), cfx(sp.shadowPush)))},
+             {"oy", add2(hf("py"), fmul(varE("ny"), cfx(sp.shadowPush)))},
+             {"oz", add2(hf("pz"), fmul(varE("nz"), cfx(sp.shadowPush)))},
+             {"dx", cfx(cam.lightDir.x)},
+             {"dy", cfx(cam.lightDir.y)},
+             {"dz", cfx(cam.lightDir.z)}});
+
+        // The miss branch must not evaluate the shading lets (they
+        // would read colorT at idx 0 harmlessly, but keep the rule an
+        // honest two-branch structure anyway).
+        ActPtr hit_branch = letChainA(
+            std::move(binds),
+            parA({callA("pendT", "write", {fld(varE("h0"), "tag"),
+                                           varE("prelim")}),
+                  callA("shadowQ", "enq", {std::move(shadow_ray)})}));
+        // Rebind: the outer rule binds h0 once; branch lets rebind
+        // "h" from it for the shading chain.
+        ActPtr body = letA(
+            "h0", callV("hitQ", "first"),
+            parA({callA("hitQ", "deq"),
+                  ifA(eq2(fld(varE("h0"), "hit"), c32(0)),
+                      parA({callA("fb", "store",
+                                  {fld(varE("h0"), "tag"),
+                                   c32(sp.background)}),
+                            regWrite("doneCnt",
+                                     add2(regRead("doneCnt"),
+                                          c32(1)))})),
+                  ifA(eq2(fld(varE("h0"), "hit"), c32(1)),
+                      letA("h", varE("h0"), hit_branch))}));
+        b.addRule("onPrimary", std::move(body));
+    }
+
+    {
+        // Shadow results: finalize the pixel.
+        ActPtr body = letChainA(
+            {{"h", callV("hitQ2", "first")},
+             {"c", callV("pendT", "read", {fld(varE("h"), "tag")})}},
+            parA({callA("hitQ2", "deq"),
+                  ifA(eq2(fld(varE("h"), "hit"), c32(1)),
+                      callA("fb", "store",
+                            {fld(varE("h"), "tag"),
+                             scaleColorE(varE("c"),
+                                         cfx(sp.shadowFactor))})),
+                  ifA(eq2(fld(varE("h"), "hit"), c32(0)),
+                      callA("fb", "store",
+                            {fld(varE("h"), "tag"), varE("c")})),
+                  regWrite("doneCnt",
+                           add2(regRead("doneCnt"), c32(1)))}));
+        b.addRule("onShadow", std::move(body));
+    }
+
+    return ProgramBuilder().add(b.build()).setRoot("RayTop").build();
+}
+
+} // namespace ray
+} // namespace bcl

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The ray tracer as a BCL program, mirroring Figure 14's
+ * microarchitecture:
+ *
+ *   Ray Gen     - SW rules producing primary rays pixel by pixel
+ *   BVH Trav    - an FSM (registers + stack BRAM + per-step rules)
+ *                 that walks the hierarchy one node per step
+ *   Box Inter   - the slab-test engine behind a request/response
+ *                 queue pair
+ *   Geom Inter  - the sphere-test engine, same interface
+ *   BVH Mem / Scene Mem - BRAMs holding the flattened hierarchy and
+ *                 sphere geometry (they travel with BVH Trav)
+ *   Light/Color - SW shading rules: Lambert-style shade, one shadow
+ *                 ray per hit, color attributes in a SW BRAM
+ *   Bitmap      - the frame buffer device (always SW)
+ *
+ * The three engine domains (traversal, box test, geometry test) are
+ * constructor parameters; every engine boundary is a synchronizer
+ * pair that collapses to FIFOs when co-located. Choosing the domains
+ * is choosing the partitions A-D of section 7.2:
+ *
+ *   A: all SW.   B: Box+Geom Inter in HW (requests cross per node -
+ *   communication dominates, slower than A).   C: BVH Trav + both
+ *   engines + memories in HW (one crossing pair per ray - fastest).
+ *   D: Geom Inter only in HW (crossings per leaf test - slower).
+ *
+ * Deadlock freedom across the feedback path (shadow rays re-enter
+ * traversal) uses one virtual channel per ray class: primary rays,
+ * shadow rays, primary hits and shadow hits each get their own
+ * synchronizer, the LIBDN discipline of section 4.4.
+ */
+#ifndef BCL_RAY_TRACE_BCL_HPP
+#define BCL_RAY_TRACE_BCL_HPP
+
+#include <string>
+
+#include "core/ast.hpp"
+#include "ray/bvh.hpp"
+#include "ray/native.hpp"
+#include "ray/scenegen.hpp"
+
+namespace bcl {
+namespace ray {
+
+/** Domain configuration = partition choice. */
+struct RayConfig
+{
+    std::string travDom = "SW";  ///< BVH Trav + BVH/Scene memories
+    std::string boxDom = "SW";   ///< Box Inter engine
+    std::string geomDom = "SW";  ///< Geom Inter engine
+    int width = 32;
+    int height = 32;
+    int syncDepth = 4;
+};
+
+/**
+ * Build the program. Root "RayTop" has no interface methods: Ray Gen
+ * rules drive it; completion is observable through the "doneCnt"
+ * register reaching width*height, and the image sits in the "fb"
+ * Bitmap device.
+ */
+Program makeRayProgram(const RayConfig &cfg,
+                       const std::vector<Sphere> &scene, const Bvh &bvh,
+                       const Camera &cam,
+                       const ShadeParams &sp = ShadeParams{});
+
+} // namespace ray
+} // namespace bcl
+
+#endif // BCL_RAY_TRACE_BCL_HPP

@@ -1,0 +1,90 @@
+#include "runtime/exec.hpp"
+
+namespace bcl {
+
+RuleEngine::RuleEngine(Interp &interp, SwStrategy strat)
+    : I(interp), strategy(strat), sched(buildSwSchedule(interp.program()))
+{
+    inHot.assign(I.program().rules.size(), 0);
+}
+
+void
+RuleEngine::poke()
+{
+    failStreak = 0;
+}
+
+int
+RuleEngine::pickCandidate(bool &from_hot)
+{
+    int n = numRules();
+    if (n == 0)
+        return -1;
+    if (strategy == SwStrategy::Dataflow && !hot.empty()) {
+        from_hot = true;
+        int r = hot.front();
+        hot.pop_front();
+        inHot[r] = 0;
+        return r;
+    }
+    from_hot = false;
+    int idx = scanPos % n;
+    scanPos = (scanPos + 1) % n;
+    if (strategy == SwStrategy::RoundRobin)
+        return idx;
+    return sched.order[idx];
+}
+
+StepResult
+RuleEngine::step()
+{
+    StepResult res;
+    if (quiescent() || numRules() == 0)
+        return res;
+
+    bool from_hot = false;
+    int rule = pickCandidate(from_hot);
+    if (rule < 0)
+        return res;
+
+    std::uint64_t before = I.stats().work;
+    bool fired = I.fireRule(rule);
+    res.rule = rule;
+    res.fired = fired;
+    res.workDelta = I.stats().work - before;
+
+    if (fired) {
+        failStreak = 0;
+        if (strategy == SwStrategy::Dataflow) {
+            for (int s : sched.enables[rule]) {
+                if (!inHot[s]) {
+                    hot.push_back(s);
+                    inHot[s] = 1;
+                }
+            }
+        }
+    } else if (!from_hot) {
+        // Quiescence = one full scan with no firing at all. Hot-list
+        // misses do not count: they are speculative retries and would
+        // otherwise declare quiescence before the scan covered every
+        // rule.
+        failStreak++;
+    }
+    return res;
+}
+
+std::uint64_t
+RuleEngine::runToQuiescence(std::uint64_t max_attempts)
+{
+    std::uint64_t fired = 0;
+    for (std::uint64_t i = 0; i < max_attempts && !quiescent(); i++) {
+        StepResult r = step();
+        if (r.rule < 0)
+            break;
+        if (r.fired)
+            fired++;
+    }
+    return fired;
+}
+
+} // namespace bcl

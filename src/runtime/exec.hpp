@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Rule-execution engine for software partitions: wraps the interpreter
+ * with a scheduling strategy and quiescence detection. This is the
+ * runtime analog of the scheduler the compiler emits into generated
+ * C++ ("a concrete rule schedule and a driver", section 7).
+ */
+#ifndef BCL_RUNTIME_EXEC_HPP
+#define BCL_RUNTIME_EXEC_HPP
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "runtime/interp.hpp"
+
+namespace bcl {
+
+/** Scheduling strategies for software rule execution. */
+enum class SwStrategy : std::uint8_t
+{
+    RoundRobin,   ///< cyclic scan in rule-id order
+    StaticOrder,  ///< cyclic scan in dataflow (schedule) order
+    Dataflow,     ///< StaticOrder + hot-list of rules just enabled
+};
+
+/** Outcome of one engine step. */
+struct StepResult
+{
+    int rule = -1;              ///< rule attempted (-1: nothing to try)
+    bool fired = false;
+    std::uint64_t workDelta = 0;  ///< abstract work consumed by the step
+};
+
+/**
+ * Executes rules of one elaborated (software) program against a store
+ * under a selectable strategy.
+ */
+class RuleEngine
+{
+  public:
+    /**
+     * @param interp Interpreter bound to the program and store.
+     * @param strategy Scheduling strategy.
+     */
+    RuleEngine(Interp &interp, SwStrategy strategy);
+
+    /**
+     * Attempt the next candidate rule.
+     * Engine-level quiescence: after a full scan with no firing,
+     * step() returns rule = -1 until poke() or a successful external
+     * state change notification.
+     */
+    StepResult step();
+
+    /** Notify that external state changed (deliveries arrived). */
+    void poke();
+
+    /**
+     * Run until quiescent (every rule failed since the last firing)
+     * or @p max_attempts exhausted.
+     * @return number of rules fired.
+     */
+    std::uint64_t runToQuiescence(std::uint64_t max_attempts = ~0ull);
+
+    /** True when a full scan produced no firing. */
+    bool quiescent() const { return failStreak >= numRules(); }
+
+    Interp &interp() { return I; }
+    const SwSchedule &schedule() const { return sched; }
+
+  private:
+    int numRules() const
+    {
+        return static_cast<int>(I.program().rules.size());
+    }
+
+    int pickCandidate(bool &from_hot);
+
+    Interp &I;
+    SwStrategy strategy;
+    SwSchedule sched;
+    int scanPos = 0;       ///< position in scan order
+    int failStreak = 0;    ///< consecutive guard failures
+    std::deque<int> hot;   ///< dataflow strategy: recently enabled
+    std::vector<char> inHot;
+};
+
+} // namespace bcl
+
+#endif // BCL_RUNTIME_EXEC_HPP

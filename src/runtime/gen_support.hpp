@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Runtime support for *generated* C++ (what the paper calls "compiled,
+ * along with some libraries, into an executable program"). The
+ * generated translation units from codegen_cpp.hpp include only this
+ * header. It provides:
+ *
+ *   - gen::Reg / gen::Fifo / gen::Bram / gen::Device: primitive state
+ *     with the same guarded interfaces as the runtime primitives,
+ *   - shadow copies with commit/rollback (the change-log discipline
+ *     of section 6.1),
+ *   - gen::GuardFail for the try/catch strategy of Figure 9.
+ *
+ * Values in generated code are plain structs/arrays (the data-format
+ * problem of section 2.3 is solved by generating both sides from one
+ * Type), so everything here is a template over the value type.
+ */
+#ifndef BCL_RUNTIME_GEN_SUPPORT_HPP
+#define BCL_RUNTIME_GEN_SUPPORT_HPP
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace bcl {
+namespace gen {
+
+/** Guard-failure unwind for the naive (Figure 9) strategy. */
+struct GuardFail
+{
+};
+
+/** A register with shadow/commit/rollback. */
+template <typename T>
+class Reg
+{
+  public:
+    explicit Reg(T init = T{}) : value(init) {}
+
+    const T &read() const { return value; }
+    void write(const T &v) { value = v; }
+
+    /** Snapshot for rollback. */
+    T shadow() const { return value; }
+    void rollback(const T &shadow) { value = shadow; }
+
+  private:
+    T value;
+};
+
+/** A guarded FIFO with shadow/commit/rollback. */
+template <typename T>
+class Fifo
+{
+  public:
+    explicit Fifo(int capacity) : cap(capacity) {}
+
+    bool canEnq() const { return static_cast<int>(q.size()) < cap; }
+    bool canDeq() const { return !q.empty(); }
+    bool notEmpty() const { return !q.empty(); }
+    bool notFull() const { return canEnq(); }
+
+    void
+    enq(const T &v)
+    {
+        if (!canEnq())
+            throw GuardFail{};
+        q.push_back(v);
+    }
+
+    const T &
+    first() const
+    {
+        if (q.empty())
+            throw GuardFail{};
+        return q.front();
+    }
+
+    void
+    deq()
+    {
+        if (q.empty())
+            throw GuardFail{};
+        q.pop_front();
+    }
+
+    void clear() { q.clear(); }
+
+    std::deque<T> shadow() const { return q; }
+    void rollback(const std::deque<T> &shadow) { q = shadow; }
+
+  private:
+    std::deque<T> q;
+    int cap;
+};
+
+/** An addressable memory. */
+template <typename T>
+class Bram
+{
+  public:
+    explicit Bram(int size) : mem(static_cast<size_t>(size)) {}
+
+    const T &read(std::uint32_t addr) const { return mem.at(addr); }
+    void write(std::uint32_t addr, const T &v) { mem.at(addr) = v; }
+
+    std::vector<T> shadow() const { return mem; }
+    void rollback(const std::vector<T> &shadow) { mem = shadow; }
+
+  private:
+    std::vector<T> mem;
+};
+
+/** Output device sink (AudioDev / Bitmap stand-in). */
+template <typename T>
+class Device
+{
+  public:
+    void output(const T &v) { log.push_back(v); }
+    const std::vector<T> &data() const { return log; }
+
+    std::vector<T> shadow() const { return log; }
+    void rollback(const std::vector<T> &shadow) { log = shadow; }
+
+  private:
+    std::vector<T> log;
+};
+
+} // namespace gen
+} // namespace bcl
+
+#endif // BCL_RUNTIME_GEN_SUPPORT_HPP

@@ -1,0 +1,564 @@
+#include "runtime/interp.hpp"
+
+#include <memory>
+
+#include "common/logging.hpp"
+#include "fixpt/fixpt.hpp"
+#include "runtime/primitives.hpp"
+
+namespace bcl {
+
+namespace {
+
+/** Scoped name environment for let bindings and method parameters. */
+class Env
+{
+  public:
+    size_t mark() const { return slots.size(); }
+
+    void
+    push(const std::string &name, Value v)
+    {
+        slots.emplace_back(name, std::move(v));
+    }
+
+    void
+    popTo(size_t m)
+    {
+        slots.resize(m);
+    }
+
+    const Value *
+    find(const std::string &name) const
+    {
+        for (auto it = slots.rbegin(); it != slots.rend(); ++it) {
+            if (it->first == name)
+                return &it->second;
+        }
+        return nullptr;
+    }
+
+  private:
+    std::vector<std::pair<std::string, Value>> slots;
+};
+
+} // namespace
+
+/** One rule/method execution; holds the cost hooks. */
+class InterpExec
+{
+  public:
+    InterpExec(Interp &in) : I(in), prog(in.prog) {}
+
+    void
+    charge(std::uint64_t units)
+    {
+        I.stats_.work += units;
+        localWork += units;
+    }
+
+    Value
+    evalExpr(const Expr &e, Env &env, TxnFrame &frame)
+    {
+        charge(I.costs_.perNode);
+        switch (e.kind) {
+          case ExprKind::Const:
+            return e.constVal;
+          case ExprKind::Var: {
+            const Value *v = env.find(e.name);
+            if (!v)
+                panic("unbound variable '" + e.name + "'");
+            return *v;
+          }
+          case ExprKind::Prim:
+            return evalPrimOp(e, env, frame);
+          case ExprKind::Cond: {
+            Value p = evalExpr(*e.args[0], env, frame);
+            if (p.asBool())
+                return evalExpr(*e.args[1], env, frame);
+            return evalExpr(*e.args[2], env, frame);
+          }
+          case ExprKind::When: {
+            // Guard evaluated first: an unready guard poisons the
+            // whole expression (axioms A.6-A.8 lift it outward).
+            Value g = evalExpr(*e.args[1], env, frame);
+            if (!g.asBool())
+                throw GuardFail{};
+            return evalExpr(*e.args[0], env, frame);
+          }
+          case ExprKind::Let: {
+            Value bound = evalExpr(*e.args[0], env, frame);
+            size_t m = env.mark();
+            env.push(e.name, std::move(bound));
+            Value out = evalExpr(*e.args[1], env, frame);
+            env.popTo(m);
+            return out;
+          }
+          case ExprKind::CallV:
+            return evalCallV(e, env, frame);
+        }
+        panic("unreachable expression kind");
+    }
+
+    void
+    evalAction(const Action &a, Env &env, TxnFrame &frame)
+    {
+        charge(I.costs_.perNode);
+        switch (a.kind) {
+          case ActKind::NoOp:
+            return;
+          case ActKind::Par:
+            evalPar(a, env, frame);
+            return;
+          case ActKind::Seq:
+            for (const auto &s : a.subs)
+                evalAction(*s, env, frame);
+            return;
+          case ActKind::If: {
+            Value p = evalExpr(*a.exprs[0], env, frame);
+            if (p.asBool())
+                evalAction(*a.subs[0], env, frame);
+            return;
+          }
+          case ActKind::When: {
+            Value g = evalExpr(*a.exprs[0], env, frame);
+            if (!g.asBool())
+                throw GuardFail{};
+            evalAction(*a.subs[0], env, frame);
+            return;
+          }
+          case ActKind::Let: {
+            Value bound = evalExpr(*a.exprs[0], env, frame);
+            size_t m = env.mark();
+            env.push(a.name, std::move(bound));
+            evalAction(*a.subs[0], env, frame);
+            env.popTo(m);
+            return;
+          }
+          case ActKind::Loop: {
+            // Dynamic loops are bounded only by their condition; a
+            // runaway loop is a user bug, reported after a large
+            // iteration budget rather than hanging.
+            const std::uint64_t iterBudget = 1u << 22;
+            std::uint64_t iters = 0;
+            while (true) {
+                Value c = evalExpr(*a.exprs[0], env, frame);
+                if (!c.asBool())
+                    break;
+                evalAction(*a.subs[0], env, frame);
+                if (++iters > iterBudget)
+                    fatal("loop exceeded iteration budget (runaway "
+                          "loop in rule?)");
+            }
+            return;
+          }
+          case ActKind::LocalGuard: {
+            TxnFrame child(frame);
+            I.stats_.shadowCopies++;
+            try {
+                evalAction(*a.subs[0], env, child);
+            } catch (const GuardFail &) {
+                // Body becomes noAction; its writes are discarded.
+                charge(I.costs_.perRollback);
+                return;
+            }
+            child.commit();
+            return;
+          }
+          case ActKind::CallA:
+            evalCallA(a, env, frame);
+            return;
+        }
+        panic("unreachable action kind");
+    }
+
+    std::uint64_t localWork = 0;
+
+  private:
+    Interp &I;
+    const ElabProgram &prog;
+
+    void
+    evalPar(const Action &a, Env &env, TxnFrame &frame)
+    {
+        // Every branch observes the same pre-state; writes are
+        // isolated into sibling frames and merged afterwards.
+        std::vector<std::unique_ptr<TxnFrame>> frames;
+        frames.reserve(a.subs.size());
+        for (size_t i = 0; i < a.subs.size(); i++)
+            frames.push_back(std::make_unique<TxnFrame>(frame));
+        I.stats_.shadowCopies += a.subs.size();
+        for (size_t i = 0; i < a.subs.size(); i++)
+            evalAction(*a.subs[i], env, *frames[i]);
+        std::vector<TxnFrame *> ptrs;
+        ptrs.reserve(frames.size());
+        for (auto &f : frames)
+            ptrs.push_back(f.get());
+        TxnFrame::mergeSiblings(ptrs, prog.prims);
+    }
+
+    std::vector<Value>
+    evalArgs(const std::vector<ExprPtr> &args, Env &env, TxnFrame &frame)
+    {
+        std::vector<Value> vals;
+        vals.reserve(args.size());
+        for (const auto &e : args)
+            vals.push_back(evalExpr(*e, env, frame));
+        return vals;
+    }
+
+    Value
+    evalCallV(const Expr &e, Env &env, TxnFrame &frame)
+    {
+        std::vector<Value> args = evalArgs(e.args, env, frame);
+        if (e.isPrim) {
+            const ElabPrim &prim = prog.prims[e.inst];
+            charge(I.costs_.perPrimCall);
+            PrimRead r = readPrim(prim, frame.get(e.inst), e.meth, args);
+            if (!r.ok)
+                throw GuardFail{};
+            // Frame-sized values cost word moves to copy out.
+            chargeValueMove(r.val);
+            return r.val;
+        }
+        const ElabMethod &m = prog.methods[e.methIdx];
+        Env callee;
+        bindParams(m, args, callee);
+        return evalExpr(*m.value, callee, frame);
+    }
+
+    void
+    evalCallA(const Action &a, Env &env, TxnFrame &frame)
+    {
+        std::vector<Value> args = evalArgs(a.exprs, env, frame);
+        if (a.isPrim) {
+            const ElabPrim &prim = prog.prims[a.inst];
+            charge(I.costs_.perPrimCall);
+            PrimState shadow = frame.get(a.inst);
+            I.stats_.shadowCopies++;
+            if (!writePrim(prim, shadow, a.meth, args))
+                throw GuardFail{};
+            if (!args.empty())
+                chargeValueMove(args[0]);
+            // Crossing the partition boundary costs driver work on
+            // the software side (marshaling descriptors, cache
+            // maintenance); hardware partitions ignore work counts.
+            if ((prim.kind == "SyncTx" && a.meth == "enq") ||
+                (prim.kind == "SyncRx" && a.meth == "deq")) {
+                charge(I.costs_.perSyncMessage);
+            }
+            frame.put(a.inst, std::move(shadow));
+            return;
+        }
+        const ElabMethod &m = prog.methods[a.methIdx];
+        Env callee;
+        bindParams(m, args, callee);
+        evalAction(*m.body, callee, frame);
+    }
+
+    void
+    bindParams(const ElabMethod &m, std::vector<Value> &args, Env &env)
+    {
+        if (args.size() != m.params.size()) {
+            panic("method " + m.name + " called with " +
+                  std::to_string(args.size()) + " args, expects " +
+                  std::to_string(m.params.size()));
+        }
+        for (size_t i = 0; i < args.size(); i++)
+            env.push(m.params[i].name, std::move(args[i]));
+    }
+
+    void
+    chargeValueMove(const Value &v)
+    {
+        int words = (v.flatWidth() + 31) / 32;
+        if (words > 1)
+            charge(I.costs_.perWordMove *
+                   static_cast<std::uint64_t>(words));
+    }
+
+    Value
+    evalPrimOp(const Expr &e, Env &env, TxnFrame &frame)
+    {
+        auto ev = [&](size_t i) { return evalExpr(*e.args[i], env, frame); };
+
+        switch (e.op) {
+          case PrimOp::Add:
+          case PrimOp::Sub:
+          case PrimOp::Mul:
+          case PrimOp::MulFx:
+          case PrimOp::DivFx:
+          case PrimOp::Shl:
+          case PrimOp::LShr:
+          case PrimOp::AShr:
+          case PrimOp::And:
+          case PrimOp::Or:
+          case PrimOp::Xor: {
+            Value a = ev(0), b = ev(1);
+            return evalBinary(e, a, b);
+          }
+          case PrimOp::SqrtFx: {
+            Value a = ev(0);
+            charge(I.costs_.perMul * 5);  // iterative root unit
+            std::int64_t x = a.asInt();
+            if (x < 0)
+                x = 0;
+            std::uint64_t wide = static_cast<std::uint64_t>(x)
+                                 << e.imm;
+            return Value::makeInt(a.width(),
+                                  static_cast<std::int64_t>(
+                                      isqrt64(wide)));
+          }
+          case PrimOp::Neg: {
+            Value a = ev(0);
+            charge(I.costs_.perArith);
+            return Value::makeInt(a.width(), -a.asInt());
+          }
+          case PrimOp::Not: {
+            Value a = ev(0);
+            charge(I.costs_.perArith);
+            if (a.isBool())
+                return Value::makeBool(!a.asBool());
+            return Value::makeBits(a.width(), ~a.asUInt());
+          }
+          case PrimOp::Eq:
+          case PrimOp::Ne: {
+            Value a = ev(0), b = ev(1);
+            charge(I.costs_.perArith);
+            bool eq = a == b;
+            return Value::makeBool(e.op == PrimOp::Eq ? eq : !eq);
+          }
+          case PrimOp::Lt:
+          case PrimOp::Le:
+          case PrimOp::Gt:
+          case PrimOp::Ge: {
+            Value a = ev(0), b = ev(1);
+            charge(I.costs_.perArith);
+            std::int64_t x = a.asInt(), y = b.asInt();
+            bool r = false;
+            switch (e.op) {
+              case PrimOp::Lt: r = x < y; break;
+              case PrimOp::Le: r = x <= y; break;
+              case PrimOp::Gt: r = x > y; break;
+              case PrimOp::Ge: r = x >= y; break;
+              default: break;
+            }
+            return Value::makeBool(r);
+          }
+          case PrimOp::Index: {
+            Value vec = ev(0), idx = ev(1);
+            charge(I.costs_.perArith);
+            return vec.at(idx.asUInt());
+          }
+          case PrimOp::Update: {
+            Value vec = ev(0), idx = ev(1), val = ev(2);
+            charge(I.costs_.perArith * 2);
+            return vec.withElem(idx.asUInt(), std::move(val));
+          }
+          case PrimOp::Field: {
+            Value s = ev(0);
+            charge(I.costs_.perArith);
+            return s.field(e.strArg);
+          }
+          case PrimOp::SetField: {
+            Value s = ev(0), val = ev(1);
+            charge(I.costs_.perArith);
+            return s.withField(e.strArg, std::move(val));
+          }
+          case PrimOp::MakeVec: {
+            std::vector<Value> elems;
+            elems.reserve(e.args.size());
+            for (size_t i = 0; i < e.args.size(); i++)
+                elems.push_back(ev(i));
+            charge(I.costs_.perWordMove * e.args.size());
+            return Value::makeVec(std::move(elems));
+          }
+          case PrimOp::MakeStruct: {
+            std::vector<std::pair<std::string, Value>> fields;
+            size_t start = 0, argi = 0;
+            const std::string &names = e.strArg;
+            while (start <= names.size() && argi < e.args.size()) {
+                size_t comma = names.find(',', start);
+                std::string fname =
+                    names.substr(start, comma == std::string::npos
+                                            ? std::string::npos
+                                            : comma - start);
+                fields.emplace_back(fname, ev(argi++));
+                if (comma == std::string::npos)
+                    break;
+                start = comma + 1;
+            }
+            if (argi != e.args.size())
+                panic("MakeStruct: field-name/operand mismatch");
+            charge(I.costs_.perArith * e.args.size());
+            return Value::makeStruct(std::move(fields));
+          }
+          case PrimOp::BitRev: {
+            Value a = ev(0);
+            charge(I.costs_.perArith * 2);
+            std::uint64_t in = a.asUInt(), out = 0;
+            for (int i = 0; i < e.imm; i++) {
+                out <<= 1;
+                out |= (in >> i) & 1;
+            }
+            return Value::makeBits(a.width(), out);
+          }
+        }
+        panic("unreachable prim op");
+    }
+
+    Value
+    evalBinary(const Expr &e, const Value &a, const Value &b)
+    {
+        if (a.isBool() || b.isBool()) {
+            // Logical forms on Bool operands.
+            charge(I.costs_.perArith);
+            bool x = a.asBool(), y = b.asBool();
+            switch (e.op) {
+              case PrimOp::And: return Value::makeBool(x && y);
+              case PrimOp::Or: return Value::makeBool(x || y);
+              case PrimOp::Xor: return Value::makeBool(x != y);
+              default:
+                panic("operator " + std::string(primOpName(e.op)) +
+                      " on Bool operands");
+            }
+        }
+        int w = a.width();
+        std::int64_t x = a.asInt(), y = b.asInt();
+        switch (e.op) {
+          case PrimOp::Add:
+            charge(I.costs_.perArith);
+            return Value::makeInt(w, x + y);
+          case PrimOp::Sub:
+            charge(I.costs_.perArith);
+            return Value::makeInt(w, x - y);
+          case PrimOp::Mul:
+            charge(I.costs_.perMul);
+            return Value::makeInt(w, x * y);
+          case PrimOp::MulFx: {
+            charge(I.costs_.perMul + I.costs_.perArith);
+            __int128 prod = static_cast<__int128>(x) *
+                            static_cast<__int128>(y);
+            return Value::makeInt(
+                w, static_cast<std::int64_t>(prod >> e.imm));
+          }
+          case PrimOp::DivFx: {
+            charge(I.costs_.perMul * 3);  // divider unit
+            if (y == 0)
+                return Value::makeInt(w, 0);
+            __int128 num = static_cast<__int128>(x) << e.imm;
+            return Value::makeInt(
+                w, static_cast<std::int64_t>(num / y));
+          }
+          case PrimOp::Shl:
+            charge(I.costs_.perArith);
+            return Value::makeBits(
+                w, b.asUInt() >= 64 ? 0 : a.asUInt() << b.asUInt());
+          case PrimOp::LShr:
+            charge(I.costs_.perArith);
+            return Value::makeBits(
+                w, b.asUInt() >= 64 ? 0 : a.asUInt() >> b.asUInt());
+          case PrimOp::AShr:
+            charge(I.costs_.perArith);
+            return Value::makeInt(
+                w, x >> (b.asUInt() >= 63 ? 63 : b.asUInt()));
+          case PrimOp::And:
+            charge(I.costs_.perArith);
+            return Value::makeBits(w, a.asUInt() & b.asUInt());
+          case PrimOp::Or:
+            charge(I.costs_.perArith);
+            return Value::makeBits(w, a.asUInt() | b.asUInt());
+          case PrimOp::Xor:
+            charge(I.costs_.perArith);
+            return Value::makeBits(w, a.asUInt() ^ b.asUInt());
+          default:
+            panic("unreachable binary op");
+        }
+    }
+};
+
+Interp::Interp(const ElabProgram &program, Store &store)
+    : prog(program), store_(store)
+{
+}
+
+bool
+Interp::fireRule(int rule_id)
+{
+    if (rule_id < 0 || static_cast<size_t>(rule_id) >= prog.rules.size())
+        panic("fireRule: bad rule id " + std::to_string(rule_id));
+    const ElabRule &rule = prog.rules[rule_id];
+    stats_.rulesAttempted++;
+
+    TxnFrame frame(store_);
+    InterpExec exec(*this);
+    Env env;
+    try {
+        exec.evalAction(*rule.body, env, frame);
+    } catch (const GuardFail &) {
+        stats_.guardFails++;
+        stats_.wastedWork += exec.localWork;
+        stats_.work += costs_.perRollback;
+        return false;
+    }
+    stats_.work += costs_.perCommitEntry * frame.writeCount();
+    frame.commit();
+    stats_.rulesFired++;
+    stats_.commits++;
+    return true;
+}
+
+bool
+Interp::callActionMethod(int meth_id, const std::vector<Value> &args)
+{
+    const ElabMethod &m = prog.methods[meth_id];
+    if (!m.isAction)
+        panic("callActionMethod on value method " + m.name);
+
+    TxnFrame frame(store_);
+    InterpExec exec(*this);
+    Env env;
+    try {
+        std::vector<ExprPtr> arg_exprs;
+        arg_exprs.reserve(args.size());
+        for (const auto &v : args)
+            arg_exprs.push_back(constE(v));
+        // Build a transient call action resolved to this method.
+        auto call = std::make_shared<Action>();
+        call->kind = ActKind::CallA;
+        call->name = "<root>";
+        call->meth = m.name;
+        call->exprs = std::move(arg_exprs);
+        call->inst = m.modId;
+        call->isPrim = false;
+        call->methIdx = meth_id;
+        exec.evalAction(*call, env, frame);
+    } catch (const GuardFail &) {
+        stats_.guardFails++;
+        stats_.wastedWork += exec.localWork;
+        return false;
+    }
+    stats_.work += costs_.perCommitEntry * frame.writeCount();
+    frame.commit();
+    stats_.commits++;
+    return true;
+}
+
+Value
+Interp::callValueMethod(int meth_id, const std::vector<Value> &args)
+{
+    const ElabMethod &m = prog.methods[meth_id];
+    if (m.isAction)
+        panic("callValueMethod on action method " + m.name);
+
+    TxnFrame frame(store_);
+    InterpExec exec(*this);
+    Env env;
+    if (args.size() != m.params.size())
+        panic("method " + m.name + " arg count mismatch");
+    for (size_t i = 0; i < args.size(); i++)
+        env.push(m.params[i].name, args[i]);
+    return exec.evalExpr(*m.value, env, frame);
+}
+
+} // namespace bcl

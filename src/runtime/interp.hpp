@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Reference interpreter for elaborated kernel BCL, implementing the
+ * operational semantics of section 5:
+ *
+ *   - rules and action methods execute as transactions over a
+ *     TxnFrame; a guard failure anywhere unwinds the whole rule,
+ *   - parallel composition runs branches against isolated sibling
+ *     frames and merges them (DOUBLE WRITE ERROR on overlap),
+ *   - sequential composition lets later actions observe earlier
+ *     updates,
+ *   - localGuard converts a guard failure of its body into noAction,
+ *   - loop re-evaluates its condition against the current shadow.
+ *
+ * The interpreter doubles as the performance model for generated
+ * software: it counts abstract RISC-op work per node, which the
+ * benches convert into processor cycles (see CostModel).
+ */
+#ifndef BCL_RUNTIME_INTERP_HPP
+#define BCL_RUNTIME_INTERP_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/elaborate.hpp"
+#include "runtime/store.hpp"
+
+namespace bcl {
+
+/** Guard-failure unwind; not an error (control flow). */
+struct GuardFail
+{
+};
+
+/**
+ * Abstract work units charged per construct. Values approximate the
+ * RISC instruction counts of the generated C++ the paper describes;
+ * the calibration is recorded in EXPERIMENTS.md.
+ */
+struct CostModel
+{
+    std::uint64_t perNode = 1;      ///< AST node dispatch
+    std::uint64_t perArith = 1;     ///< simple ALU op
+    std::uint64_t perMul = 3;       ///< multiply
+    std::uint64_t perPrimCall = 2;  ///< primitive method call overhead
+    std::uint64_t perWordMove = 1;  ///< copying one 32-bit word
+    std::uint64_t perCommitEntry = 2;  ///< committing one shadow entry
+    std::uint64_t perRollback = 4;  ///< fixed rollback cost
+    std::uint64_t perTryCatch = 12; ///< try/catch rule overhead (naive
+                                    ///< codegen; removed by inlining)
+    /**
+     * Software driver cost per synchronizer message (descriptor
+     * setup + cache maintenance for non-coherent DMA on the PPC440).
+     * Charged on SyncTx.enq / SyncRx.deq; see EXPERIMENTS.md for the
+     * calibration against the paper's communication costs.
+     */
+    std::uint64_t perSyncMessage = 1400;
+};
+
+/** Execution counters. */
+struct ExecStats
+{
+    std::uint64_t work = 0;          ///< total abstract work units
+    std::uint64_t wastedWork = 0;    ///< work discarded by rollbacks
+    std::uint64_t rulesAttempted = 0;
+    std::uint64_t rulesFired = 0;
+    std::uint64_t guardFails = 0;
+    std::uint64_t commits = 0;
+    std::uint64_t shadowCopies = 0;  ///< PrimState snapshots taken
+
+    void
+    clear()
+    {
+        *this = ExecStats{};
+    }
+};
+
+/** Interpreter over one elaborated program and its store. */
+class Interp
+{
+  public:
+    /**
+     * @param prog Elaborated program (must outlive the interpreter).
+     * @param store Committed state (must outlive the interpreter).
+     */
+    Interp(const ElabProgram &prog, Store &store);
+
+    /**
+     * Attempt rule @p rule_id as a transaction.
+     * @return true when the rule fired (committed); false on guard
+     * failure (all effects rolled back).
+     */
+    bool fireRule(int rule_id);
+
+    /**
+     * Invoke a root-interface action method as a transaction (the
+     * "software up the stack" entry point).
+     * @return true when it committed.
+     */
+    bool callActionMethod(int meth_id, const std::vector<Value> &args);
+
+    /**
+     * Invoke a root-interface value method. Throws GuardFail if the
+     * method is not ready.
+     */
+    Value callValueMethod(int meth_id, const std::vector<Value> &args);
+
+    /** Work/pressure counters (shared across calls; clear() to reset). */
+    ExecStats &stats() { return stats_; }
+    const ExecStats &stats() const { return stats_; }
+
+    /** The cost model (mutable for calibration). */
+    CostModel &costs() { return costs_; }
+
+    /** The program this interpreter runs. */
+    const ElabProgram &program() const { return prog; }
+
+    /** The committed store. */
+    Store &store() { return store_; }
+
+  private:
+    friend class InterpExec;
+
+    const ElabProgram &prog;
+    Store &store_;
+    ExecStats stats_;
+    CostModel costs_;
+};
+
+} // namespace bcl
+
+#endif // BCL_RUNTIME_INTERP_HPP

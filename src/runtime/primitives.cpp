@@ -1,0 +1,164 @@
+#include "runtime/primitives.hpp"
+
+#include "common/logging.hpp"
+
+namespace bcl {
+
+PrimState
+initPrimState(const ElabPrim &prim)
+{
+    PrimState st;
+    if (prim.kind == "Reg") {
+        st.val = prim.init;
+    } else if (prim.kind == "Bram") {
+        if (prim.init.valid()) {
+            st.val = prim.init;
+        } else {
+            if (!prim.type)
+                panic("Bram " + prim.path + " has no element type");
+            std::vector<Value> zero(
+                static_cast<size_t>(prim.size), prim.type->zeroValue());
+            st.val = Value::makeVec(std::move(zero));
+        }
+    } else if (prim.kind == "Bitmap") {
+        std::vector<Value> zero(static_cast<size_t>(prim.size),
+                                Value::makeBits(32, 0));
+        st.val = Value::makeVec(std::move(zero));
+    }
+    // Fifo / Sync / SyncTx / SyncRx / AudioDev start with empty queues.
+    return st;
+}
+
+namespace {
+
+PrimRead
+okRead(Value v)
+{
+    PrimRead r;
+    r.ok = true;
+    r.val = std::move(v);
+    return r;
+}
+
+PrimRead
+failRead()
+{
+    return PrimRead{};
+}
+
+} // namespace
+
+PrimRead
+readPrim(const ElabPrim &prim, const PrimState &st,
+         const std::string &meth, const std::vector<Value> &args)
+{
+    const std::string &k = prim.kind;
+    if (k == "Reg") {
+        if (meth == "_read")
+            return okRead(st.val);
+    } else if (k == "Fifo" || k == "Sync" || k == "SyncRx" ||
+               k == "SyncTx") {
+        if (meth == "first") {
+            if (st.queue.empty())
+                return failRead();
+            return okRead(st.queue.front());
+        }
+        if (meth == "notEmpty")
+            return okRead(Value::makeBool(!st.queue.empty()));
+        if (meth == "notFull") {
+            return okRead(Value::makeBool(
+                static_cast<int>(st.queue.size()) < prim.capacity));
+        }
+    } else if (k == "Bram") {
+        if (meth == "read") {
+            auto addr = args[0].asUInt();
+            if (addr >= st.val.size()) {
+                panic("Bram " + prim.path + ": read address " +
+                      std::to_string(addr) + " out of range " +
+                      std::to_string(st.val.size()));
+            }
+            return okRead(st.val.at(addr));
+        }
+    } else if (k == "Bitmap") {
+        if (meth == "get") {
+            auto addr = args[0].asUInt();
+            if (addr >= st.val.size()) {
+                panic("Bitmap " + prim.path + ": index " +
+                      std::to_string(addr) + " out of range");
+            }
+            return okRead(st.val.at(addr));
+        }
+    }
+    panic("readPrim: no value method " + k + "." + meth + " (" +
+          prim.path + ")");
+}
+
+bool
+writePrim(const ElabPrim &prim, PrimState &st, const std::string &meth,
+          const std::vector<Value> &args)
+{
+    const std::string &k = prim.kind;
+    if (k == "Reg") {
+        if (meth == "_write") {
+            st.val = args[0];
+            return true;
+        }
+    } else if (k == "Fifo" || k == "Sync" || k == "SyncTx" ||
+               k == "SyncRx") {
+        if (meth == "enq") {
+            if (static_cast<int>(st.queue.size()) >= prim.capacity)
+                return false;
+            st.queue.push_back(args[0]);
+            return true;
+        }
+        if (meth == "deq") {
+            if (st.queue.empty())
+                return false;
+            st.queue.erase(st.queue.begin());
+            return true;
+        }
+        if (meth == "clear") {
+            st.queue.clear();
+            return true;
+        }
+    } else if (k == "Bram") {
+        if (meth == "write") {
+            auto addr = args[0].asUInt();
+            if (addr >= st.val.size()) {
+                panic("Bram " + prim.path + ": write address " +
+                      std::to_string(addr) + " out of range " +
+                      std::to_string(st.val.size()));
+            }
+            st.val = st.val.withElem(addr, args[1]);
+            return true;
+        }
+    } else if (k == "AudioDev") {
+        if (meth == "output") {
+            st.queue.push_back(args[0]);
+            return true;
+        }
+    } else if (k == "Bitmap") {
+        if (meth == "store") {
+            auto addr = args[0].asUInt();
+            if (addr >= st.val.size()) {
+                panic("Bitmap " + prim.path + ": store index " +
+                      std::to_string(addr) + " out of range");
+            }
+            st.val = st.val.withElem(addr, args[1]);
+            return true;
+        }
+    }
+    panic("writePrim: no action method " + k + "." + meth + " (" +
+          prim.path + ")");
+}
+
+int
+primWordSize(const ElabPrim &prim)
+{
+    if (!prim.type)
+        return 1;
+    int bits = prim.type->flatWidth();
+    return bits <= 0 ? 1 : (bits + 31) / 32;
+}
+
+} // namespace bcl

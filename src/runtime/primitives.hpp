@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Behavior of the primitive modules (see core/primdecl.hpp for the
+ * declarations). Every method is a pure function over PrimState:
+ * value methods read, action methods produce a new state. A false
+ * guard leaves the state untouched and reports failure; the
+ * interpreter converts that into a guard-failure unwind.
+ */
+#ifndef BCL_RUNTIME_PRIMITIVES_HPP
+#define BCL_RUNTIME_PRIMITIVES_HPP
+
+#include <string>
+#include <vector>
+
+#include "core/elaborate.hpp"
+#include "runtime/store.hpp"
+
+namespace bcl {
+
+/** Result of a primitive value-method call. */
+struct PrimRead
+{
+    bool ok = false;  ///< guard; false = method not ready
+    Value val;        ///< result when ok
+};
+
+/** Reset state for @p prim (Reg at init value, empty FIFOs, ...). */
+PrimState initPrimState(const ElabPrim &prim);
+
+/**
+ * Execute value method @p meth of @p prim against state @p st.
+ * Never modifies state.
+ */
+PrimRead readPrim(const ElabPrim &prim, const PrimState &st,
+                  const std::string &meth,
+                  const std::vector<Value> &args);
+
+/**
+ * Execute action method @p meth of @p prim, updating @p st in place.
+ * Returns false (and leaves @p st unchanged) when the guard is down.
+ */
+bool writePrim(const ElabPrim &prim, PrimState &st,
+               const std::string &meth, const std::vector<Value> &args);
+
+/**
+ * Abstract cost of moving one value of the prim's content type, in
+ * 32-bit words (used by the cost model for frame-sized copies).
+ */
+int primWordSize(const ElabPrim &prim);
+
+} // namespace bcl
+
+#endif // BCL_RUNTIME_PRIMITIVES_HPP

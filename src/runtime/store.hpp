@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Program state and the light-weight transactional views over it
+ * (section 6.1/6.2 of the paper).
+ *
+ * All state of an elaborated program lives in a Store: one PrimState
+ * per primitive instance. Rule execution runs against a TxnFrame - a
+ * change-log shadow layered over the store (the paper's "persistent
+ * shadow ... populated in a change-log manner"). Parallel action
+ * branches and localGuard get nested frames; merging sibling frames
+ * detects the DOUBLE WRITE ERROR of parallel composition.
+ */
+#ifndef BCL_RUNTIME_STORE_HPP
+#define BCL_RUNTIME_STORE_HPP
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/elaborate.hpp"
+#include "core/value.hpp"
+
+namespace bcl {
+
+/**
+ * State of one primitive instance. Which fields are used depends on
+ * the primitive kind:
+ *   Reg:    val = current value
+ *   Fifo:   queue = contents (front = head)
+ *   Bram:   val = Vec of contents
+ *   Sync*:  queue = contents
+ *   AudioDev: queue = every sample written (the test-visible output)
+ *   Bitmap: val = Vec of pixels
+ * PrimState is a plain value: copying it is snapshotting it.
+ */
+struct PrimState
+{
+    Value val;
+    std::vector<Value> queue;
+
+    bool operator==(const PrimState &o) const = default;
+};
+
+/** The committed state of a whole elaborated program. */
+class Store
+{
+  public:
+    /** Build initial state for @p prog (all prims at reset values). */
+    explicit Store(const ElabProgram &prog);
+
+    PrimState &at(int id);
+    const PrimState &at(int id) const;
+    size_t size() const { return states.size(); }
+
+  private:
+    std::vector<PrimState> states;
+};
+
+/**
+ * A change-log shadow over a Store (or over a parent frame). Reads
+ * fall through to the nearest enclosing write; writes stay local until
+ * commit(). Discarding the frame without committing is rollback - the
+ * cost structure matches the generated-code runtime the paper
+ * describes (commit routines at the end of the try block, rollback in
+ * the catch block).
+ */
+class TxnFrame
+{
+  public:
+    /** Top-level frame over the committed store. */
+    explicit TxnFrame(Store &base);
+
+    /** Nested frame (parallel branch / localGuard body). */
+    explicit TxnFrame(TxnFrame &parent);
+
+    /** Read: nearest write in the frame chain, else committed state. */
+    const PrimState &get(int id) const;
+
+    /** Record a write of @p id (shadow state replaces prior view). */
+    void put(int id, PrimState state);
+
+    /** Was @p id written in this frame (not parents)? */
+    bool touched(int id) const;
+
+    /** Number of writes recorded in this frame. */
+    size_t writeCount() const { return delta.size(); }
+
+    /** Ids written in this frame. */
+    std::vector<int> touchedIds() const;
+
+    /** Merge this frame's writes into its parent (or the store). */
+    void commit();
+
+    /**
+     * Merge parallel sibling frames into their common parent,
+     * throwing DoubleWriteError when two siblings wrote the same
+     * primitive. @p prims is used for error messages.
+     */
+    static void mergeSiblings(std::vector<TxnFrame *> &branches,
+                              const std::vector<ElabPrim> &prims);
+
+  private:
+    Store *base = nullptr;
+    TxnFrame *parent = nullptr;
+    std::unordered_map<int, PrimState> delta;
+};
+
+} // namespace bcl
+
+#endif // BCL_RUNTIME_STORE_HPP

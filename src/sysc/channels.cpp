@@ -1,0 +1,2 @@
+// WordFifo is header-only; this translation unit anchors the library.
+#include "sysc/channels.hpp"

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * SystemC-lite channels: a bounded word FIFO with write/read events,
+ * mirroring sc_fifo. Hardware models written against SystemC stream
+ * data word by word - every word's write and read notifies an event -
+ * which is exactly the event volume that makes such models slow.
+ */
+#ifndef BCL_SYSC_CHANNELS_HPP
+#define BCL_SYSC_CHANNELS_HPP
+
+#include <cstdint>
+#include <deque>
+
+#include "sysc/kernel.hpp"
+
+namespace bcl {
+namespace sysc {
+
+/** sc_fifo-like bounded channel of 32-bit words. */
+class WordFifo
+{
+  public:
+    WordFifo(Kernel &kernel, int capacity)
+        : writeEvent(kernel), readEvent(kernel), capacity(capacity),
+          kern(&kernel)
+    {
+    }
+
+    /** Non-blocking write; notifies readers on success. */
+    bool
+    nbWrite(std::int32_t v)
+    {
+        if (static_cast<int>(q.size()) >= capacity)
+            return false;
+        q.push_back(v);
+        kern->charge(2);  // store + occupancy update
+        writeEvent.notify();
+        return true;
+    }
+
+    /** Non-blocking read; notifies writers on success. */
+    bool
+    nbRead(std::int32_t &v)
+    {
+        if (q.empty())
+            return false;
+        v = q.front();
+        q.pop_front();
+        kern->charge(2);
+        readEvent.notify();
+        return true;
+    }
+
+    int size() const { return static_cast<int>(q.size()); }
+    bool empty() const { return q.empty(); }
+
+    /** Notified when a word was written (readers wait on this). */
+    Event writeEvent;
+
+    /** Notified when a word was read (writers wait on this). */
+    Event readEvent;
+
+  private:
+    std::deque<std::int32_t> q;
+    int capacity;
+    Kernel *kern;
+};
+
+} // namespace sysc
+} // namespace bcl
+
+#endif // BCL_SYSC_CHANNELS_HPP

@@ -1,0 +1,46 @@
+#include "sysc/kernel.hpp"
+
+namespace bcl {
+namespace sysc {
+
+void
+Event::notify()
+{
+    kernel->charge(kernel->eventNotifyCost);
+    for (int id : sensitive)
+        kernel->queueProcess(id);
+}
+
+int
+Kernel::registerProcess(std::string name, std::function<void()> body)
+{
+    procs.push_back({std::move(name), std::move(body), false});
+    return static_cast<int>(procs.size()) - 1;
+}
+
+void
+Kernel::queueProcess(int id)
+{
+    Proc &p = procs[static_cast<size_t>(id)];
+    if (!p.queued) {
+        p.queued = true;
+        runnable.push_back(id);
+    }
+}
+
+void
+Kernel::run()
+{
+    while (!runnable.empty()) {
+        int id = runnable.front();
+        runnable.pop_front();
+        Proc &p = procs[static_cast<size_t>(id)];
+        p.queued = false;
+        work_ += eventDispatchCost;
+        dispatches_++;
+        p.body();
+    }
+}
+
+} // namespace sysc
+} // namespace bcl

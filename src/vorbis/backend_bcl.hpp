@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The complete Ogg Vorbis back-end as a BCL program (sections 4.1-4.3
+ * of the paper), structured like Figure 12's components:
+ *
+ *   Backend FSMs  - pre/post twiddle + chunking rules ("IMDCT FSMs")
+ *   Param Tables  - pre/post tables as BRAMs, travelling with their
+ *                   users across the HW/SW cut
+ *   IFFT Core     - the streaming radix-4 IFFT module (ifft_bcl.hpp)
+ *   Window        - 50%-overlap windowing module with its own tables
+ *
+ * The program is *domain polymorphic* (section 4.2): the three
+ * component domains (IMDCT, IFFT, Window) are constructor parameters;
+ * synchronizers are inserted at every component boundary and collapse
+ * to plain FIFOs whenever both sides land in the same domain, exactly
+ * the compiler optimization the paper describes. Choosing the domain
+ * strings therefore *is* choosing the HW/SW partition.
+ */
+#ifndef BCL_VORBIS_BACKEND_BCL_HPP
+#define BCL_VORBIS_BACKEND_BCL_HPP
+
+#include <string>
+
+#include "core/ast.hpp"
+#include "vorbis/ifft_bcl.hpp"
+
+namespace bcl {
+namespace vorbis {
+
+/** Domain choice per pipeline component (the partition knob). */
+struct VorbisConfig
+{
+    std::string imdctDom = "SW";  ///< pre/post twiddle FSMs + tables
+    std::string ifftDom = "SW";   ///< IFFT core + its twiddles
+    std::string winDom = "SW";    ///< windowing + window tables
+
+    /** Pipelined (per-stage rules) or single-rule IFFT core. */
+    bool pipelinedIfft = true;
+
+    /** Synchronizer depth at every boundary (two frames' worth of
+     *  sub-blocks, so transfers overlap compute). */
+    int syncDepth = 8;
+};
+
+/**
+ * Build the whole back-end program. Root module "VorbisTop" exposes
+ * one action method `input(Vector#(32, Bit#(32)))` in SW (the
+ * front-end entry point); decoded PCM frames appear on the AudioDev
+ * at path "audio" (always SW - "The output from the windowing
+ * function is always in SW", Figure 12).
+ */
+Program makeVorbisProgram(const VorbisConfig &cfg);
+
+} // namespace vorbis
+} // namespace bcl
+
+#endif // BCL_VORBIS_BACKEND_BCL_HPP

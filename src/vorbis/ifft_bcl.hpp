@@ -1,0 +1,70 @@
+/**
+ * @file
+ * BCL module definitions for the 64-point radix-4 IFFT of section 4.5
+ * of the paper, in both microarchitectures discussed there:
+ *
+ *   makeIFFTCombModule - "Unpipelined": all three stages inside one
+ *     rule, which software executes as loops and hardware would
+ *     unroll into one huge combinational block (the timing estimator
+ *     shows the long critical path).
+ *
+ *   makeIFFTPipeModule - "Pipelined": one rule per stage with FIFOs
+ *     between stages; each rule fires independently, giving pipeline
+ *     parallelism in hardware and dataflow-ordered execution in
+ *     software.
+ *
+ * Both share the streaming sub-block interface of section 2.1 (the
+ * accelerator "transfers serialized frames" in chunks): input/output
+ * move Vector#(16, Complex) quarter-frames, and internal FSM rules
+ * assemble/split full 64-point frames. This is what makes the
+ * IMDCT <-> IFFT boundary cross the HW/SW cut repeatedly per audio
+ * frame ("IMDCT FSMs invoke IFFT repeatedly to compute a single
+ * output", section 7.1).
+ */
+#ifndef BCL_VORBIS_IFFT_BCL_HPP
+#define BCL_VORBIS_IFFT_BCL_HPP
+
+#include "core/builder.hpp"
+#include "vorbis/tables.hpp"
+
+namespace bcl {
+namespace vorbis {
+
+/** Complex#(Bit#(32)) - Q8.24 components. */
+TypePtr complexType();
+
+/** Vector#(64, Complex) - a full IFFT frame. */
+TypePtr frame64Type();
+
+/** Vector#(16, Complex) - the streaming sub-block. */
+TypePtr sub16Type();
+
+/** Vector#(32, Bit#(32)) - an input spectral frame. */
+TypePtr frame32Type();
+
+/** Vector#(64, Bit#(32)) - post-twiddled time-domain samples. */
+TypePtr mid64Type();
+
+/** Vector#(32, Bit#(32)) - a PCM frame. */
+TypePtr pcmType();
+
+/** Value encodings of fixed-point scalars/complex. */
+Value fixValue(Fix32 v);
+Value cfixValue(CFix v);
+
+/**
+ * Interface of both modules (the IFFT#() interface of section 4):
+ *   (a) input(Vector#(16, Complex))  - action
+ *   (b) output() -> Vector#(16, Complex) - value
+ *   (c) deq()                        - action
+ * Sub-blocks arrive/depart in order; every 4th completes a frame.
+ */
+ModuleDef makeIFFTPipeModule(const std::string &name = "IFFT");
+
+/** Single-rule variant (see file comment). */
+ModuleDef makeIFFTCombModule(const std::string &name = "IFFT");
+
+} // namespace vorbis
+} // namespace bcl
+
+#endif // BCL_VORBIS_IFFT_BCL_HPP

@@ -1,0 +1,94 @@
+#include "vorbis/native.hpp"
+
+#include "common/logging.hpp"
+
+namespace bcl {
+namespace vorbis {
+
+namespace {
+
+// Work weights: elementary ALU op = 1, fixed-point multiply = 4
+// (matches CostModel::perMul + shift), per-element load/store and loop
+// bookkeeping = 2. The point of the baseline is to lack the
+// rule-runtime costs (node dispatch, shadows, commits), not to lack
+// instructions.
+constexpr std::uint64_t wAdd = 1;
+constexpr std::uint64_t wMul = 4;
+constexpr std::uint64_t wElem = 2;
+
+} // namespace
+
+NativeBackend::NativeBackend()
+    : prevTail(kPcmOut, Fix32(0))
+{
+}
+
+void
+NativeBackend::pushFrame(const std::vector<Fix32> &frame)
+{
+    if (static_cast<int>(frame.size()) != kFrameIn)
+        fatal("native backend: frame must have 32 samples");
+    const Tables &t = tables();
+
+    // Pre-twiddle: 64 complex from 32 real inputs.
+    CFix v[kIfftSize];
+    for (int i = 0; i < kFrameIn; i++) {
+        Fix32 x = frame[i];
+        v[i] = {t.pre1[i].re * x, t.pre1[i].im * x};
+        v[i + kFrameIn] = {t.pre2[i].re * x, t.pre2[i].im * x};
+        work_ += 4 * wMul + 2 * wElem;
+    }
+
+    // Radix-4 DIF IFFT, in place, digit-reversed output order.
+    for (int s = 0; s < kStages; s++) {
+        for (int bf = 0; bf < kButterflies; bf++) {
+            const Tables::Lane &lane = t.lanes[s * kButterflies + bf];
+            CFix x0 = v[lane.in[0]], x1 = v[lane.in[1]];
+            CFix x2 = v[lane.in[2]], x3 = v[lane.in[3]];
+            CFix a = x0 + x2, b = x1 + x3;
+            CFix c = x0 - x2, d = x1 - x3;
+            CFix t0 = a + b;
+            CFix t2 = a - b;
+            CFix t1 = {c.re - d.im, c.im + d.re};  // c + i*d
+            CFix t3 = {c.re + d.im, c.im - d.re};  // c - i*d
+            const CFix *tw = &t.twiddle[(s * kButterflies + bf) * 3];
+            v[lane.in[0]] = t0;
+            v[lane.in[1]] = t1 * tw[0];
+            v[lane.in[2]] = t2 * tw[1];
+            v[lane.in[3]] = t3 * tw[2];
+            work_ += 16 * wAdd        // butterfly adds
+                     + 3 * (4 * wMul + 2 * wAdd)  // 3 complex mults
+                     + 8 * wElem;
+        }
+    }
+
+    // Post-twiddle + reorder; only the real part is needed.
+    Fix32 mid[kIfftSize];
+    for (int n = 0; n < kIfftSize; n++) {
+        int src = t.invPerm[n];
+        const CFix &p = t.post[n];
+        const CFix &y = v[src];
+        mid[n] = p.re * y.re - p.im * y.im;
+        work_ += 2 * wMul + wAdd + 2 * wElem;
+    }
+
+    // 50%-overlap window -> 32 PCM samples.
+    for (int i = 0; i < kPcmOut; i++) {
+        Fix32 out = prevTail[i] * t.winPrev[i] + mid[i] * t.winCur[i];
+        pcm_.push_back(out.raw);
+        prevTail[i] = mid[i + kPcmOut];
+        work_ += 2 * wMul + wAdd + 3 * wElem;
+    }
+}
+
+NativeResult
+runNativeBackend(const std::vector<std::vector<Fix32>> &frames)
+{
+    NativeBackend backend;
+    for (const auto &f : frames)
+        backend.pushFrame(f);
+    return {backend.pcm(), backend.work()};
+}
+
+} // namespace vorbis
+} // namespace bcl

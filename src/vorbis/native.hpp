@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Hand-written C++ implementation of the Vorbis back-end: the paper's
+ * baseline F2 ("We chose manual C++ as a lower bound, since this is
+ * how embedded devices are commonly written"). Bit-identical to the
+ * BCL pipeline by construction - both consume the tables of
+ * tables.hpp and apply the same fixed-point operations in the same
+ * order - and instrumented with the same abstract work units as the
+ * interpreter's cost model, minus the rule-runtime overheads (no
+ * shadows, no discarded work, no guard re-evaluation).
+ */
+#ifndef BCL_VORBIS_NATIVE_HPP
+#define BCL_VORBIS_NATIVE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "vorbis/tables.hpp"
+
+namespace bcl {
+namespace vorbis {
+
+/** Streaming hand-written back-end. */
+class NativeBackend
+{
+  public:
+    NativeBackend();
+
+    /** Decode one input frame; appends kPcmOut samples to pcm(). */
+    void pushFrame(const std::vector<Fix32> &frame);
+
+    /** All PCM produced so far (raw Q8.24 samples). */
+    const std::vector<std::int32_t> &pcm() const { return pcm_; }
+
+    /** Abstract work consumed (same units as the interpreter). */
+    std::uint64_t work() const { return work_; }
+
+  private:
+    std::vector<Fix32> prevTail;
+    std::vector<std::int32_t> pcm_;
+    std::uint64_t work_ = 0;
+};
+
+/** Run @p frames through the native back-end. */
+struct NativeResult
+{
+    std::vector<std::int32_t> pcm;
+    std::uint64_t work = 0;
+};
+
+NativeResult runNativeBackend(
+    const std::vector<std::vector<Fix32>> &frames);
+
+} // namespace vorbis
+} // namespace bcl
+
+#endif // BCL_VORBIS_NATIVE_HPP

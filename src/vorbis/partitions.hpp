@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The six HW/SW partitions of the Vorbis back-end evaluated in
+ * Figure 12/13 of the paper, and the harness that runs any of them
+ * end to end under co-simulation.
+ *
+ *   F - full software
+ *   A - Window in HW, rest SW
+ *   B - IFFT core (+ its tables) in HW, rest SW
+ *   C - IFFT + Window in HW, IMDCT FSMs in SW
+ *   D - IMDCT FSMs + IFFT in HW, Window in SW
+ *   E - full hardware back-end (PCM emission still SW)
+ *
+ * Every partition must produce bit-identical PCM; their execution
+ * times differ - that ordering is Figure 13 (left).
+ */
+#ifndef BCL_VORBIS_PARTITIONS_HPP
+#define BCL_VORBIS_PARTITIONS_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "platform/cosim.hpp"
+#include "vorbis/backend_bcl.hpp"
+
+namespace bcl {
+namespace vorbis {
+
+/** Partition labels (Figure 12). */
+enum class VorbisPartition { F, A, B, C, D, E };
+
+/** All partitions in the paper's reporting order. */
+std::vector<VorbisPartition> allVorbisPartitions();
+
+/** One-letter label. */
+const char *partitionName(VorbisPartition p);
+
+/** Human-readable description of what runs in hardware. */
+const char *partitionDescription(VorbisPartition p);
+
+/** Domain configuration realizing partition @p p. */
+VorbisConfig partitionConfig(VorbisPartition p);
+
+/** Result of one partition run. */
+struct VorbisRunResult
+{
+    std::uint64_t fpgaCycles = 0;   ///< end-to-end virtual time
+    std::vector<std::int32_t> pcm;  ///< decoded samples (Q8.24 raw)
+    std::uint64_t swWork = 0;       ///< software work units
+    std::uint64_t hwRuleFires = 0;  ///< hardware activity
+    std::uint64_t messages = 0;     ///< cross-partition messages
+    std::uint64_t channelWords = 0; ///< payload words moved
+};
+
+/**
+ * Run @p frames synthetic audio frames through partition @p p.
+ * @param cfg_override Optional co-simulation parameters.
+ * @param seed Workload seed (same seed => same PCM in every
+ * partition).
+ */
+VorbisRunResult runVorbisPartition(VorbisPartition p, int frames,
+                                   const CosimConfig *cfg_override =
+                                       nullptr,
+                                   std::uint64_t seed = 12345);
+
+} // namespace vorbis
+} // namespace bcl
+
+#endif // BCL_VORBIS_PARTITIONS_HPP

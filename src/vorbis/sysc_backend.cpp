@@ -1,0 +1,235 @@
+#include "vorbis/sysc_backend.hpp"
+
+#include <memory>
+
+#include "common/logging.hpp"
+#include "sysc/channels.hpp"
+
+namespace bcl {
+namespace vorbis {
+
+namespace {
+
+using sysc::Kernel;
+using sysc::WordFifo;
+
+constexpr std::uint64_t wAdd = 1;
+constexpr std::uint64_t wMul = 4;
+constexpr std::uint64_t wElem = 2;
+
+/**
+ * A staged stream transformer: collects inWords from its input
+ * channel, applies a function, then drains the result into its output
+ * channel. Registered as an SC_METHOD sensitive to both the upstream
+ * write event and the downstream read event, as one would write it in
+ * SystemC.
+ */
+class FrameProcess
+{
+  public:
+    FrameProcess(Kernel &kernel, std::string name, WordFifo &in,
+                 WordFifo &out, size_t in_words,
+                 std::function<std::vector<std::int32_t>(
+                     Kernel &, const std::vector<std::int32_t> &)>
+                     transform)
+        : kern(kernel), in(in), out(out), inWords(in_words),
+          fn(std::move(transform))
+    {
+        int id = kernel.registerProcess(std::move(name),
+                                        [this] { step(); });
+        in.writeEvent.addSensitive(id);
+        out.readEvent.addSensitive(id);
+    }
+
+  private:
+    void
+    step()
+    {
+        // Drain pending output first (may have been blocked).
+        while (outPos < pending.size()) {
+            if (!out.nbWrite(pending[outPos]))
+                return;
+            outPos++;
+        }
+        pending.clear();
+        outPos = 0;
+
+        // Collect input words.
+        std::int32_t w;
+        while (staged.size() < inWords && in.nbRead(w))
+            staged.push_back(w);
+        if (staged.size() < inWords)
+            return;
+
+        pending = fn(kern, staged);
+        staged.clear();
+        // Try to emit immediately; the rest goes out on readEvent.
+        while (outPos < pending.size() && out.nbWrite(pending[outPos]))
+            outPos++;
+        if (outPos == pending.size()) {
+            pending.clear();
+            outPos = 0;
+        }
+    }
+
+    Kernel &kern;
+    WordFifo &in;
+    WordFifo &out;
+    size_t inWords;
+    std::function<std::vector<std::int32_t>(
+        Kernel &, const std::vector<std::int32_t> &)>
+        fn;
+    std::vector<std::int32_t> staged;
+    std::vector<std::int32_t> pending;
+    size_t outPos = 0;
+};
+
+std::vector<std::int32_t>
+preTransform(Kernel &k, const std::vector<std::int32_t> &in)
+{
+    const Tables &t = tables();
+    std::vector<std::int32_t> out(2 * kIfftSize);
+    for (int i = 0; i < kFrameIn; i++) {
+        Fix32 x(in[i]);
+        CFix lo = {t.pre1[i].re * x, t.pre1[i].im * x};
+        CFix hi = {t.pre2[i].re * x, t.pre2[i].im * x};
+        out[2 * i] = lo.re.raw;
+        out[2 * i + 1] = lo.im.raw;
+        out[2 * (i + kFrameIn)] = hi.re.raw;
+        out[2 * (i + kFrameIn) + 1] = hi.im.raw;
+        k.charge(4 * wMul + 2 * wElem);
+    }
+    return out;
+}
+
+std::vector<std::int32_t>
+stageTransform(Kernel &k, int s, const std::vector<std::int32_t> &in)
+{
+    const Tables &t = tables();
+    CFix v[kIfftSize];
+    for (int i = 0; i < kIfftSize; i++)
+        v[i] = {Fix32(in[2 * i]), Fix32(in[2 * i + 1])};
+    for (int bf = 0; bf < kButterflies; bf++) {
+        const Tables::Lane &lane = t.lanes[s * kButterflies + bf];
+        CFix x0 = v[lane.in[0]], x1 = v[lane.in[1]];
+        CFix x2 = v[lane.in[2]], x3 = v[lane.in[3]];
+        CFix a = x0 + x2, b = x1 + x3, c = x0 - x2, d = x1 - x3;
+        CFix t0 = a + b, t2 = a - b;
+        CFix t1 = {c.re - d.im, c.im + d.re};
+        CFix t3 = {c.re + d.im, c.im - d.re};
+        const CFix *tw = &t.twiddle[(s * kButterflies + bf) * 3];
+        v[lane.in[0]] = t0;
+        v[lane.in[1]] = t1 * tw[0];
+        v[lane.in[2]] = t2 * tw[1];
+        v[lane.in[3]] = t3 * tw[2];
+        k.charge(16 * wAdd + 3 * (4 * wMul + 2 * wAdd) + 8 * wElem);
+    }
+    std::vector<std::int32_t> out(2 * kIfftSize);
+    for (int i = 0; i < kIfftSize; i++) {
+        out[2 * i] = v[i].re.raw;
+        out[2 * i + 1] = v[i].im.raw;
+    }
+    return out;
+}
+
+std::vector<std::int32_t>
+postTransform(Kernel &k, const std::vector<std::int32_t> &in)
+{
+    const Tables &t = tables();
+    std::vector<std::int32_t> out(kIfftSize);
+    for (int n = 0; n < kIfftSize; n++) {
+        int src = t.invPerm[n];
+        CFix y = {Fix32(in[2 * src]), Fix32(in[2 * src + 1])};
+        const CFix &p = t.post[n];
+        out[n] = (p.re * y.re - p.im * y.im).raw;
+        k.charge(2 * wMul + wAdd + 2 * wElem);
+    }
+    return out;
+}
+
+} // namespace
+
+SyscResult
+runSyscBackend(const std::vector<std::vector<Fix32>> &frames)
+{
+    Kernel kernel;
+    WordFifo input(kernel, 256), preOut(kernel, 256);
+    WordFifo st0(kernel, 256), st1(kernel, 256), st2(kernel, 256);
+    WordFifo postOut(kernel, 256), winOut(kernel, 256);
+
+    FrameProcess pre(kernel, "pre", input, preOut, kFrameIn,
+                     preTransform);
+    FrameProcess stage0(
+        kernel, "stage0", preOut, st0, 2 * kIfftSize,
+        [](Kernel &k, const std::vector<std::int32_t> &in) {
+            return stageTransform(k, 0, in);
+        });
+    FrameProcess stage1(
+        kernel, "stage1", st0, st1, 2 * kIfftSize,
+        [](Kernel &k, const std::vector<std::int32_t> &in) {
+            return stageTransform(k, 1, in);
+        });
+    FrameProcess stage2(
+        kernel, "stage2", st1, st2, 2 * kIfftSize,
+        [](Kernel &k, const std::vector<std::int32_t> &in) {
+            return stageTransform(k, 2, in);
+        });
+    FrameProcess post(kernel, "post", st2, postOut, 2 * kIfftSize,
+                      postTransform);
+
+    // The window keeps cross-frame state, so it lives outside the
+    // generic transformer.
+    std::vector<Fix32> prev_tail(kPcmOut, Fix32(0));
+    FrameProcess window(
+        kernel, "window", postOut, winOut, kIfftSize,
+        [&prev_tail](Kernel &k, const std::vector<std::int32_t> &in) {
+            const Tables &t = tables();
+            std::vector<std::int32_t> out(kPcmOut);
+            for (int i = 0; i < kPcmOut; i++) {
+                Fix32 cur(in[i]);
+                out[i] = (prev_tail[i] * t.winPrev[i] +
+                          cur * t.winCur[i])
+                             .raw;
+                prev_tail[i] = Fix32(in[i + kPcmOut]);
+                k.charge(2 * wMul + wAdd + 3 * wElem);
+            }
+            return out;
+        });
+
+    // Sink process.
+    SyscResult result;
+    int sink_id = kernel.registerProcess("sink", [&] {
+        std::int32_t w;
+        while (winOut.nbRead(w))
+            result.pcm.push_back(w);
+    });
+    winOut.writeEvent.addSensitive(sink_id);
+
+    // Test-bench process: feeds input words as space allows.
+    size_t frame_idx = 0, word_idx = 0;
+    int feeder_id = kernel.registerProcess("feeder", [&] {
+        while (frame_idx < frames.size()) {
+            if (!input.nbWrite(frames[frame_idx][word_idx].raw))
+                return;
+            if (++word_idx == static_cast<size_t>(kFrameIn)) {
+                word_idx = 0;
+                frame_idx++;
+            }
+        }
+    });
+    input.readEvent.addSensitive(feeder_id);
+
+    kernel.queueProcess(feeder_id);
+    kernel.run();
+
+    if (result.pcm.size() != frames.size() * kPcmOut) {
+        panic("sysc backend: pipeline stalled (" +
+              std::to_string(result.pcm.size()) + " samples)");
+    }
+    result.work = kernel.work();
+    result.dispatches = kernel.dispatches();
+    return result;
+}
+
+} // namespace vorbis
+} // namespace bcl

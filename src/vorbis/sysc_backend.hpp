@@ -1,0 +1,36 @@
+/**
+ * @file
+ * The Vorbis back-end written against SystemC-lite: the paper's F1
+ * baseline. Modules (pre-twiddle, three IFFT stages, post-twiddle,
+ * window, sink) are SC_METHOD processes connected by word-granular
+ * sc_fifo channels, the idiomatic SystemC modeling style; all
+ * arithmetic is the same Fix32 pipeline, so the PCM matches the other
+ * implementations bit for bit while the event overhead produces the
+ * ~3x slowdown of Figure 13.
+ */
+#ifndef BCL_VORBIS_SYSC_BACKEND_HPP
+#define BCL_VORBIS_SYSC_BACKEND_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "vorbis/tables.hpp"
+
+namespace bcl {
+namespace vorbis {
+
+/** Result of a SystemC-lite run. */
+struct SyscResult
+{
+    std::vector<std::int32_t> pcm;
+    std::uint64_t work = 0;        ///< compute + event overhead
+    std::uint64_t dispatches = 0;  ///< process activations
+};
+
+/** Run @p frames through the SystemC-lite back-end. */
+SyscResult runSyscBackend(const std::vector<std::vector<Fix32>> &frames);
+
+} // namespace vorbis
+} // namespace bcl
+
+#endif // BCL_VORBIS_SYSC_BACKEND_HPP

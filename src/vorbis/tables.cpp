@@ -1,0 +1,121 @@
+#include "vorbis/tables.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+
+namespace bcl {
+namespace vorbis {
+
+int
+digitRev4(int idx)
+{
+    // 3 base-4 digits: abc -> cba.
+    int d0 = idx & 3, d1 = (idx >> 2) & 3, d2 = (idx >> 4) & 3;
+    return (d0 << 4) | (d1 << 2) | d2;
+}
+
+namespace {
+
+constexpr double pi = 3.14159265358979323846;
+
+CFix
+cfixFromAngle(double angle, double scale = 1.0)
+{
+    return {Fix32::fromDouble(std::cos(angle) * scale),
+            Fix32::fromDouble(std::sin(angle) * scale)};
+}
+
+Tables
+buildTables()
+{
+    Tables t;
+
+    // IMDCT-style pre-twiddles (scaled < 1 to keep headroom).
+    for (int i = 0; i < kFrameIn; i++) {
+        double a1 = -pi * (2 * i + 1) / (2.0 * kIfftSize);
+        double a2 = -pi * (2 * (i + kFrameIn) + 1) / (2.0 * kIfftSize);
+        t.pre1.push_back(cfixFromAngle(a1, 0.75));
+        t.pre2.push_back(cfixFromAngle(a2, 0.75));
+    }
+
+    // Post-twiddles.
+    for (int i = 0; i < kIfftSize; i++) {
+        double a = -pi * i / (2.0 * kIfftSize);
+        t.post.push_back(cfixFromAngle(a, 0.9));
+    }
+
+    // Output permutation: out[n] comes from IFFT lane digitRev4(n).
+    for (int n = 0; n < kIfftSize; n++)
+        t.invPerm.push_back(digitRev4(n));
+
+    // Vorbis-style sine window, split into the current-frame and
+    // previous-frame halves of the 50% overlap.
+    for (int i = 0; i < kPcmOut; i++) {
+        double s = std::sin(0.5 * pi *
+                            std::pow(std::sin(pi * (i + 0.5) /
+                                              (2.0 * kPcmOut)),
+                                     2.0));
+        t.winCur.push_back(Fix32::fromDouble(s));
+        t.winPrev.push_back(Fix32::fromDouble(std::sqrt(
+            std::max(0.0, 1.0 - s * s))));
+    }
+
+    // Radix-4 DIF butterfly geometry + twiddles (inverse kernel:
+    // positive-angle roots of unity).
+    for (int s = 0; s < kStages; s++) {
+        int group = kIfftSize >> (2 * s);  // 64, 16, 4
+        int quarter = group / 4;
+        int bf = 0;
+        for (int base = 0; base < kIfftSize; base += group) {
+            for (int j = 0; j < quarter; j++) {
+                Tables::Lane lane;
+                for (int k = 0; k < 4; k++)
+                    lane.in[k] = base + j + k * quarter;
+                t.lanes.push_back(lane);
+                for (int k = 1; k < 4; k++) {
+                    double a = 2.0 * pi * j * k / group;
+                    t.twiddle.push_back(cfixFromAngle(a));
+                }
+                bf++;
+            }
+        }
+        if (bf != kButterflies)
+            panic("vorbis tables: butterfly count mismatch");
+    }
+
+    return t;
+}
+
+} // namespace
+
+const Tables &
+tables()
+{
+    static const Tables t = buildTables();
+    return t;
+}
+
+std::vector<std::vector<Fix32>>
+makeFrames(int count, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::vector<Fix32>> frames;
+    frames.reserve(count);
+    for (int f = 0; f < count; f++) {
+        std::vector<Fix32> frame;
+        frame.reserve(kFrameIn);
+        for (int i = 0; i < kFrameIn; i++) {
+            // Amplitudes within [-0.25, 0.25): after the IFFT's 64-way
+            // accumulation this stays well inside Q8.24.
+            std::int64_t raw = rng.range(-(1 << 22), (1 << 22) - 1);
+            frame.push_back(Fix32(static_cast<std::int32_t>(raw)));
+        }
+        frames.push_back(std::move(frame));
+    }
+    return frames;
+}
+
+} // namespace vorbis
+} // namespace bcl

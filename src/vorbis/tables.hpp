@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Shared parameter tables and workload generation for the Ogg Vorbis
+ * back-end (the "Param Tables" component of Figure 12). Both the BCL
+ * program and the hand-written C++ baseline read the same tables, so
+ * their outputs can be compared bit for bit.
+ *
+ * Pipeline geometry (section 7.1 scaled to the paper's running
+ * example): input frames of K = 32 spectral samples, a 64-point
+ * radix-4 IFFT (3 stages x 16 butterflies - the loop bounds of
+ * mkIFFTComb in section 4.5), post-twiddle with digit-reversed
+ * reordering, and a 50%-overlap window producing 32 PCM samples per
+ * frame.
+ */
+#ifndef BCL_VORBIS_TABLES_HPP
+#define BCL_VORBIS_TABLES_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "fixpt/fixpt.hpp"
+
+namespace bcl {
+namespace vorbis {
+
+/** Geometry constants. */
+constexpr int kFrameIn = 32;    ///< spectral samples per input frame
+constexpr int kIfftSize = 64;   ///< IFFT points (2 * kFrameIn)
+constexpr int kStages = 3;      ///< radix-4 stages (4^3 = 64)
+constexpr int kButterflies = 16;  ///< per stage
+constexpr int kPcmOut = 32;     ///< PCM samples per frame
+
+/** All parameter tables, in fixed point. */
+struct Tables
+{
+    /** Pre-twiddle: v[i] = pre1[i]*x[i], v[i+32] = pre2[i]*x[i]. */
+    std::vector<CFix> pre1, pre2;       // kFrameIn entries each
+
+    /** Post-twiddle factors (kIfftSize entries). */
+    std::vector<CFix> post;
+
+    /** Inverse digit-reversal permutation: output index -> source. */
+    std::vector<int> invPerm;           // kIfftSize entries
+
+    /** Window halves (kPcmOut entries each). */
+    std::vector<Fix32> winCur, winPrev;
+
+    /**
+     * IFFT twiddles: tw[((stage*16)+bf)*3 + (k-1)] = W_g^{j k} for
+     * butterfly bf of the stage (radix-4 DIF, inverse kernel).
+     */
+    std::vector<CFix> twiddle;
+
+    /** Butterfly geometry: input/output lanes per (stage, bf). */
+    struct Lane
+    {
+        int in[4];
+    };
+    std::vector<Lane> lanes;            // kStages * kButterflies
+};
+
+/** Build the canonical tables (memoized singleton). */
+const Tables &tables();
+
+/** Base-4 digit reversal of a 6-bit index (3 digits). */
+int digitRev4(int idx);
+
+/**
+ * Deterministic synthetic frame source (substitutes for the Ogg
+ * Vorbis front end, which the paper keeps in hand-written C++).
+ * Values are bounded to avoid fixed-point overflow in the IFFT.
+ */
+std::vector<std::vector<Fix32>> makeFrames(int count,
+                                           std::uint64_t seed = 12345);
+
+} // namespace vorbis
+} // namespace bcl
+
+#endif // BCL_VORBIS_TABLES_HPP

@@ -1,0 +1,465 @@
+/**
+ * @file
+ * Operational-semantics tests for the kernel interpreter (section 5 of
+ * the paper): parallel vs sequential composition, when-guards,
+ * localGuard, loops, DOUBLE WRITE ERROR detection, rollback on guard
+ * failure, FIFO/Reg primitive behaviors under transactions.
+ */
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "core/builder.hpp"
+#include "core/elaborate.hpp"
+#include "runtime/interp.hpp"
+#include "runtime/primitives.hpp"
+#include "runtime/store.hpp"
+
+namespace bcl {
+namespace {
+
+/** Harness: elaborate a single-module program and run rules by name. */
+class Harness
+{
+  public:
+    explicit Harness(ModuleDef m)
+    {
+        prog = ProgramBuilder()
+                   .add(std::move(m))
+                   .setRoot("Top")
+                   .build();
+        elab = elaborate(prog);
+        store = std::make_unique<Store>(elab);
+        interp = std::make_unique<Interp>(elab, *store);
+    }
+
+    bool
+    fire(const std::string &rule)
+    {
+        int id = elab.ruleByName(rule);
+        if (id < 0)
+            panic("no rule " + rule);
+        return interp->fireRule(id);
+    }
+
+    std::int64_t
+    regInt(const std::string &path)
+    {
+        return store->at(elab.primByPath(path)).val.asInt();
+    }
+
+    size_t
+    fifoDepth(const std::string &path)
+    {
+        return store->at(elab.primByPath(path)).queue.size();
+    }
+
+    Program prog;
+    ElabProgram elab;
+    std::unique_ptr<Store> store;
+    std::unique_ptr<Interp> interp;
+};
+
+TypePtr w32() { return Type::bits(32); }
+
+TEST(Interp, RegisterWriteCommits)
+{
+    ModuleBuilder b("Top");
+    b.addReg("r", w32());
+    b.addRule("set", regWrite("r", intE(32, 42)));
+    Harness h(b.build());
+    EXPECT_TRUE(h.fire("set"));
+    EXPECT_EQ(h.regInt("r"), 42);
+}
+
+TEST(Interp, ParallelSwapExchangesRegisters)
+{
+    // "a := b | b := a" swaps: both branches observe the pre-state.
+    ModuleBuilder b("Top");
+    b.addReg("a", w32(), Value::makeInt(32, 1));
+    b.addReg("b", w32(), Value::makeInt(32, 2));
+    b.addRule("swap", parA({regWrite("a", regRead("b")),
+                            regWrite("b", regRead("a"))}));
+    Harness h(b.build());
+    EXPECT_TRUE(h.fire("swap"));
+    EXPECT_EQ(h.regInt("a"), 2);
+    EXPECT_EQ(h.regInt("b"), 1);
+}
+
+TEST(Interp, SequentialCompositionObservesEarlierWrites)
+{
+    // a := b ; b := a  -- the second action sees a's new value.
+    ModuleBuilder b("Top");
+    b.addReg("a", w32(), Value::makeInt(32, 1));
+    b.addReg("b", w32(), Value::makeInt(32, 2));
+    b.addRule("seq", seqA({regWrite("a", regRead("b")),
+                           regWrite("b", regRead("a"))}));
+    Harness h(b.build());
+    EXPECT_TRUE(h.fire("seq"));
+    EXPECT_EQ(h.regInt("a"), 2);
+    EXPECT_EQ(h.regInt("b"), 2);
+}
+
+TEST(Interp, ParallelDoubleWriteIsError)
+{
+    ModuleBuilder b("Top");
+    b.addReg("r", w32());
+    b.addRule("dw", parA({regWrite("r", intE(32, 1)),
+                          regWrite("r", intE(32, 2))}));
+    Harness h(b.build());
+    EXPECT_THROW(h.fire("dw"), DoubleWriteError);
+    // The committed state is untouched.
+    EXPECT_EQ(h.regInt("r"), 0);
+}
+
+TEST(Interp, PaperParallelDeqExampleConflictsDynamically)
+{
+    // (if c1 then a := f.first | f.deq) | (if c2 then b := f.first |
+    // f.deq): when both conditions hold, both branches deq the same
+    // FIFO -> DOUBLE WRITE ERROR (section 6.1 example).
+    ModuleBuilder b("Top");
+    b.addReg("a", w32());
+    b.addReg("bb", w32());
+    b.addReg("c1", Type::boolean(), Value::makeBool(true));
+    b.addReg("c2", Type::boolean(), Value::makeBool(true));
+    b.addFifo("f", w32(), 2);
+    b.addRule("fill", callA("f", "enq", {intE(32, 7)}));
+    ActPtr br1 = ifA(regRead("c1"), parA({regWrite("a", callV("f", "first")),
+                                          callA("f", "deq")}));
+    ActPtr br2 = ifA(regRead("c2"), parA({regWrite("bb", callV("f", "first")),
+                                          callA("f", "deq")}));
+    b.addRule("race", parA({br1, br2}));
+    Harness h(b.build());
+    EXPECT_TRUE(h.fire("fill"));
+    EXPECT_THROW(h.fire("race"), DoubleWriteError);
+
+    // With c2 false the same rule is legal.
+    h.store->at(h.elab.primByPath("c2")).val = Value::makeBool(false);
+    EXPECT_TRUE(h.fire("race"));
+    EXPECT_EQ(h.regInt("a"), 7);
+    EXPECT_EQ(h.fifoDepth("f"), 0u);
+}
+
+TEST(Interp, WhenGuardFalseRollsBackWholeRule)
+{
+    // r := 1 ; (noAction when false) -- the write must not survive.
+    ModuleBuilder b("Top");
+    b.addReg("r", w32());
+    b.addRule("guarded", seqA({regWrite("r", intE(32, 1)),
+                               whenA(noOpA(), boolE(false))}));
+    Harness h(b.build());
+    EXPECT_FALSE(h.fire("guarded"));
+    EXPECT_EQ(h.regInt("r"), 0);
+    EXPECT_EQ(h.interp->stats().guardFails, 1u);
+    EXPECT_GT(h.interp->stats().wastedWork, 0u);
+}
+
+TEST(Interp, GuardInOneParallelBranchInvalidatesAll)
+{
+    // Axioms A.1/A.2: a guard failure in either branch of a parallel
+    // composition invalidates the composed action.
+    ModuleBuilder b("Top");
+    b.addReg("r", w32());
+    b.addReg("s", w32());
+    b.addRule("par", parA({regWrite("r", intE(32, 5)),
+                           whenA(regWrite("s", intE(32, 6)),
+                                 boolE(false))}));
+    Harness h(b.build());
+    EXPECT_FALSE(h.fire("par"));
+    EXPECT_EQ(h.regInt("r"), 0);
+    EXPECT_EQ(h.regInt("s"), 0);
+}
+
+TEST(Interp, LocalGuardConvertsFailureToNoAction)
+{
+    ModuleBuilder b("Top");
+    b.addReg("r", w32());
+    b.addReg("s", w32());
+    b.addRule("lg",
+              seqA({regWrite("r", intE(32, 1)),
+                    localGuardA(seqA({regWrite("s", intE(32, 2)),
+                                      whenA(noOpA(), boolE(false))})),
+                    regWrite("r", primE(PrimOp::Add,
+                                        {regRead("r"), intE(32, 10)}))}));
+    Harness h(b.build());
+    EXPECT_TRUE(h.fire("lg"));
+    // r survived both writes, s's write inside localGuard was dropped.
+    EXPECT_EQ(h.regInt("r"), 11);
+    EXPECT_EQ(h.regInt("s"), 0);
+}
+
+TEST(Interp, FifoEnqDeqFirstOrder)
+{
+    ModuleBuilder b("Top");
+    b.addFifo("f", w32(), 2);
+    b.addReg("out", w32());
+    b.addRule("e1", callA("f", "enq", {intE(32, 10)}));
+    b.addRule("e2", callA("f", "enq", {intE(32, 20)}));
+    b.addRule("drain", seqA({regWrite("out", callV("f", "first")),
+                             callA("f", "deq")}));
+    Harness h(b.build());
+    EXPECT_TRUE(h.fire("e1"));
+    EXPECT_TRUE(h.fire("e2"));
+    EXPECT_FALSE(h.fire("e1"));  // full: guard fails
+    EXPECT_TRUE(h.fire("drain"));
+    EXPECT_EQ(h.regInt("out"), 10);
+    EXPECT_TRUE(h.fire("drain"));
+    EXPECT_EQ(h.regInt("out"), 20);
+    EXPECT_FALSE(h.fire("drain"));  // empty: guard fails
+}
+
+TEST(Interp, LoopRunsSequentiallyWithLiveCondition)
+{
+    // while (i < 5) { acc := acc + i; i := i + 1 } via kernel loop.
+    ModuleBuilder b("Top");
+    b.addReg("i", w32());
+    b.addReg("acc", w32());
+    ActPtr body = seqA({regWrite("acc", primE(PrimOp::Add,
+                                              {regRead("acc"),
+                                               regRead("i")})),
+                        regWrite("i", primE(PrimOp::Add,
+                                            {regRead("i"),
+                                             intE(32, 1)}))});
+    b.addRule("sum",
+              loopA(primE(PrimOp::Lt, {regRead("i"), intE(32, 5)}),
+                    body));
+    Harness h(b.build());
+    EXPECT_TRUE(h.fire("sum"));
+    EXPECT_EQ(h.regInt("acc"), 0 + 1 + 2 + 3 + 4);
+    EXPECT_EQ(h.regInt("i"), 5);
+}
+
+TEST(Interp, PaperNonAtomicLoopIdiom)
+{
+    // The localGuard loop idiom of section 5: transfer as many
+    // elements as possible from producer FIFO to consumer FIFO in a
+    // single rule invocation, stopping at the first guard failure.
+    ModuleBuilder b("Top");
+    b.addFifo("p", w32(), 4);
+    b.addFifo("c", w32(), 2);  // smaller: stops after 2 transfers
+    b.addReg("cond", Type::boolean(), Value::makeBool(false));
+    for (int i = 0; i < 3; i++) {
+        b.addRule("fill" + std::to_string(i),
+                  callA("p", "enq", {intE(32, 100 + i)}));
+    }
+    ActPtr xfer_once = seqA({
+        regWrite("cond", boolE(false)),
+        localGuardA(seqA({callA("c", "enq", {callV("p", "first")}),
+                          callA("p", "deq"),
+                          regWrite("cond", boolE(true))}))});
+    b.addRule("xferSW",
+              seqA({regWrite("cond", boolE(true)),
+                    loopA(regRead("cond"), xfer_once)}));
+    Harness h(b.build());
+    EXPECT_TRUE(h.fire("fill0"));
+    EXPECT_TRUE(h.fire("fill1"));
+    EXPECT_TRUE(h.fire("fill2"));
+    EXPECT_TRUE(h.fire("xferSW"));
+    EXPECT_EQ(h.fifoDepth("c"), 2u);  // consumer capacity reached
+    EXPECT_EQ(h.fifoDepth("p"), 1u);
+}
+
+TEST(Interp, ValueMethodGuardPoisonsCaller)
+{
+    // Calling first() on an empty FIFO from within an expression
+    // makes the whole rule unready (guarded expression semantics).
+    ModuleBuilder b("Top");
+    b.addFifo("f", w32(), 2);
+    b.addReg("r", w32());
+    b.addRule("use", regWrite("r", primE(PrimOp::Add,
+                                         {callV("f", "first"),
+                                          intE(32, 1)})));
+    Harness h(b.build());
+    EXPECT_FALSE(h.fire("use"));
+    EXPECT_EQ(h.regInt("r"), 0);
+}
+
+TEST(Interp, LetBindingIsNonStrictInEffect)
+{
+    // A let-bound unready expression only fails if used... kernel BCL
+    // has non-strict lets; our interpreter is strict, so we verify the
+    // simpler property that binding a *ready* value works and scoping
+    // shadows correctly.
+    ModuleBuilder b("Top");
+    b.addReg("r", w32());
+    ActPtr body = letA(
+        "x", intE(32, 3),
+        letA("x", primE(PrimOp::Add, {varE("x"), intE(32, 4)}),
+             regWrite("r", varE("x"))));
+    b.addRule("lets", body);
+    Harness h(b.build());
+    EXPECT_TRUE(h.fire("lets"));
+    EXPECT_EQ(h.regInt("r"), 7);
+}
+
+TEST(Interp, CondExprSelectsLazily)
+{
+    // (true ? 1 : <unready>) must not fail: only the taken arm is
+    // evaluated.
+    ModuleBuilder b("Top");
+    b.addFifo("f", w32(), 2);
+    b.addReg("r", w32());
+    b.addRule("sel",
+              regWrite("r", condE(boolE(true), intE(32, 1),
+                                  callV("f", "first"))));
+    Harness h(b.build());
+    EXPECT_TRUE(h.fire("sel"));
+    EXPECT_EQ(h.regInt("r"), 1);
+}
+
+TEST(Interp, IfPredicateGuardAlwaysEvaluated)
+{
+    // Axiom A.5: guards in the predicate of a conditional are always
+    // evaluated, even if the condition would be false.
+    ModuleBuilder b("Top");
+    b.addFifo("f", w32(), 2);
+    b.addReg("r", w32());
+    b.addRule("pred",
+              ifA(primE(PrimOp::Gt, {callV("f", "first"), intE(32, 0)}),
+                  regWrite("r", intE(32, 1))));
+    Harness h(b.build());
+    EXPECT_FALSE(h.fire("pred"));  // first() unready -> rule unready
+}
+
+TEST(Interp, ActionMethodOfSubmoduleExecutesAtomically)
+{
+    ModuleBuilder counter("Counter");
+    counter.addReg("count", w32());
+    counter.addActionMethod(
+        "bump", {{"by", w32()}},
+        regWrite("count", primE(PrimOp::Add,
+                                {regRead("count"), varE("by")})));
+    counter.addValueMethod("value", {}, w32(), regRead("count"));
+
+    ModuleBuilder top("Top");
+    top.addSub("c", "Counter");
+    top.addReg("snap", w32());
+    top.addRule("bump2", callA("c", "bump", {intE(32, 2)}));
+    top.addRule("read", regWrite("snap", callV("c", "value")));
+
+    Program p = ProgramBuilder()
+                    .add(counter.build())
+                    .add(top.build())
+                    .setRoot("Top")
+                    .build();
+    ElabProgram elab = elaborate(p);
+    Store store(elab);
+    Interp interp(elab, store);
+
+    EXPECT_TRUE(interp.fireRule(elab.ruleByName("bump2")));
+    EXPECT_TRUE(interp.fireRule(elab.ruleByName("bump2")));
+    EXPECT_TRUE(interp.fireRule(elab.ruleByName("read")));
+    EXPECT_EQ(store.at(elab.primByPath("c.count")).val.asInt(), 4);
+    EXPECT_EQ(store.at(elab.primByPath("snap")).val.asInt(), 4);
+}
+
+TEST(Interp, RootActionMethodDrivesProgram)
+{
+    ModuleBuilder b("Top");
+    b.addFifo("in", w32(), 2);
+    b.addActionMethod("push", {{"x", w32()}},
+                      callA("in", "enq", {varE("x")}), "SW");
+    Harness h(b.build());
+    int meth = h.elab.rootMethod("push");
+    EXPECT_TRUE(h.interp->callActionMethod(meth, {Value::makeInt(32, 9)}));
+    EXPECT_TRUE(h.interp->callActionMethod(meth, {Value::makeInt(32, 8)}));
+    EXPECT_FALSE(h.interp->callActionMethod(meth, {Value::makeInt(32, 7)}));
+    EXPECT_EQ(h.fifoDepth("in"), 2u);
+}
+
+TEST(Interp, BramReadWrite)
+{
+    ModuleBuilder b("Top");
+    b.addBram("mem", w32(), 8);
+    b.addReg("out", w32());
+    b.addRule("wr", callA("mem", "write", {intE(32, 3), intE(32, 55)}));
+    b.addRule("rd", regWrite("out", callV("mem", "read", {intE(32, 3)})));
+    Harness h(b.build());
+    EXPECT_TRUE(h.fire("wr"));
+    EXPECT_TRUE(h.fire("rd"));
+    EXPECT_EQ(h.regInt("out"), 55);
+}
+
+TEST(Interp, BramOutOfRangePanics)
+{
+    ModuleBuilder b("Top");
+    b.addBram("mem", w32(), 4);
+    b.addRule("bad", callA("mem", "write", {intE(32, 9), intE(32, 1)}));
+    Harness h(b.build());
+    EXPECT_THROW(h.fire("bad"), PanicError);
+}
+
+TEST(Interp, RunawayLoopReportsFatal)
+{
+    ModuleBuilder b("Top");
+    b.addReg("r", w32());
+    b.addRule("spin", loopA(boolE(true), noOpA()));
+    Harness h(b.build());
+    EXPECT_THROW(h.fire("spin"), FatalError);
+}
+
+TEST(Elaborate, DuplicateAndMissingDefinitionsRejected)
+{
+    ModuleBuilder top("Top");
+    top.addSub("x", "Nowhere");
+    Program p = ProgramBuilder().add(top.build()).setRoot("Top").build();
+    EXPECT_THROW(elaborate(p), FatalError);
+
+    EXPECT_THROW(ProgramBuilder().setRoot("Top").build(), FatalError);
+}
+
+TEST(Elaborate, RecursiveInstantiationRejected)
+{
+    ModuleBuilder self("Selfy");
+    self.addSub("inner", "Selfy");
+    Program p =
+        ProgramBuilder().add(self.build()).setRoot("Selfy").build();
+    EXPECT_THROW(elaborate(p), FatalError);
+}
+
+TEST(Elaborate, PathsAndIdsAreHierarchical)
+{
+    ModuleBuilder inner("Inner");
+    inner.addReg("r", w32());
+    ModuleBuilder top("Top");
+    top.addSub("i1", "Inner");
+    top.addSub("i2", "Inner");
+    Program p = ProgramBuilder()
+                    .add(inner.build())
+                    .add(top.build())
+                    .setRoot("Top")
+                    .build();
+    ElabProgram e = elaborate(p);
+    EXPECT_EQ(e.prims.size(), 2u);
+    EXPECT_NO_THROW(e.primByPath("i1.r"));
+    EXPECT_NO_THROW(e.primByPath("i2.r"));
+    EXPECT_THROW(e.primByPath("i3.r"), PanicError);
+}
+
+TEST(Elaborate, SameDomainSyncDegeneratesToFifo)
+{
+    // Domain polymorphism (section 4.2): a Sync whose sides resolve to
+    // the same domain is replaced by a plain FIFO by the compiler.
+    ModuleBuilder b("Top");
+    b.addSync("s", w32(), 2, "SW", "SW");
+    Program p = ProgramBuilder().add(b.build()).setRoot("Top").build();
+    ElabProgram e = elaborate(p);
+    EXPECT_EQ(e.prims[0].kind, "Fifo");
+}
+
+TEST(Elaborate, ArityAndKindErrorsAreFatal)
+{
+    ModuleBuilder b("Top");
+    b.addFifo("f", w32(), 2);
+    b.addRule("bad", callA("f", "enq", {intE(32, 1), intE(32, 2)}));
+    Program p = ProgramBuilder().add(b.build()).setRoot("Top").build();
+    EXPECT_THROW(elaborate(p), FatalError);
+
+    ModuleBuilder c("Top");
+    c.addFifo("f", w32(), 2);
+    c.addRule("bad2", callA("f", "nosuch", {}));
+    Program p2 = ProgramBuilder().add(c.build()).setRoot("Top").build();
+    EXPECT_THROW(elaborate(p2), FatalError);
+}
+
+} // namespace
+} // namespace bcl

@@ -1,0 +1,323 @@
+/**
+ * @file
+ * Semantic-preservation tests for the program transformations: the
+ * when-axioms/guard lifting (Figure 8, section 6.3), method inlining,
+ * and sequentialization of parallel actions. Each transform is
+ * checked by the strongest available property: running the original
+ * and the transformed program side by side and comparing every
+ * observable store state (the axioms are *equivalences*, so this is
+ * the theorem made into a test).
+ */
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "core/axioms.hpp"
+#include "core/builder.hpp"
+#include "core/domains.hpp"
+#include "core/elaborate.hpp"
+#include "core/inlining.hpp"
+#include "core/sequentialize.hpp"
+#include "core/typecheck.hpp"
+#include "runtime/exec.hpp"
+
+namespace bcl {
+namespace {
+
+TypePtr w32() { return Type::bits(32); }
+
+static Program vorbisLike();
+static std::string printExprForTest(const ExprPtr &e);
+
+/** A small multi-feature program: FIFOs, pars, guards, submodule. */
+Program
+makeTestProgram()
+{
+    ModuleBuilder acc("Accum");
+    acc.addReg("total", w32());
+    acc.addActionMethod(
+        "add", {{"v", w32()}},
+        regWrite("total", primE(PrimOp::Add,
+                                {regRead("total"), varE("v")})));
+    acc.addValueMethod("value", {}, w32(), regRead("total"));
+
+    ModuleBuilder top("Top");
+    top.addFifo("inQ", w32(), 3);
+    top.addFifo("midQ", w32(), 2);
+    top.addReg("a", w32(), Value::makeInt(32, 5));
+    top.addReg("b", w32(), Value::makeInt(32, 9));
+    top.addReg("seeded", Type::boolean());
+    top.addSub("acc", "Accum");
+
+    // Self-seeding source with a one-shot guard.
+    top.addRule("seed",
+                whenA(parA({callA("inQ", "enq", {intE(32, 3)}),
+                            regWrite("seeded", boolE(true))}),
+                      primE(PrimOp::Not, {regRead("seeded")})));
+    // Guarded transfer with arithmetic.
+    top.addRule("xfer",
+                parA({callA("midQ", "enq",
+                            {primE(PrimOp::Mul,
+                                   {callV("inQ", "first"),
+                                    intE(32, 7)})}),
+                      callA("inQ", "deq")}));
+    // Parallel swap (forces the shadow path).
+    top.addRule("swap",
+                whenA(parA({regWrite("a", regRead("b")),
+                            regWrite("b", regRead("a"))}),
+                      callV("midQ", "notEmpty")));
+    // Drain through the submodule method.
+    top.addRule("drain", parA({callA("acc", "add",
+                                     {callV("midQ", "first")}),
+                               callA("midQ", "deq")}));
+    return ProgramBuilder()
+        .add(acc.build())
+        .add(top.build())
+        .setRoot("Top")
+        .build();
+}
+
+/** Run the program to quiescence and return the final store. */
+std::vector<PrimState>
+runAll(const ElabProgram &elab)
+{
+    Store store(elab);
+    Interp interp(elab, store);
+    RuleEngine engine(interp, SwStrategy::StaticOrder);
+    engine.runToQuiescence(100000);
+    std::vector<PrimState> out;
+    for (size_t i = 0; i < elab.prims.size(); i++)
+        out.push_back(store.at(static_cast<int>(i)));
+    return out;
+}
+
+/** Apply @p rewrite to every rule and compare final stores. */
+void
+expectEquivalent(
+    const Program &prog,
+    const std::function<ActPtr(const ElabProgram &, const ActPtr &)>
+        &rewrite)
+{
+    ElabProgram original = elaborate(prog);
+    ElabProgram transformed = elaborate(prog);
+    for (auto &r : transformed.rules)
+        r.body = rewrite(transformed, r.body);
+
+    std::vector<PrimState> s1 = runAll(original);
+    std::vector<PrimState> s2 = runAll(transformed);
+    ASSERT_EQ(s1.size(), s2.size());
+    for (size_t i = 0; i < s1.size(); i++) {
+        EXPECT_EQ(s1[i], s2[i])
+            << "state diverged at " << original.prims[i].path;
+    }
+}
+
+TEST(Axioms, LiftedRulesAreObservationallyEquivalent)
+{
+    expectEquivalent(makeTestProgram(),
+                     [](const ElabProgram &p, const ActPtr &a) {
+                         LiftedAction l = liftActionGuards(p, a);
+                         return isTrueConst(l.guard)
+                                    ? l.body
+                                    : whenA(l.body, l.guard);
+                     });
+}
+
+TEST(Axioms, VorbisRulesSurviveLifting)
+{
+    // The real application exercises lets, BRAM reads, MakeVec etc.
+    Program prog = vorbisLike();
+    expectEquivalent(prog, [](const ElabProgram &p, const ActPtr &a) {
+        LiftedAction l = liftActionGuards(p, a);
+        return isTrueConst(l.guard) ? l.body : whenA(l.body, l.guard);
+    });
+}
+
+/** Tiny vorbis-shaped pipeline (kept small for speed). */
+static Program
+vorbisLike()
+{
+    ModuleBuilder b("Top");
+    b.addFifo("in", Type::vec(4, w32()), 2);
+    b.addFifo("out", Type::vec(4, w32()), 2);
+    b.addBram("tbl", w32(), 4,
+              {Value::makeInt(32, 2), Value::makeInt(32, 3),
+               Value::makeInt(32, 4), Value::makeInt(32, 5)});
+    b.addReg("seeded", Type::boolean());
+    std::vector<ExprPtr> seed_elems;
+    for (int i = 0; i < 4; i++)
+        seed_elems.push_back(intE(32, 10 + i));
+    b.addRule("seed",
+              whenA(parA({callA("in", "enq",
+                                {primE(PrimOp::MakeVec, seed_elems)}),
+                          regWrite("seeded", boolE(true))}),
+                    primE(PrimOp::Not, {regRead("seeded")})));
+    std::vector<ExprPtr> outs;
+    for (int i = 0; i < 4; i++) {
+        outs.push_back(primE(
+            PrimOp::Mul,
+            {primE(PrimOp::Index, {varE("x"), intE(32, i)}),
+             callV("tbl", "read", {intE(32, i)})}));
+    }
+    ActPtr body = letA("x", callV("in", "first"),
+                       parA({callA("out", "enq",
+                                   {primE(PrimOp::MakeVec, outs)}),
+                             callA("in", "deq")}));
+    b.addRule("scale", body);
+    return ProgramBuilder().add(b.build()).setRoot("Top").build();
+}
+
+TEST(Axioms, GuardExprForFifoIsNotEmptyNotFull)
+{
+    Program p = makeTestProgram();
+    ElabProgram elab = elaborate(p);
+    int xfer = elab.ruleByName("xfer");
+    LiftedAction l = liftActionGuards(elab, elab.rules[xfer].body);
+    // The xfer rule's lifted guard must mention both FIFO probes.
+    EXPECT_TRUE(l.complete);
+    std::string g = printExprForTest(l.guard);
+    EXPECT_NE(g.find("notEmpty"), std::string::npos);
+    EXPECT_NE(g.find("notFull"), std::string::npos);
+}
+
+static std::string
+printExprForTest(const ExprPtr &e)
+{
+    // Cheap structural render (method names suffice).
+    std::string out;
+    forEachExpr(e, [&](const Expr &n) {
+        if (n.kind == ExprKind::CallV)
+            out += n.meth + " ";
+    });
+    return out;
+}
+
+TEST(Axioms, ConstantFoldingHelpers)
+{
+    EXPECT_TRUE(isTrueConst(mkAnd(boolE(true), boolE(true))));
+    EXPECT_TRUE(isTrueConst(mkOr(boolE(false), boolE(true))));
+    EXPECT_TRUE(isTrueConst(mkNot(boolE(false))));
+    ExprPtr v = varE("x");
+    EXPECT_EQ(mkAnd(boolE(true), v), v);
+    EXPECT_EQ(mkOr(v, boolE(false)), v);
+}
+
+TEST(Inlining, InlinedRulesAreObservationallyEquivalent)
+{
+    expectEquivalent(makeTestProgram(),
+                     [](const ElabProgram &p, const ActPtr &a) {
+                         return inlineActionMethods(p, a);
+                     });
+}
+
+TEST(Inlining, RemovesAllUserCallsAndRenamesBinders)
+{
+    Program p = makeTestProgram();
+    ElabProgram elab = elaborate(p);
+    int drain = elab.ruleByName("drain");
+    EXPECT_FALSE(fullyInlined(elab.rules[drain].body));
+    ActPtr inlined = inlineActionMethods(elab, elab.rules[drain].body);
+    EXPECT_TRUE(fullyInlined(inlined));
+    // The inlined body still typechecks in context.
+    ElabProgram copy = elaborate(p);
+    copy.rules[drain].body = inlined;
+    EXPECT_NO_THROW(typecheck(copy));
+}
+
+TEST(Sequentialize, EquivalentAndEliminatesPars)
+{
+    expectEquivalent(makeTestProgram(),
+                     [](const ElabProgram &p, const ActPtr &a) {
+                         return sequentializeAction(p, a);
+                     });
+
+    Program p = makeTestProgram();
+    ElabProgram elab = elaborate(p);
+    SeqStats stats;
+    ElabProgram seq = sequentializeProgram(elab, &stats);
+    // xfer/drain order cleanly; swap needs the register pre-read.
+    EXPECT_GE(stats.parsSequenced, 2);
+    EXPECT_GE(stats.parsWithPreread, 1);
+
+    // After the pass, the swap rule contains no Par and a let.
+    int swap = seq.ruleByName("swap");
+    bool has_par = false, has_let = false;
+    forEachNode(
+        seq.rules[swap].body,
+        [&](const Action &a) {
+            has_par |= a.kind == ActKind::Par;
+            has_let |= a.kind == ActKind::Let;
+        },
+        [](const Expr &) {});
+    EXPECT_FALSE(has_par);
+    EXPECT_TRUE(has_let);
+}
+
+TEST(Sequentialize, KeepsGenuineFifoConflicts)
+{
+    // Two branches deq'ing the same FIFO cannot be sequenced.
+    ModuleBuilder b("Top");
+    b.addFifo("f", w32(), 2);
+    b.addReg("x", w32());
+    b.addReg("y", w32());
+    b.addRule("race", parA({parA({regWrite("x", callV("f", "first")),
+                                  callA("f", "deq")}),
+                            parA({regWrite("y", callV("f", "first")),
+                                  callA("f", "deq")})}));
+    Program p = ProgramBuilder().add(b.build()).setRoot("Top").build();
+    ElabProgram elab = elaborate(p);
+    SeqStats stats;
+    sequentializeProgram(elab, &stats);
+    EXPECT_GE(stats.parsKept, 1);
+}
+
+TEST(Typecheck, AcceptsTheRealApplications)
+{
+    Program p = makeTestProgram();
+    ElabProgram elab = elaborate(p);
+    EXPECT_NO_THROW(typecheck(elab));
+}
+
+TEST(Typecheck, RejectsWidthMismatch)
+{
+    ModuleBuilder b("Top");
+    b.addReg("r", Type::bits(16));
+    b.addRule("bad", regWrite("r", primE(PrimOp::Add,
+                                         {intE(16, 1), intE(32, 2)})));
+    Program p = ProgramBuilder().add(b.build()).setRoot("Top").build();
+    ElabProgram elab = elaborate(p);
+    EXPECT_THROW(typecheck(elab), FatalError);
+}
+
+TEST(Typecheck, RejectsNonBoolGuard)
+{
+    ModuleBuilder b("Top");
+    b.addReg("r", w32());
+    b.addRule("bad", whenA(regWrite("r", intE(32, 1)), intE(32, 1)));
+    Program p = ProgramBuilder().add(b.build()).setRoot("Top").build();
+    ElabProgram elab = elaborate(p);
+    EXPECT_THROW(typecheck(elab), FatalError);
+}
+
+TEST(Typecheck, RejectsEnqTypeMismatch)
+{
+    ModuleBuilder b("Top");
+    b.addFifo("f", Type::vec(4, w32()), 2);
+    b.addRule("bad", callA("f", "enq", {intE(32, 7)}));
+    Program p = ProgramBuilder().add(b.build()).setRoot("Top").build();
+    ElabProgram elab = elaborate(p);
+    EXPECT_THROW(typecheck(elab), FatalError);
+}
+
+TEST(Typecheck, AnonymousStructCompatibleWithNamedRecord)
+{
+    TypePtr named = Type::record(
+        "Complex", {{"re", w32()}, {"im", w32()}});
+    TypePtr anon = Type::record("", {{"re", w32()}, {"im", w32()}});
+    EXPECT_TRUE(typeCompatible(anon, named));
+    EXPECT_TRUE(typeCompatible(named, anon));
+    TypePtr other = Type::record("", {{"re", w32()}});
+    EXPECT_FALSE(typeCompatible(other, named));
+}
+
+} // namespace
+} // namespace bcl

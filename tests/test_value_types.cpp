@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Unit tests for runtime values and static types: construction,
+ * signed/unsigned views, structural equality, functional update,
+ * bit-level pack/unpack round trips (the marshaling substrate).
+ */
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/logging.hpp"
+#include "core/types.hpp"
+#include "core/value.hpp"
+
+namespace bcl {
+namespace {
+
+TEST(Value, BitsTruncatesToWidth)
+{
+    Value v = Value::makeBits(8, 0x1ff);
+    EXPECT_EQ(v.asUInt(), 0xffu);
+    EXPECT_EQ(v.width(), 8);
+}
+
+TEST(Value, SignedViewSignExtends)
+{
+    Value v = Value::makeBits(8, 0xff);
+    EXPECT_EQ(v.asInt(), -1);
+    Value w = Value::makeBits(8, 0x7f);
+    EXPECT_EQ(w.asInt(), 127);
+}
+
+TEST(Value, MakeIntNegativeRoundTrips)
+{
+    for (int width : {4, 8, 16, 32, 64}) {
+        std::int64_t lo = width == 64
+            ? std::numeric_limits<std::int64_t>::min()
+            : -(1ll << (width - 1));
+        Value v = Value::makeInt(width, lo);
+        EXPECT_EQ(v.asInt(), lo) << "width " << width;
+    }
+}
+
+TEST(Value, BoolBasics)
+{
+    EXPECT_TRUE(Value::makeBool(true).asBool());
+    EXPECT_FALSE(Value::makeBool(false).asBool());
+    EXPECT_TRUE(Value::makeBool(true).isBool());
+}
+
+TEST(Value, InvalidIsNotValid)
+{
+    Value v;
+    EXPECT_FALSE(v.valid());
+    EXPECT_EQ(v.kind(), ValueKind::Invalid);
+}
+
+TEST(Value, VectorIndexAndFunctionalUpdate)
+{
+    Value v = Value::makeVec({Value::makeBits(8, 1),
+                              Value::makeBits(8, 2),
+                              Value::makeBits(8, 3)});
+    EXPECT_EQ(v.at(1).asUInt(), 2u);
+    Value w = v.withElem(1, Value::makeBits(8, 9));
+    EXPECT_EQ(w.at(1).asUInt(), 9u);
+    // Original untouched (value semantics).
+    EXPECT_EQ(v.at(1).asUInt(), 2u);
+}
+
+TEST(Value, StructFieldAccessAndUpdate)
+{
+    Value s = Value::makeStruct(
+        {{"re", Value::makeBits(32, 5)}, {"im", Value::makeBits(32, 7)}});
+    EXPECT_EQ(s.field("im").asUInt(), 7u);
+    Value t = s.withField("re", Value::makeBits(32, 11));
+    EXPECT_EQ(t.field("re").asUInt(), 11u);
+    EXPECT_EQ(s.field("re").asUInt(), 5u);
+}
+
+TEST(Value, EqualityIsDeepStructural)
+{
+    Value a = Value::makeVec({Value::makeBits(4, 3)});
+    Value b = Value::makeVec({Value::makeBits(4, 3)});
+    Value c = Value::makeVec({Value::makeBits(4, 4)});
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+    EXPECT_NE(a, Value::makeBits(4, 3));
+}
+
+TEST(Value, PanicsOnKindMismatch)
+{
+    EXPECT_THROW(Value::makeBool(true).asInt(), PanicError);
+    EXPECT_THROW(Value::makeBits(4, 1).asBool(), PanicError);
+    EXPECT_THROW(Value::makeBits(4, 1).elems(), PanicError);
+    EXPECT_THROW(Value::makeBool(true).field("x"), PanicError);
+}
+
+TEST(Value, PackBitsLittleEndianPerScalar)
+{
+    Value v = Value::makeBits(4, 0b1010);
+    std::vector<bool> bits;
+    v.packBits(bits);
+    ASSERT_EQ(bits.size(), 4u);
+    EXPECT_FALSE(bits[0]);
+    EXPECT_TRUE(bits[1]);
+    EXPECT_FALSE(bits[2]);
+    EXPECT_TRUE(bits[3]);
+}
+
+TEST(Value, FlatWidthSumsNestedStructure)
+{
+    Value cplx = Value::makeStruct({{"re", Value::makeBits(32, 0)},
+                                    {"im", Value::makeBits(32, 0)}});
+    Value frame = Value::makeVec(std::vector<Value>(4, cplx));
+    EXPECT_EQ(frame.flatWidth(), 4 * 64);
+}
+
+TEST(SignExtend, EdgeWidths)
+{
+    EXPECT_EQ(signExtend(0x1, 1), -1);
+    EXPECT_EQ(signExtend(0x0, 1), 0);
+    EXPECT_EQ(signExtend(0x8000000000000000ull, 64),
+              std::numeric_limits<std::int64_t>::min());
+    EXPECT_THROW(signExtend(0, 0), PanicError);
+    EXPECT_THROW(truncToWidth(0, 65), PanicError);
+}
+
+TEST(Type, ScalarConstruction)
+{
+    EXPECT_TRUE(Type::boolean()->isBool());
+    EXPECT_EQ(Type::bits(12)->width(), 12);
+    EXPECT_TRUE(Type::unit()->isUnit());
+    EXPECT_THROW(Type::bits(0), FatalError);
+    EXPECT_THROW(Type::bits(65), FatalError);
+}
+
+TEST(Type, VectorAndStruct)
+{
+    TypePtr cplx = Type::record(
+        "Complex", {{"re", Type::bits(32)}, {"im", Type::bits(32)}});
+    TypePtr frame = Type::vec(64, cplx);
+    EXPECT_EQ(frame->vecSize(), 64);
+    EXPECT_EQ(frame->flatWidth(), 64 * 64);
+    EXPECT_EQ(cplx->field("im")->width(), 32);
+    EXPECT_THROW(cplx->field("xy"), PanicError);
+}
+
+TEST(Type, EqualsIsStructuralWithNames)
+{
+    TypePtr a = Type::record("C", {{"x", Type::bits(8)}});
+    TypePtr b = Type::record("C", {{"x", Type::bits(8)}});
+    TypePtr c = Type::record("D", {{"x", Type::bits(8)}});
+    EXPECT_TRUE(a->equals(*b));
+    EXPECT_FALSE(a->equals(*c));
+    EXPECT_TRUE(Type::vec(3, Type::bits(4))
+                    ->equals(*Type::vec(3, Type::bits(4))));
+    EXPECT_FALSE(Type::vec(3, Type::bits(4))
+                     ->equals(*Type::vec(4, Type::bits(4))));
+}
+
+TEST(Type, AdmitsChecksShape)
+{
+    TypePtr t = Type::vec(2, Type::bits(8));
+    EXPECT_TRUE(t->admits(Value::makeVec(
+        {Value::makeBits(8, 1), Value::makeBits(8, 2)})));
+    EXPECT_FALSE(t->admits(Value::makeVec({Value::makeBits(8, 1)})));
+    EXPECT_FALSE(t->admits(Value::makeBits(16, 1)));
+}
+
+TEST(Type, ZeroValueInhabitsType)
+{
+    TypePtr cplx = Type::record(
+        "Complex", {{"re", Type::bits(32)}, {"im", Type::bits(32)}});
+    TypePtr t = Type::vec(3, cplx);
+    Value z = t->zeroValue();
+    EXPECT_TRUE(t->admits(z));
+    EXPECT_EQ(z.at(2).field("re").asInt(), 0);
+}
+
+TEST(Type, PackUnpackRoundTrip)
+{
+    TypePtr cplx = Type::record(
+        "Complex", {{"re", Type::bits(32)}, {"im", Type::bits(32)}});
+    TypePtr t = Type::vec(3, cplx);
+    Value v = Value::makeVec(
+        {Value::makeStruct({{"re", Value::makeInt(32, -5)},
+                            {"im", Value::makeInt(32, 99)}}),
+         Value::makeStruct({{"re", Value::makeInt(32, 1 << 20)},
+                            {"im", Value::makeInt(32, -(1 << 30))}}),
+         Value::makeStruct({{"re", Value::makeInt(32, 0)},
+                            {"im", Value::makeInt(32, -1)}})});
+    std::vector<bool> bits;
+    v.packBits(bits);
+    ASSERT_EQ(static_cast<int>(bits.size()), t->flatWidth());
+    size_t pos = 0;
+    Value u = t->unpackBits(bits, pos);
+    EXPECT_EQ(pos, bits.size());
+    EXPECT_EQ(u, v);
+}
+
+TEST(Type, UnpackBitsExhaustionPanics)
+{
+    std::vector<bool> bits(3, true);
+    size_t pos = 0;
+    EXPECT_THROW(Type::bits(8)->unpackBits(bits, pos), PanicError);
+}
+
+} // namespace
+} // namespace bcl
