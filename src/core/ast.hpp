@@ -18,6 +18,12 @@
  * AST nodes are immutable and shared (shared_ptr to const), so program
  * transformations (when-lifting, inlining, sequentialization) build new
  * trees that share unchanged subtrees.
+ *
+ * Contract: a Program is produced by parser.hpp (textual sources) or
+ * builder.hpp (C++ construction API) and is purely syntactic — names
+ * are unresolved and nothing is typed. elaborate() is the only
+ * consumer; every later stage works on the flat ElabProgram instead.
+ * See docs/ARCHITECTURE.md for the stage order.
  */
 #ifndef BCL_CORE_AST_HPP
 #define BCL_CORE_AST_HPP

@@ -3,6 +3,14 @@
  * Pretty-printer for kernel BCL ASTs. The output round-trips through
  * the parser (tests assert parse(print(p)) == p structurally), and is
  * used for diagnostics and golden tests of program transformations.
+ *
+ * Contract: printers accept both unelaborated and elaborated trees
+ * (resolution annotations are ignored); output is deterministic, so
+ * printed text is safe to diff in golden tests. Named struct types
+ * are printed by name only — no `struct` declaration is re-emitted —
+ * so the print→parse round trip is exact for programs over
+ * Bool/Bit/Vector; reparsing a program that instantiates named
+ * records needs the declarations prepended by hand.
  */
 #ifndef BCL_CORE_ASTPRINT_HPP
 #define BCL_CORE_ASTPRINT_HPP

@@ -16,6 +16,11 @@
  * Guards cannot be lifted through sequential composition or loops
  * (only A.3's first-action case), which is exactly why the runtime
  * still keeps shadows for those shapes.
+ *
+ * Contract: input must be elaborated and typechecked; the rewrite is
+ * semantics-preserving (tests compare interpreter runs before and
+ * after) and purely functional — new trees are returned, inputs are
+ * never mutated.
  */
 #ifndef BCL_CORE_AXIOMS_HPP
 #define BCL_CORE_AXIOMS_HPP

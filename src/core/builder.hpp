@@ -5,6 +5,11 @@
  * applications (Vorbis, ray tracer) build their module hierarchies
  * through it, including generate-style loops that unfold into rules
  * (like the per-stage rule generation of mkIFFTPipe in section 4.5).
+ *
+ * Contract: builders produce the same purely syntactic Program that
+ * the parser does — name resolution and checking happen later in
+ * elaborate()/typecheck(), so construction-time errors (unknown
+ * instances, bad arity) surface there, not here.
  */
 #ifndef BCL_CORE_BUILDER_HPP
 #define BCL_CORE_BUILDER_HPP

@@ -7,7 +7,13 @@
  * declaration, state instantiation, rules with their lifted explicit
  * guards - which in the paper's flow is handed to the commercial BSV
  * compiler; in this reproduction, execution of the partition is the
- * job of the rule-accurate hwsim instead (see DESIGN.md section 2).
+ * job of the rule-accurate hwsim instead (see "The simulation
+ * substitution" in docs/ARCHITECTURE.md).
+ *
+ * Contract: @p prog must be a single-domain (hardware) partition with
+ * guards liftable to rule level; dynamic loops and sequential
+ * composition are rejected with FatalError rather than silently
+ * mistranslated.
  */
 #ifndef BCL_CORE_CODEGEN_BSV_HPP
 #define BCL_CORE_CODEGEN_BSV_HPP

@@ -15,6 +15,12 @@
  *
  * The generated source compiles against runtime/gen_support.hpp;
  * tests syntax-check it with the host compiler.
+ *
+ * Contract: @p prog must be a single-domain program — typically one
+ * part of a PartitionResult, where cross-domain Syncs have already
+ * been replaced by SyncTx/SyncRx halves. Rules containing dynamic
+ * loops or sequential composition are fine here (unlike the BSV
+ * path); they simply keep their shadow frames.
  */
 #ifndef BCL_CORE_CODEGEN_CPP_HPP
 #define BCL_CORE_CODEGEN_CPP_HPP

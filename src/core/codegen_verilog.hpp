@@ -9,6 +9,11 @@
  * text (the paper's flow goes through bsc for those); the value of
  * this artifact is the scheduler/enable structure, which is what the
  * hwsim executes.
+ *
+ * Contract: same input requirements as codegen_bsv.hpp (a hardware
+ * partition); the emitted text is structurally validated by tests
+ * (CAN_FIRE/WILL_FIRE per rule, clocked commit block) but not run
+ * through a Verilog simulator in this reproduction.
  */
 #ifndef BCL_CORE_CODEGEN_VERILOG_HPP
 #define BCL_CORE_CODEGEN_VERILOG_HPP

@@ -13,6 +13,12 @@
  * The hardware simulator composes a maximal per-cycle rule set from
  * this matrix; the software scheduler uses it to avoid pointless
  * back-to-back attempts of mutually exclusive rules.
+ *
+ * Contract: built once per elaborated program (O(rules² · methods)
+ * from the rwsets summaries) and queried read-only afterwards; the
+ * relation is conservative, so C ("conflict") may be reported for
+ * rules that never actually collide dynamically — that only costs
+ * parallelism, never correctness.
  */
 #ifndef BCL_CORE_CONFLICT_HPP
 #define BCL_CORE_CONFLICT_HPP

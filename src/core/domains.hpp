@@ -14,6 +14,11 @@
  * user method, per floating primitive) with named-domain constants.
  * Unifying two distinct constants raises a FatalError naming the rule
  * that forced the merge.
+ *
+ * Contract: expects an elaborated (and ideally typechecked) program.
+ * On success every rule and method has a non-empty domain, both in
+ * the returned DomainAssignment and written back into @c prog, which
+ * is exactly the precondition partitionProgram() relies on.
  */
 #ifndef BCL_CORE_DOMAINS_HPP
 #define BCL_CORE_DOMAINS_HPP

@@ -11,6 +11,11 @@
  *
  * The elaborated program is the input to the interpreter, analyses,
  * partitioner, schedulers and code generators.
+ *
+ * Contract: ids are dense indices — prims[i].id == i, rules[i].id ==
+ * i, methods[i].id == i — so analyses index vectors by id. Rule and
+ * method bodies are still untyped and their domains unknown until
+ * typecheck() and inferDomains() run.
  */
 #ifndef BCL_CORE_ELABORATE_HPP
 #define BCL_CORE_ELABORATE_HPP

@@ -8,6 +8,12 @@
  * inlining, every remaining call targets a primitive, which is what
  * lets the C++ generator branch straight to rollback code instead of
  * paying for a try/catch (Figure 9 vs Figure 10).
+ *
+ * Contract: input must be elaborated (CallV/CallA nodes resolved);
+ * after inlineAllMethods() every remaining call in rule bodies has
+ * isPrim == true. Inlining preserves guard semantics: the callee's
+ * guard travels with the inlined body (when-wrapped), not the call
+ * site.
  */
 #ifndef BCL_CORE_INLINING_HPP
 #define BCL_CORE_INLINING_HPP

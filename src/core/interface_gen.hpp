@@ -15,6 +15,12 @@
  * "Because the interfaces are backed by fully functional reference
  * implementations, there is no need to build simulators for testing
  * and development purposes."
+ *
+ * Contract: consumes the channel table of partitionProgram()
+ * unchanged. Generated identifiers are prefixed with @p base_name
+ * (e.g. "<base>_CHAN_<name>_ID"), so two designs can coexist in one
+ * translation unit. Generation is text-only: nothing here executes —
+ * the runtime counterparts live in src/platform.
  */
 #ifndef BCL_CORE_INTERFACE_GEN_HPP
 #define BCL_CORE_INTERFACE_GEN_HPP

@@ -4,6 +4,11 @@
  * one the pretty-printer (astprint.hpp) emits, so programs round-trip
  * print -> parse -> print; `.bcl` files can also be written by hand
  * in the same style (see examples/).
+ *
+ * Contract: lexing is total over well-formed input — comments (`//`
+ * to end of line) and whitespace are dropped, every token carries its
+ * 1-based source line for diagnostics, and the stream is terminated
+ * by a single Tok::End. Unknown characters raise FatalError.
  */
 #ifndef BCL_CORE_LEXER_HPP
 #define BCL_CORE_LEXER_HPP

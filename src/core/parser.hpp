@@ -19,6 +19,11 @@
  * Identifier resolution: a bare name is a let/parameter variable when
  * lexically bound, otherwise a register read of the instance with
  * that name (the printer's reg-read sugar).
+ *
+ * Contract: the returned Program is purely syntactic — instance and
+ * method names are not resolved and nothing is typechecked; struct
+ * type names are file-scoped and shared by all modules in the file.
+ * Pass the result to elaborate(), then typecheck().
  */
 #ifndef BCL_CORE_PARSER_HPP
 #define BCL_CORE_PARSER_HPP

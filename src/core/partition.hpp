@@ -10,6 +10,14 @@
  * "Once separated, each partition can now be treated as a distinct BCL
  * program, which communicates with other partitions using synchronizer
  * primitives."
+ *
+ * Contract: requires the DomainAssignment produced by inferDomains()
+ * on the same program. Produces one PartitionPart per domain, each a
+ * self-contained single-domain ElabProgram valid as input to the
+ * interpreter, schedulers and code generators; channels[i].id == i,
+ * and each channel's txPrim/rxPrim index into the corresponding
+ * part's prims. The channel table is the input to interface_gen.hpp
+ * and to the platform channel layer.
  */
 #ifndef BCL_CORE_PARTITION_HPP
 #define BCL_CORE_PARTITION_HPP

@@ -19,6 +19,13 @@
  * slot the method belongs to. It also encodes the pairwise method
  * conflict relations used for rule scheduling (section 6, "pair-wise
  * static analysis to conservatively estimate conflicts").
+ *
+ * Contract: this table is the single source of truth for primitive
+ * interfaces — elaboration, typechecking, domain inference, conflict
+ * analysis and the interpreter all consult it. Adding a primitive
+ * means adding its row here plus its behavior in
+ * runtime/primitives.cpp and (if generated code may use it) in
+ * runtime/gen_support.hpp.
  */
 #ifndef BCL_CORE_PRIMDECL_HPP
 #define BCL_CORE_PRIMDECL_HPP

@@ -7,6 +7,12 @@
  *   - sequentialization of parallel actions (W(A) vs R(B) tests),
  *   - the dataflow-aware software scheduler (writer -> reader edges),
  *   - domain inference (which domains a rule touches).
+ *
+ * Contract: the analysis is conservative — it reports what an action
+ * *may* invoke along any control path (both branches of if/cond,
+ * loop bodies, called user methods transitively). Soundness of the
+ * conflict matrix and of sequentialization depends on that
+ * over-approximation.
  */
 #ifndef BCL_CORE_RWSETS_HPP
 #define BCL_CORE_RWSETS_HPP

@@ -12,6 +12,12 @@
  * maximal conflict-free set is composed at simulation time from the
  * ConflictMatrix ("in each clock cycle run each rule once on
  * different data" - pipeline parallelism).
+ *
+ * Contract: scheduling is a pure analysis — it never changes program
+ * semantics, only the order rules are *attempted* in. Any schedule
+ * is correct (rules are atomic; a failed guard is a no-op); a good
+ * schedule just fails fewer guards. runtime/exec.hpp consumes the
+ * software schedule, hwsim/clocksim.hpp the hardware priority.
  */
 #ifndef BCL_CORE_SCHEDULE_HPP
 #define BCL_CORE_SCHEDULE_HPP

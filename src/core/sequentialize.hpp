@@ -17,6 +17,11 @@
  *      dynamic allocation") and then sequences,
  *   3. keeps the Par when branches conflict through non-register
  *      state (FIFO contents cannot be pre-read).
+ *
+ * Contract: run after inlining (read/write sets must see primitive
+ * calls directly); the transform preserves the transactional
+ * semantics of Par — tests compare interpreter state trajectories
+ * before and after.
  */
 #ifndef BCL_CORE_SEQUENTIALIZE_HPP
 #define BCL_CORE_SEQUENTIALIZE_HPP

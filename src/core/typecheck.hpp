@@ -12,6 +12,10 @@
  * (anonymous record); they are compatible with any named record of
  * the same shape, which is how expression-built Complex values flow
  * into Complex-typed state.
+ *
+ * Contract: run after elaborate(), before domain inference and the
+ * transform passes — all of them assume well-typed trees and panic
+ * rather than diagnose when that fails. typecheck() mutates nothing.
  */
 #ifndef BCL_CORE_TYPECHECK_HPP
 #define BCL_CORE_TYPECHECK_HPP

@@ -8,6 +8,12 @@
  * the marshaling layer (section 4.4 of the paper) needs to lay a value
  * out identically on the hardware and software sides - the fix for the
  * "data format issues" of section 2.3.
+ *
+ * Contract: Type objects are immutable and shared via TypePtr; two
+ * types are interchangeable when typecheck.hpp's typeCompatible()
+ * holds (structural, with named/anonymous record equivalence), and
+ * compatible types always have identical flatWidth() — the invariant
+ * marshalling depends on.
  */
 #ifndef BCL_CORE_TYPES_HPP
 #define BCL_CORE_TYPES_HPP

@@ -9,6 +9,12 @@
  * Values are plain value types: copying a Value snapshots it. The whole
  * transactional runtime (change-log shadows, parallel-branch isolation,
  * rollback) relies on this.
+ *
+ * Contract: a Value does not know its static Type — shape agreement
+ * is the typechecker's job, and primitives/interpreter may assume it.
+ * Bit-level pack/unpack here is the canonical flattening that
+ * platform/marshal.hpp exposes word-wise; tests round-trip every
+ * value shape through it.
  */
 #ifndef BCL_CORE_VALUE_HPP
 #define BCL_CORE_VALUE_HPP

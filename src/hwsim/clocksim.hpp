@@ -10,9 +10,9 @@
  * compiler.
  *
  * This simulator substitutes for the commercial BSV-to-Verilog flow +
- * FPGA in the paper's evaluation; DESIGN.md section 2 documents why
- * the substitution preserves the measured behaviour (cycle counts of
- * rule-level pipelines).
+ * FPGA in the paper's evaluation; "The simulation substitution" in
+ * docs/ARCHITECTURE.md documents why the substitution preserves the
+ * measured behaviour (cycle counts of rule-level pipelines).
  */
 #ifndef BCL_HWSIM_CLOCKSIM_HPP
 #define BCL_HWSIM_CLOCKSIM_HPP

@@ -13,6 +13,12 @@
  * capacity). Together with per-channel staging queues in front of the
  * shared LinkArbiter this gives the LIBDN no-deadlock /
  * no-head-of-line-blocking property.
+ *
+ * Contract: channels deliver every message exactly once, in order,
+ * after a bus-model delay; they never overflow the consumer half
+ * (credit check before pickup). Functional behavior of a partitioned
+ * program is therefore independent of link timing — only reported
+ * cycle counts change.
  */
 #ifndef BCL_PLATFORM_CHANNEL_HPP
 #define BCL_PLATFORM_CHANNEL_HPP

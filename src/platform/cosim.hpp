@@ -20,6 +20,14 @@
  * insensitive synchronizer, the quantum affects reported cycle counts
  * only within a pipeline batch, never functional results. Tests
  * verify bit-identical outputs across all partitionings of a program.
+ *
+ * Contract: construct from a PartitionResult whose parts/channels are
+ * untouched since partitionProgram(); the cosim owns one engine per
+ * partition and advances them in virtual time until the caller's done
+ * predicate holds. Global quiescence before then (no engine can fire,
+ * no message in flight, driver blocked) is reported as a deadlock
+ * FatalError, never an infinite loop. Results are deterministic for a
+ * given program, partitioning and config.
  */
 #ifndef BCL_PLATFORM_COSIM_HPP
 #define BCL_PLATFORM_COSIM_HPP
@@ -51,7 +59,7 @@ struct CosimConfig
      * *compiled* generated C++ by roughly 4x (many nodes fold into
      * single instructions); 0.23 calibrates the full-software Vorbis
      * partition to ~1.2x the hand-written baseline, the paper's
-     * "slightly faster" F2 relation. See EXPERIMENTS.md.
+     * "slightly faster" F2 relation. See docs/EXPERIMENTS.md.
      */
     double swCyclesPerWork = 0.23;
 
@@ -62,7 +70,7 @@ struct CosimConfig
     SwStrategy swStrategy = SwStrategy::Dataflow;
 
     /** Cost model applied to software partitions (calibration knobs;
-     *  see EXPERIMENTS.md). */
+     *  see docs/EXPERIMENTS.md). */
     CostModel swCosts;
 
     /** Max software rule firings per slice before hardware catches

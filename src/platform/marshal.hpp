@@ -7,6 +7,11 @@
  * eliminates the struct-layout/endianness mismatches of section 2.3:
  * there is a single canonical flattening (little-endian bit order,
  * fields in declaration order), not a per-compiler one.
+ *
+ * Contract: marshalValue(v) always yields ceil(flatWidth/32) words —
+ * the ChannelSpec::payloadWords both endpoints size their buffers
+ * with — and demarshalValue(t, marshalValue(v)) == v for every v of
+ * type t (tests round-trip all shapes).
  */
 #ifndef BCL_PLATFORM_MARSHAL_HPP
 #define BCL_PLATFORM_MARSHAL_HPP

@@ -91,8 +91,9 @@ struct HitT
 /**
  * Slab test of @p r against @p b ("Box Inter"): entry distance of the
  * ray into the box, hit when the slabs overlap in front of the
- * origin. Exact op order documented in DESIGN.md; direction
- * components must be nonzero (workload guarantees it).
+ * origin. The fixed-point op order must match trace_bcl.cpp's BCL
+ * expression tree bit for bit (tests compare outputs exactly);
+ * direction components must be nonzero (workload guarantees it).
  */
 HitT boxIntersect(const Ray3 &r, const Aabb &b);
 

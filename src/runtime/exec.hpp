@@ -4,6 +4,11 @@
  * with a scheduling strategy and quiescence detection. This is the
  * runtime analog of the scheduler the compiler emits into generated
  * C++ ("a concrete rule schedule and a driver", section 7).
+ *
+ * Contract: quiescence means "no rule's guard can currently be true"
+ * — an engine that reaches it stops and must be re-poked by external
+ * input (a method call or a channel delivery) to make progress;
+ * cosim.hpp relies on that to interleave partitions deadlock-free.
  */
 #ifndef BCL_RUNTIME_EXEC_HPP
 #define BCL_RUNTIME_EXEC_HPP

@@ -15,6 +15,12 @@
  * The interpreter doubles as the performance model for generated
  * software: it counts abstract RISC-op work per node, which the
  * benches convert into processor cycles (see CostModel).
+ *
+ * Contract: fireRule() is atomic — it either commits the rule's
+ * whole effect to the store and returns true, or changes nothing and
+ * returns false (guard failure). This all-or-nothing property is
+ * what every scheduler above (exec.hpp, clocksim.hpp, cosim.hpp)
+ * assumes.
  */
 #ifndef BCL_RUNTIME_INTERP_HPP
 #define BCL_RUNTIME_INTERP_HPP
@@ -36,7 +42,7 @@ struct GuardFail
 /**
  * Abstract work units charged per construct. Values approximate the
  * RISC instruction counts of the generated C++ the paper describes;
- * the calibration is recorded in EXPERIMENTS.md.
+ * the calibration is recorded in docs/EXPERIMENTS.md.
  */
 struct CostModel
 {
@@ -52,7 +58,7 @@ struct CostModel
     /**
      * Software driver cost per synchronizer message (descriptor
      * setup + cache maintenance for non-coherent DMA on the PPC440).
-     * Charged on SyncTx.enq / SyncRx.deq; see EXPERIMENTS.md for the
+     * Charged on SyncTx.enq / SyncRx.deq; see docs/EXPERIMENTS.md for the
      * calibration against the paper's communication costs.
      */
     std::uint64_t perSyncMessage = 1400;

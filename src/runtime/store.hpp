@@ -9,6 +9,11 @@
  * shadow ... populated in a change-log manner"). Parallel action
  * branches and localGuard get nested frames; merging sibling frames
  * detects the DOUBLE WRITE ERROR of parallel composition.
+ *
+ * Contract: a Store is laid out from an ElabProgram (one PrimState
+ * per prim, indexed by prim id) and never resizes afterwards. Until a
+ * frame commits, the underlying store is unchanged — abandoning a
+ * frame IS the rollback; there is no undo log to replay.
  */
 #ifndef BCL_RUNTIME_STORE_HPP
 #define BCL_RUNTIME_STORE_HPP

@@ -55,7 +55,7 @@ class Kernel
     /**
      * CPU cycles charged per process dispatch (scheduler pop +
      * callback). With per-word channel events this reproduces the
-     * ~3x SystemC overhead of Figure 13; see EXPERIMENTS.md.
+     * ~3x SystemC overhead of Figure 13; see docs/EXPERIMENTS.md.
      */
     std::uint64_t eventDispatchCost = 40;
 
