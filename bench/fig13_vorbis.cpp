@@ -16,14 +16,21 @@
  *   - F1 (SystemC) is roughly 3x slower than F; F2 (manual C++) is
  *     slightly faster than F.
  *
- * Usage: fig13_vorbis [--frames N] (default 512; the paper used a
- * 10000-frame test bench - pass --frames 10000 to match).
+ * Usage: fig13_vorbis [--frames N] [--json FILE] (default 512 frames;
+ * the paper used a 10000-frame test bench - pass --frames 10000 to
+ * match). --json additionally writes machine-readable metrics for the
+ * full-software partition — wall-clock ns/frame, modeled work units,
+ * rules fired per second — which scripts/bench_report.py folds into
+ * BENCH_runtime.json (the perf-trajectory artifact; see
+ * docs/EXPERIMENTS.md).
  */
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "common/logging.hpp"
 #include "common/stats.hpp"
 #include "vorbis/native.hpp"
 #include "vorbis/partitions.hpp"
@@ -32,13 +39,95 @@
 using namespace bcl;
 using namespace bcl::vorbis;
 
+namespace {
+
+/** Wall-clock + modeled metrics of the full-SW partition. */
+struct FullSwTiming
+{
+    double wallNs = 0;
+    VorbisRunResult run;
+};
+
+FullSwTiming
+timeFullSw(int frames, const CosimConfig &cfg)
+{
+    // One warm-up run keeps allocator/page-fault noise out of the
+    // measured pass.
+    runVorbisPartition(VorbisPartition::F, frames > 8 ? 8 : frames,
+                       &cfg);
+    FullSwTiming t;
+    auto t0 = std::chrono::steady_clock::now();
+    t.run = runVorbisPartition(VorbisPartition::F, frames, &cfg);
+    auto t1 = std::chrono::steady_clock::now();
+    t.wallNs =
+        std::chrono::duration<double, std::nano>(t1 - t0).count();
+    return t;
+}
+
+void
+writeJson(const std::string &path, int frames, const FullSwTiming &t,
+          const std::vector<std::pair<std::string, VorbisRunResult>>
+              &partitions,
+          bool all_match)
+{
+    FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        fatal("cannot write " + path);
+    const VorbisRunResult &r = t.run;
+    double secs = t.wallNs / 1e9;
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"fig13_vorbis\",\n");
+    std::fprintf(f, "  \"frames\": %d,\n", frames);
+    std::fprintf(f, "  \"pcm_bit_exact\": %s,\n",
+                 all_match ? "true" : "false");
+    std::fprintf(f, "  \"full_sw\": {\n");
+    std::fprintf(f, "    \"wall_ns\": %.0f,\n", t.wallNs);
+    std::fprintf(f, "    \"wall_ns_per_frame\": %.1f,\n",
+                 t.wallNs / frames);
+    std::fprintf(f, "    \"rules_fired\": %llu,\n",
+                 (unsigned long long)r.swRulesFired);
+    std::fprintf(f, "    \"rules_attempted\": %llu,\n",
+                 (unsigned long long)r.swRulesAttempted);
+    std::fprintf(f, "    \"rules_per_sec\": %.0f,\n",
+                 static_cast<double>(r.swRulesFired) / secs);
+    std::fprintf(f, "    \"work_units\": %llu,\n",
+                 (unsigned long long)r.swWork);
+    std::fprintf(f, "    \"work_per_frame\": %.1f,\n",
+                 static_cast<double>(r.swWork) / frames);
+    std::fprintf(f, "    \"shadow_copies\": %llu,\n",
+                 (unsigned long long)r.swShadowCopies);
+    std::fprintf(f, "    \"fpga_cycles\": %llu\n",
+                 (unsigned long long)r.fpgaCycles);
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"partitions\": {\n");
+    for (size_t i = 0; i < partitions.size(); i++) {
+        const auto &[name, pr] = partitions[i];
+        std::fprintf(
+            f,
+            "    \"%s\": {\"fpga_cycles\": %llu, \"messages\": "
+            "%llu}%s\n",
+            name.c_str(), (unsigned long long)pr.fpgaCycles,
+            (unsigned long long)pr.messages,
+            i + 1 < partitions.size() ? "," : "");
+    }
+    std::fprintf(f, "  }\n");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
     int frames = 512;
+    std::string json_path;
     for (int i = 1; i < argc; i++) {
         if (std::strcmp(argv[i], "--frames") == 0 && i + 1 < argc)
             frames = std::atoi(argv[++i]);
+        else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+            json_path = argv[++i];
     }
     if (frames <= 0)
         frames = 512;
@@ -65,9 +154,11 @@ main(int argc, char **argv)
 
     std::uint64_t f_cycles = 0;
     bool all_match = true;
+    std::vector<std::pair<std::string, VorbisRunResult>> part_results;
 
     for (VorbisPartition p : allVorbisPartitions()) {
         VorbisRunResult r = runVorbisPartition(p, frames, &cfg);
+        part_results.emplace_back(partitionName(p), r);
         if (p == VorbisPartition::F)
             f_cycles = r.fpgaCycles;
         all_match &= r.pcm.size() == native.pcm.size();
@@ -114,5 +205,10 @@ main(int argc, char **argv)
     (void)cyc;
     std::printf("  A, C slower than F; B marginal; E fastest; "
                 "F1 ~3x F; F2 < F\n");
+
+    if (!json_path.empty()) {
+        FullSwTiming t = timeFullSw(frames, cfg);
+        writeJson(json_path, frames, t, part_results, all_match);
+    }
     return all_match ? 0 : 1;
 }

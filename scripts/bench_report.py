@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Assemble BENCH_runtime.json, the repo's performance-trajectory
+artifact (see docs/EXPERIMENTS.md).
+
+Runs the built benchmarks and merges their machine-readable output:
+
+  - fig13_vorbis --json: wall-clock ns/frame, modeled work units and
+    rules fired/sec for the full-software Vorbis partition (the
+    headline software-runtime throughput number),
+  - sw_runtime_opts (Google Benchmark, optional): scheduling/lifting/
+    sequentialization ablations with wall-clock per run.
+
+Usage:
+  scripts/bench_report.py --build-dir build [--out BENCH_runtime.json]
+                          [--frames 128]
+
+Only the Python standard library is used. The script is wired to the
+`bench-report` CMake target; CI runs it non-gating and uploads the
+artifact so the trajectory accumulates per commit.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def run_fig13(build_dir, frames):
+    exe = os.path.join(build_dir, "fig13_vorbis")
+    if not os.path.exists(exe):
+        sys.exit(f"error: {exe} not built (run `cmake --build {build_dir}`)")
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        tmp_path = tmp.name
+    try:
+        subprocess.run(
+            [exe, "--frames", str(frames), "--json", tmp_path],
+            check=True,
+            stdout=subprocess.DEVNULL,
+        )
+        with open(tmp_path) as f:
+            return json.load(f)
+    finally:
+        os.unlink(tmp_path)
+
+
+def run_sw_runtime_opts(build_dir):
+    """Optional ablation benchmarks; absent when Google Benchmark is
+    not installed."""
+    exe = os.path.join(build_dir, "sw_runtime_opts")
+    if not os.path.exists(exe):
+        return None
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        tmp_path = tmp.name
+    try:
+        try:
+            subprocess.run(
+                [
+                    exe,
+                    f"--benchmark_out={tmp_path}",
+                    "--benchmark_out_format=json",
+                    "--benchmark_min_time=0.05",
+                ],
+                check=True,
+                stdout=subprocess.DEVNULL,
+                stderr=subprocess.DEVNULL,
+            )
+        except subprocess.CalledProcessError as err:
+            # Ablations are additive context; never gate the report.
+            print(f"warning: {exe} failed ({err}); omitting ablations",
+                  file=sys.stderr)
+            return None
+        with open(tmp_path) as f:
+            raw = json.load(f)
+        to_ms = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}
+        out = {}
+        for b in raw.get("benchmarks", []):
+            scale = to_ms.get(b.get("time_unit", "ns"), 1e-6)
+            out[b["name"]] = {
+                "real_time_ms": round(b.get("real_time", 0.0) * scale, 6),
+                "counters": {
+                    k: round(v, 3)
+                    for k, v in b.items()
+                    if isinstance(v, float)
+                    and k not in ("real_time", "cpu_time")
+                },
+            }
+        return out
+    finally:
+        os.unlink(tmp_path)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--build-dir", default="build")
+    ap.add_argument("--out", default="BENCH_runtime.json")
+    ap.add_argument("--frames", type=int, default=128)
+    args = ap.parse_args()
+
+    report = {
+        "schema": "bcl-bench-runtime/1",
+        "frames": args.frames,
+        "fig13_vorbis": run_fig13(args.build_dir, args.frames),
+    }
+    ablations = run_sw_runtime_opts(args.build_dir)
+    if ablations is not None:
+        report["sw_runtime_opts"] = ablations
+
+    with open(args.out, "w") as f:
+        json.dump(report, f, indent=2)
+        f.write("\n")
+
+    full_sw = report["fig13_vorbis"]["full_sw"]
+    print(f"wrote {args.out}")
+    print(
+        f"full-SW Vorbis: {full_sw['wall_ns_per_frame']:.0f} ns/frame, "
+        f"{full_sw['rules_per_sec']:.0f} rules/s, "
+        f"{full_sw['work_per_frame']:.0f} work/frame"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -20,13 +20,22 @@ printValueLit(const Value &v)
         std::vector<std::string> parts;
         for (const auto &e : v.elems())
             parts.push_back(printValueLit(e));
-        return "[" + join(parts, ", ") + "]";
+        // Built with += (not operator+ chains): GCC 12's -Wrestrict
+        // false-positives on `"lit" + std::string&&` here (PR105651).
+        std::string out = "[";
+        out += join(parts, ", ");
+        out += "]";
+        return out;
       }
       case ValueKind::Struct: {
         std::vector<std::string> parts;
-        for (const auto &[n, fv] : v.fields())
-            parts.push_back(n + ": " + printValueLit(fv));
-        return "{" + join(parts, ", ") + "}";
+        for (size_t i = 0; i < v.size(); i++)
+            parts.push_back(v.fieldName(i) + ": " +
+                            printValueLit(v.fieldAt(i)));
+        std::string out = "{";
+        out += join(parts, ", ");
+        out += "}";
+        return out;
       }
       case ValueKind::Invalid:
         return "<invalid>";

@@ -77,8 +77,9 @@ class Checker
           }
           case ValueKind::Struct: {
             std::vector<std::pair<std::string, TypePtr>> fields;
-            for (const auto &[n, fv] : v.fields())
-                fields.emplace_back(n, valueType(fv));
+            for (size_t i = 0; i < v.size(); i++)
+                fields.emplace_back(v.fieldName(i),
+                                    valueType(v.fieldAt(i)));
             return Type::record("", std::move(fields));
           }
           case ValueKind::Invalid:

@@ -61,7 +61,20 @@ Type::record(std::string name,
     p->kind_ = TypeKind::Struct;
     p->name_ = std::move(name);
     p->fields_ = std::move(fields);
+    std::vector<std::string> fnames;
+    fnames.reserve(p->fields_.size());
+    for (const auto &[fname, ftype] : p->fields_)
+        fnames.push_back(fname);
+    p->shape_ = internStructShape(fnames);
     return p;
+}
+
+const StructShapePtr &
+Type::structShape() const
+{
+    if (kind_ != TypeKind::Struct)
+        panic("structShape() on non-Struct type " + str());
+    return shape_;
 }
 
 int
@@ -197,13 +210,13 @@ Type::admits(const Value &v) const
         return true;
       }
       case TypeKind::Struct: {
-        if (!v.isStruct() || v.size() != fields_.size())
+        // Shapes are interned, so one pointer compare covers the
+        // whole field-name sequence.
+        if (!v.isStruct() || v.shape() != shape_)
             return false;
         for (size_t i = 0; i < fields_.size(); i++) {
-            if (v.fields()[i].first != fields_[i].first ||
-                !fields_[i].second->admits(v.fields()[i].second)) {
+            if (!fields_[i].second->admits(v.fieldAt(i)))
                 return false;
-            }
         }
         return true;
       }
@@ -226,50 +239,39 @@ Type::zeroValue() const
         return Value::makeVec(std::move(elems));
       }
       case TypeKind::Struct: {
-        std::vector<std::pair<std::string, Value>> fields;
-        fields.reserve(fields_.size());
+        std::vector<Value> vals;
+        vals.reserve(fields_.size());
         for (const auto &[name, type] : fields_)
-            fields.emplace_back(name, type->zeroValue());
-        return Value::makeStruct(std::move(fields));
+            vals.push_back(type->zeroValue());
+        return Value::makeStructShaped(shape_, std::move(vals));
       }
     }
     return Value();
 }
 
 Value
-Type::unpackBits(const std::vector<bool> &stream, size_t &pos) const
+Type::unpackWords(BitCursor &cursor) const
 {
-    auto take = [&](int nbits) -> std::uint64_t {
-        if (pos + nbits > stream.size())
-            panic("unpackBits: stream exhausted for type " + str());
-        std::uint64_t raw = 0;
-        for (int i = 0; i < nbits; i++) {
-            if (stream[pos + i])
-                raw |= 1ull << i;
-        }
-        pos += nbits;
-        return raw;
-    };
     switch (kind_) {
       case TypeKind::Unit:
         return Value();
       case TypeKind::Bool:
-        return Value::makeBool(take(1) != 0);
+        return Value::makeBool(cursor.take(1) != 0);
       case TypeKind::Bits:
-        return Value::makeBits(width_, take(width_));
+        return Value::makeBits(width_, cursor.take(width_));
       case TypeKind::Vec: {
         std::vector<Value> elems;
         elems.reserve(size_);
         for (int i = 0; i < size_; i++)
-            elems.push_back(elem_->unpackBits(stream, pos));
+            elems.push_back(elem_->unpackWords(cursor));
         return Value::makeVec(std::move(elems));
       }
       case TypeKind::Struct: {
-        std::vector<std::pair<std::string, Value>> fields;
-        fields.reserve(fields_.size());
+        std::vector<Value> vals;
+        vals.reserve(fields_.size());
         for (const auto &[name, type] : fields_)
-            fields.emplace_back(name, type->unpackBits(stream, pos));
-        return Value::makeStruct(std::move(fields));
+            vals.push_back(type->unpackWords(cursor));
+        return Value::makeStructShaped(shape_, std::move(vals));
       }
     }
     return Value();

@@ -76,6 +76,10 @@ class Type
     /** Type of field @p fname (panics when missing). */
     TypePtr field(const std::string &fname) const;
 
+    /** Interned value-layout shape of a Struct type (panics
+     *  otherwise). Values of this type carry this exact pointer. */
+    const StructShapePtr &structShape() const;
+
     /** Total flattened bit width (the marshaling footprint). */
     int flatWidth() const;
 
@@ -92,11 +96,12 @@ class Type
     Value zeroValue() const;
 
     /**
-     * Rebuild a value of this type from a flat little-endian bit
-     * stream starting at @p pos (advanced past the consumed bits).
-     * Inverse of Value::packBits for well-typed values.
+     * Rebuild a value of this type from a word-wise little-endian bit
+     * stream. Inverse of Value::packWords for well-typed values; the
+     * cursor is advanced past the consumed bits and panics (with a
+     * diagnostic) when the stream is too short.
      */
-    Value unpackBits(const std::vector<bool> &stream, size_t &pos) const;
+    Value unpackWords(BitCursor &cursor) const;
 
   private:
     Type() = default;
@@ -107,6 +112,7 @@ class Type
     TypePtr elem_;
     std::string name_;
     std::vector<std::pair<std::string, TypePtr>> fields_;
+    StructShapePtr shape_;  ///< Struct: interned value layout
 };
 
 } // namespace bcl

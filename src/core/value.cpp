@@ -1,8 +1,133 @@
 #include "core/value.hpp"
 
+#include <map>
+#include <mutex>
+
 #include "common/logging.hpp"
 
 namespace bcl {
+
+// ---------------------------------------------------------------------------
+// Field-name / struct-shape interning
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct FieldTable
+{
+    std::mutex mu;
+    std::map<std::string, FieldId> byName;
+};
+
+FieldTable &
+fieldTable()
+{
+    static FieldTable table;
+    return table;
+}
+
+struct ShapeTable
+{
+    std::mutex mu;
+    std::map<std::vector<std::string>, StructShapePtr> byNames;
+};
+
+ShapeTable &
+shapeTable()
+{
+    static ShapeTable table;
+    return table;
+}
+
+} // namespace
+
+FieldId
+internFieldName(const std::string &name)
+{
+    FieldTable &t = fieldTable();
+    std::lock_guard<std::mutex> lock(t.mu);
+    auto it = t.byName.find(name);
+    if (it != t.byName.end())
+        return it->second;
+    FieldId id = static_cast<FieldId>(t.byName.size());
+    t.byName.emplace(name, id);
+    return id;
+}
+
+StructShapePtr
+internStructShape(const std::vector<std::string> &names)
+{
+    ShapeTable &t = shapeTable();
+    std::lock_guard<std::mutex> lock(t.mu);
+    auto it = t.byNames.find(names);
+    if (it != t.byNames.end())
+        return it->second;
+    auto shape = std::make_shared<StructShape>();
+    shape->names = names;
+    shape->ids.reserve(names.size());
+    for (const std::string &n : names)
+        shape->ids.push_back(internFieldName(n));
+    t.byNames.emplace(names, shape);
+    return shape;
+}
+
+// ---------------------------------------------------------------------------
+// Word-wise bit streams
+// ---------------------------------------------------------------------------
+
+void
+BitSink::put(std::uint64_t raw, int nbits)
+{
+    if (nbits <= 0 || nbits > 64)
+        panic("BitSink::put: bit count out of range: " +
+              std::to_string(nbits));
+    if (nbits < 64)
+        raw &= (1ull << nbits) - 1;
+    size_t word = bits_ / 32;
+    int off = static_cast<int>(bits_ % 32);
+    words_.resize((bits_ + static_cast<size_t>(nbits) + 31) / 32, 0);
+    words_[word] |= static_cast<std::uint32_t>(raw << off);
+    int taken = 32 - off;  // bits placed in the current word
+    if (nbits > taken) {
+        std::uint64_t rest = raw >> taken;
+        words_[word + 1] |= static_cast<std::uint32_t>(rest);
+        if (nbits > taken + 32)
+            words_[word + 2] |=
+                static_cast<std::uint32_t>(rest >> 32);
+    }
+    bits_ += static_cast<size_t>(nbits);
+}
+
+std::uint64_t
+BitCursor::take(int nbits)
+{
+    if (nbits <= 0 || nbits > 64)
+        panic("BitCursor::take: bit count out of range: " +
+              std::to_string(nbits));
+    if (pos_ + static_cast<size_t>(nbits) > capBits_) {
+        panic("bit stream exhausted: need " + std::to_string(nbits) +
+              " bits at offset " + std::to_string(pos_) + ", only " +
+              std::to_string(capBits_) + " available");
+    }
+    size_t word = pos_ / 32;
+    int off = static_cast<int>(pos_ % 32);
+    std::uint64_t out = words_[word] >> off;
+    int got = 32 - off;
+    if (nbits > got) {
+        out |= static_cast<std::uint64_t>(words_[word + 1]) << got;
+        if (nbits > got + 32)
+            out |= static_cast<std::uint64_t>(words_[word + 2])
+                   << (got + 32);
+    }
+    if (nbits < 64)
+        out &= (1ull << nbits) - 1;
+    pos_ += static_cast<size_t>(nbits);
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Scalar helpers
+// ---------------------------------------------------------------------------
 
 std::uint64_t
 truncToWidth(std::uint64_t raw, int width)
@@ -27,6 +152,10 @@ signExtend(std::uint64_t raw, int width)
         return static_cast<std::int64_t>(trunc | ~((1ull << width) - 1));
     return static_cast<std::int64_t>(trunc);
 }
+
+// ---------------------------------------------------------------------------
+// Value
+// ---------------------------------------------------------------------------
 
 Value
 Value::makeBits(int width, std::uint64_t raw)
@@ -59,16 +188,48 @@ Value::makeVec(std::vector<Value> elems)
 {
     Value v;
     v.kind_ = ValueKind::Vec;
-    v.elems_ = std::move(elems);
+    v.agg_ = std::make_shared<AggRep>();
+    int fw = 0;
+    for (const Value &e : elems)
+        fw += e.flatWidth();
+    v.agg_->vals = std::move(elems);
+    v.agg_->flatWidth = fw;
     return v;
 }
 
 Value
 Value::makeStruct(std::vector<std::pair<std::string, Value>> fields)
 {
+    std::vector<std::string> names;
+    std::vector<Value> vals;
+    names.reserve(fields.size());
+    vals.reserve(fields.size());
+    for (auto &[name, val] : fields) {
+        names.push_back(std::move(name));
+        vals.push_back(std::move(val));
+    }
+    return makeStructShaped(internStructShape(names), std::move(vals));
+}
+
+Value
+Value::makeStructShaped(StructShapePtr shape, std::vector<Value> vals)
+{
+    if (!shape)
+        panic("makeStructShaped: null shape");
+    if (shape->names.size() != vals.size()) {
+        panic("makeStructShaped: " + std::to_string(vals.size()) +
+              " values for " + std::to_string(shape->names.size()) +
+              " fields");
+    }
     Value v;
     v.kind_ = ValueKind::Struct;
-    v.fields_ = std::move(fields);
+    v.agg_ = std::make_shared<AggRep>();
+    int fw = 0;
+    for (const Value &f : vals)
+        fw += f.flatWidth();
+    v.agg_->vals = std::move(vals);
+    v.agg_->shape = std::move(shape);
+    v.agg_->flatWidth = fw;
     return v;
 }
 
@@ -109,7 +270,7 @@ Value::elems() const
 {
     if (kind_ != ValueKind::Vec)
         panic("elems() on non-Vec value " + str());
-    return elems_;
+    return agg_->vals;
 }
 
 const Value &
@@ -126,54 +287,113 @@ Value::at(size_t i) const
 size_t
 Value::size() const
 {
-    if (kind_ == ValueKind::Vec)
-        return elems_.size();
-    if (kind_ == ValueKind::Struct)
-        return fields_.size();
+    if (kind_ == ValueKind::Vec || kind_ == ValueKind::Struct)
+        return agg_->vals.size();
     panic("size() on scalar value " + str());
 }
 
-const std::vector<std::pair<std::string, Value>> &
-Value::fields() const
+const StructShapePtr &
+Value::shape() const
 {
     if (kind_ != ValueKind::Struct)
-        panic("fields() on non-Struct value " + str());
-    return fields_;
+        panic("shape() on non-Struct value " + str());
+    return agg_->shape;
+}
+
+const std::string &
+Value::fieldName(size_t i) const
+{
+    const StructShapePtr &s = shape();
+    if (i >= s->names.size())
+        panic("field index " + std::to_string(i) + " out of range");
+    return s->names[i];
+}
+
+const Value &
+Value::fieldAt(size_t i) const
+{
+    if (kind_ != ValueKind::Struct)
+        panic("fieldAt() on non-Struct value " + str());
+    if (i >= agg_->vals.size())
+        panic("field index " + std::to_string(i) + " out of range");
+    return agg_->vals[i];
 }
 
 const Value &
 Value::field(const std::string &name) const
 {
-    for (const auto &[fname, fval] : fields()) {
-        if (fname == name)
-            return fval;
-    }
-    panic("struct has no field '" + name + "': " + str());
+    if (kind_ != ValueKind::Struct)
+        panic("field() on non-Struct value " + str());
+    size_t i = agg_->shape->indexOfName(name);
+    if (i == StructShape::npos)
+        panic("struct has no field '" + name + "': " + str());
+    return agg_->vals[i];
+}
+
+const Value *
+Value::tryFieldById(FieldId id) const
+{
+    if (kind_ != ValueKind::Struct)
+        panic("field access on non-Struct value " + str());
+    size_t i = agg_->shape->indexOf(id);
+    if (i == StructShape::npos)
+        return nullptr;
+    return &agg_->vals[i];
+}
+
+void
+Value::detachAgg()
+{
+    if (agg_.use_count() != 1)
+        agg_ = std::make_shared<AggRep>(*agg_);
 }
 
 Value
-Value::withElem(size_t i, Value v) const
+Value::withElem(size_t i, Value v) const &
 {
-    Value copy = *this;
-    if (copy.kind_ != ValueKind::Vec || i >= copy.elems_.size())
+    Value copy(*this);
+    return std::move(copy).withElem(i, std::move(v));
+}
+
+Value
+Value::withElem(size_t i, Value v) &&
+{
+    if (kind_ != ValueKind::Vec || !agg_ || i >= agg_->vals.size())
         panic("withElem out of range on " + str());
-    copy.elems_[i] = std::move(v);
-    return copy;
+    detachAgg();
+    agg_->flatWidth += v.flatWidth() - agg_->vals[i].flatWidth();
+    agg_->vals[i] = std::move(v);
+    return std::move(*this);
 }
 
 Value
 Value::withField(const std::string &name, Value v) const
 {
-    Value copy = *this;
-    if (copy.kind_ != ValueKind::Struct)
+    if (kind_ != ValueKind::Struct)
         panic("withField on non-Struct " + str());
-    for (auto &[fname, fval] : copy.fields_) {
-        if (fname == name) {
-            fval = std::move(v);
-            return copy;
-        }
-    }
-    panic("withField: no field '" + name + "' in " + str());
+    size_t i = agg_->shape->indexOfName(name);
+    if (i == StructShape::npos)
+        panic("withField: no field '" + name + "' in " + str());
+    return withFieldAt(i, std::move(v));
+}
+
+Value
+Value::withFieldAt(size_t i, Value v) const &
+{
+    Value copy(*this);
+    return std::move(copy).withFieldAt(i, std::move(v));
+}
+
+Value
+Value::withFieldAt(size_t i, Value v) &&
+{
+    if (kind_ != ValueKind::Struct || !agg_ ||
+        i >= agg_->vals.size())
+        panic("withFieldAt out of range on " + str());
+    detachAgg();
+    agg_->flatWidth += v.flatWidth() - agg_->vals[i].flatWidth();
+    agg_->vals[i] = std::move(v);
+    return std::move(*this);
 }
 
 bool
@@ -189,9 +409,17 @@ Value::operator==(const Value &other) const
       case ValueKind::Bool:
         return bits_ == other.bits_;
       case ValueKind::Vec:
-        return elems_ == other.elems_;
+        // The pointer check also makes moved-from aggregates (null
+        // agg_) safe to compare.
+        return agg_ == other.agg_ ||
+               (agg_ && other.agg_ &&
+                agg_->vals == other.agg_->vals);
       case ValueKind::Struct:
-        return fields_ == other.fields_;
+        // Shapes are interned: pointer equality iff same field list.
+        return agg_ == other.agg_ ||
+               (agg_ && other.agg_ &&
+                agg_->shape == other.agg_->shape &&
+                agg_->vals == other.agg_->vals);
     }
     return false;
 }
@@ -207,20 +435,26 @@ Value::str() const
       case ValueKind::Bool:
         return bits_ ? "true" : "false";
       case ValueKind::Vec: {
+        if (!agg_)
+            return "<moved-from Vec>";
         std::string out = "[";
-        for (size_t i = 0; i < elems_.size(); i++) {
+        const auto &es = agg_->vals;
+        for (size_t i = 0; i < es.size(); i++) {
             if (i)
                 out += ", ";
-            out += elems_[i].str();
+            out += es[i].str();
         }
         return out + "]";
       }
       case ValueKind::Struct: {
+        if (!agg_)
+            return "<moved-from Struct>";
         std::string out = "{";
-        for (size_t i = 0; i < fields_.size(); i++) {
+        const auto &es = agg_->vals;
+        for (size_t i = 0; i < es.size(); i++) {
             if (i)
                 out += ", ";
-            out += fields_[i].first + ": " + fields_[i].second.str();
+            out += agg_->shape->names[i] + ": " + es[i].str();
         }
         return out + "}";
       }
@@ -229,25 +463,21 @@ Value::str() const
 }
 
 void
-Value::packBits(std::vector<bool> &out) const
+Value::packWords(BitSink &sink) const
 {
     switch (kind_) {
       case ValueKind::Invalid:
-        panic("packBits on invalid value");
+        panic("packWords on invalid value");
       case ValueKind::Bits:
-        for (int i = 0; i < width_; i++)
-            out.push_back((bits_ >> i) & 1);
+        sink.put(bits_, width_);
         return;
       case ValueKind::Bool:
-        out.push_back(bits_ != 0);
+        sink.put(bits_, 1);
         return;
       case ValueKind::Vec:
-        for (const Value &e : elems_)
-            e.packBits(out);
-        return;
       case ValueKind::Struct:
-        for (const auto &[name, val] : fields_)
-            val.packBits(out);
+        for (const Value &e : agg_->vals)
+            e.packWords(sink);
         return;
     }
 }
@@ -262,18 +492,9 @@ Value::flatWidth() const
         return width_;
       case ValueKind::Bool:
         return 1;
-      case ValueKind::Vec: {
-        int total = 0;
-        for (const Value &e : elems_)
-            total += e.flatWidth();
-        return total;
-      }
-      case ValueKind::Struct: {
-        int total = 0;
-        for (const auto &[name, val] : fields_)
-            total += val.flatWidth();
-        return total;
-      }
+      case ValueKind::Vec:
+      case ValueKind::Struct:
+        return agg_->flatWidth;
     }
     return 0;
 }

@@ -6,25 +6,132 @@
  *   - Vec: a fixed-length vector of values,
  *   - Struct: a record of named fields.
  *
- * Values are plain value types: copying a Value snapshots it. The whole
+ * Values have value semantics: copying a Value snapshots it. The whole
  * transactional runtime (change-log shadows, parallel-branch isolation,
- * rollback) relies on this.
+ * rollback) relies on this. Internally aggregates are copy-on-write:
+ * a copy shares the immutable payload and the first functional update
+ * (withElem / withField) clones it. Snapshots are therefore O(1) and
+ * the clone is shallow — element Values are themselves shared.
+ *
+ * Struct field names are interned process-wide: every distinct field
+ * list maps to one shared StructShape, so shape comparison is pointer
+ * comparison and field lookup compares integer FieldIds, never
+ * strings. Aggregates cache their flattened bit width; flatWidth() is
+ * O(1) for every kind.
  *
  * Contract: a Value does not know its static Type — shape agreement
  * is the typechecker's job, and primitives/interpreter may assume it.
- * Bit-level pack/unpack here is the canonical flattening that
- * platform/marshal.hpp exposes word-wise; tests round-trip every
- * value shape through it.
+ * Bit-level packing here (word-wise via BitSink/BitCursor) is the
+ * canonical flattening that platform/marshal.hpp exposes; tests
+ * round-trip every value shape through it.
  */
 #ifndef BCL_CORE_VALUE_HPP
 #define BCL_CORE_VALUE_HPP
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 namespace bcl {
+
+/** Interned identity of a struct field name (process-wide table). */
+using FieldId = std::uint32_t;
+
+/** Intern @p name, returning its stable id (idempotent). */
+FieldId internFieldName(const std::string &name);
+
+/**
+ * The interned layout of a struct value: field names in declaration
+ * order. Shapes are unique per name sequence, so two struct values
+ * have equal field lists iff their shape pointers are equal.
+ */
+struct StructShape
+{
+    static constexpr size_t npos = ~static_cast<size_t>(0);
+
+    std::vector<std::string> names;
+    std::vector<FieldId> ids;
+
+    /** Position of field @p id (npos when absent). */
+    size_t
+    indexOf(FieldId id) const
+    {
+        for (size_t i = 0; i < ids.size(); i++) {
+            if (ids[i] == id)
+                return i;
+        }
+        return npos;
+    }
+
+    /** Position of field @p name (npos when absent). Find-only: by
+     *  contrast with internFieldName, a miss never grows the global
+     *  intern table and takes no lock. */
+    size_t
+    indexOfName(const std::string &name) const
+    {
+        for (size_t i = 0; i < names.size(); i++) {
+            if (names[i] == name)
+                return i;
+        }
+        return npos;
+    }
+};
+
+using StructShapePtr = std::shared_ptr<const StructShape>;
+
+/** Intern the shape with the given field @p names (idempotent). */
+StructShapePtr internStructShape(const std::vector<std::string> &names);
+
+/**
+ * Accumulates a little-endian bit stream into 32-bit words (LSB of
+ * the first scalar is bit 0 of word 0). Appends in O(1) per scalar.
+ */
+class BitSink
+{
+  public:
+    /** Append the low @p nbits of @p raw (nbits in [1,64]). */
+    void put(std::uint64_t raw, int nbits);
+
+    /** Total bits appended so far. */
+    size_t bitCount() const { return bits_; }
+
+    /** The packed words, ceil(bitCount/32) of them. */
+    std::vector<std::uint32_t> takeWords() { return std::move(words_); }
+
+  private:
+    std::vector<std::uint32_t> words_;
+    size_t bits_ = 0;
+};
+
+/**
+ * Reads a little-endian bit stream out of 32-bit words; the inverse
+ * of BitSink. Strictly bounds-checked: consuming past the end panics
+ * with a diagnostic (never yields silent zero padding).
+ */
+class BitCursor
+{
+  public:
+    BitCursor(const std::uint32_t *words, size_t num_words)
+        : words_(words), capBits_(num_words * 32)
+    {
+    }
+
+    /** Consume @p nbits (in [1,64]); panics when exhausted. */
+    std::uint64_t take(int nbits);
+
+    /** Bits consumed so far. */
+    size_t bitPos() const { return pos_; }
+
+    /** Total bits available. */
+    size_t bitCapacity() const { return capBits_; }
+
+  private:
+    const std::uint32_t *words_;
+    size_t capBits_;
+    size_t pos_ = 0;
+};
 
 /** Discriminator for Value. */
 enum class ValueKind : std::uint8_t { Invalid, Bits, Bool, Vec, Struct };
@@ -50,6 +157,10 @@ class Value
     static Value makeVec(std::vector<Value> elems);
     static Value makeStruct(
         std::vector<std::pair<std::string, Value>> fields);
+    /** Fast path: an interned @p shape plus field values in shape
+     *  order (the interpreter's MakeStruct and Type::unpackWords). */
+    static Value makeStructShaped(StructShapePtr shape,
+                                  std::vector<Value> vals);
     /// @}
 
     ValueKind kind() const { return kind_; }
@@ -80,17 +191,30 @@ class Value
     /** Number of elements of a Vec / fields of a Struct. */
     size_t size() const;
 
-    /** Fields of a Struct value (panics otherwise). */
-    const std::vector<std::pair<std::string, Value>> &fields() const;
+    /** Interned layout of a Struct value (panics otherwise). */
+    const StructShapePtr &shape() const;
+
+    /** Name of field @p i of a Struct. */
+    const std::string &fieldName(size_t i) const;
+
+    /** Value of field @p i of a Struct (panics when out of range). */
+    const Value &fieldAt(size_t i) const;
 
     /** Field @p name of a Struct (panics when missing). */
     const Value &field(const std::string &name) const;
 
-    /** Functional update: copy of this Vec with element i replaced. */
-    Value withElem(size_t i, Value v) const;
+    /** Field with interned id @p id (nullptr when missing). */
+    const Value *tryFieldById(FieldId id) const;
+
+    /** Functional update: copy of this Vec with element i replaced.
+     *  The rvalue overload mutates in place when uniquely owned. */
+    Value withElem(size_t i, Value v) const &;
+    Value withElem(size_t i, Value v) &&;
 
     /** Functional update: copy of this Struct with a field replaced. */
     Value withField(const std::string &name, Value v) const;
+    Value withFieldAt(size_t i, Value v) const &;
+    Value withFieldAt(size_t i, Value v) &&;
 
     /** Deep structural equality. */
     bool operator==(const Value &other) const;
@@ -103,20 +227,31 @@ class Value
     std::string str() const;
 
     /**
-     * Flatten into a little-endian bit stream (LSB of the first scalar
-     * first). Used by the marshaling layer; see marshal.hpp.
+     * Flatten into @p sink as a little-endian bit stream (LSB of the
+     * first scalar first). Used by the marshaling layer; see
+     * marshal.hpp.
      */
-    void packBits(std::vector<bool> &out) const;
+    void packWords(BitSink &sink) const;
 
-    /** Total number of flattened bits. */
+    /** Total number of flattened bits. O(1), cached for aggregates. */
     int flatWidth() const;
 
   private:
+    /** Shared aggregate payload (Vec elements / Struct fields). */
+    struct AggRep
+    {
+        std::vector<Value> vals;
+        StructShapePtr shape;  ///< Struct only (null for Vec)
+        int flatWidth = 0;     ///< cached sum of vals' flat widths
+    };
+
+    /** Clone agg_ unless uniquely owned (the COW barrier). */
+    void detachAgg();
+
     ValueKind kind_ = ValueKind::Invalid;
     int width_ = 0;
     std::uint64_t bits_ = 0;
-    std::vector<Value> elems_;
-    std::vector<std::pair<std::string, Value>> fields_;
+    std::shared_ptr<AggRep> agg_;
 };
 
 /** Truncate @p raw to @p width bits (width in [1,64]). */

@@ -7,30 +7,31 @@ namespace bcl {
 std::vector<std::uint32_t>
 marshalValue(const Value &v)
 {
-    std::vector<bool> bits;
-    v.packBits(bits);
-    std::vector<std::uint32_t> words((bits.size() + 31) / 32, 0);
-    for (size_t i = 0; i < bits.size(); i++) {
-        if (bits[i])
-            words[i / 32] |= 1u << (i % 32);
-    }
-    return words;
+    BitSink sink;
+    v.packWords(sink);
+    return sink.takeWords();
 }
 
 Value
 demarshalValue(const TypePtr &t, const std::vector<std::uint32_t> &words)
 {
     int want = t->flatWidth();
-    if (static_cast<int>(words.size()) * 32 < want) {
-        panic("demarshal: " + std::to_string(words.size()) +
-              " words cannot hold " + t->str());
+    int want_words = (want + 31) / 32;
+    if (static_cast<int>(words.size()) < want_words) {
+        panic("demarshal: short word stream for " + t->str() + ": got " +
+              std::to_string(words.size()) + " words, need " +
+              std::to_string(want_words) + " (" + std::to_string(want) +
+              " bits)");
     }
-    std::vector<bool> bits(static_cast<size_t>(want));
-    for (int i = 0; i < want; i++)
-        bits[static_cast<size_t>(i)] = (words[i / 32] >> (i % 32)) & 1;
-    size_t pos = 0;
-    Value v = t->unpackBits(bits, pos);
-    if (pos != bits.size())
+    if (static_cast<int>(words.size()) > want_words) {
+        panic("demarshal: " + std::to_string(words.size()) +
+              " words for " + t->str() + ", expected exactly " +
+              std::to_string(want_words) +
+              " (marshalValue's canonical sizing)");
+    }
+    BitCursor cursor(words.data(), words.size());
+    Value v = t->unpackWords(cursor);
+    if (cursor.bitPos() != static_cast<size_t>(want))
         panic("demarshal: type consumed wrong number of bits");
     return v;
 }

@@ -11,7 +11,11 @@
  * Contract: marshalValue(v) always yields ceil(flatWidth/32) words —
  * the ChannelSpec::payloadWords both endpoints size their buffers
  * with — and demarshalValue(t, marshalValue(v)) == v for every v of
- * type t (tests round-trip all shapes).
+ * type t (tests round-trip all shapes). demarshalValue rejects word
+ * streams that are not exactly that size with a diagnostic; a short
+ * stream never silently demarshals into zero-filled padding. Packing
+ * is word-wise (BitSink/BitCursor in core/value.hpp), not
+ * bit-at-a-time.
  */
 #ifndef BCL_PLATFORM_MARSHAL_HPP
 #define BCL_PLATFORM_MARSHAL_HPP

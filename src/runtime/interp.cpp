@@ -4,22 +4,29 @@
 
 #include "common/logging.hpp"
 #include "fixpt/fixpt.hpp"
+#include "runtime/compile.hpp"
 #include "runtime/primitives.hpp"
 
 namespace bcl {
 
 namespace {
 
-/** Scoped name environment for let bindings and method parameters. */
+/**
+ * Activation record for one rule/method execution: a flat vector of
+ * values indexed by the slot numbers the compiler assigned. Let pushes
+ * always land on the slot recorded at compile time because every
+ * evaluation path to a node runs through the same static chain of
+ * binders.
+ */
 class Env
 {
   public:
     size_t mark() const { return slots.size(); }
 
     void
-    push(const std::string &name, Value v)
+    push(Value v)
     {
-        slots.emplace_back(name, std::move(v));
+        slots.push_back(std::move(v));
     }
 
     void
@@ -28,18 +35,14 @@ class Env
         slots.resize(m);
     }
 
-    const Value *
-    find(const std::string &name) const
+    const Value &
+    at(size_t slot) const
     {
-        for (auto it = slots.rbegin(); it != slots.rend(); ++it) {
-            if (it->first == name)
-                return &it->second;
-        }
-        return nullptr;
+        return slots[slot];
     }
 
   private:
-    std::vector<std::pair<std::string, Value>> slots;
+    std::vector<Value> slots;
 };
 
 } // namespace
@@ -48,7 +51,10 @@ class Env
 class InterpExec
 {
   public:
-    InterpExec(Interp &in) : I(in), prog(in.prog) {}
+    InterpExec(Interp &in, CompiledProgram &cp)
+        : I(in), prog(in.prog), P(cp)
+    {
+    }
 
     void
     charge(std::uint64_t units)
@@ -58,39 +64,36 @@ class InterpExec
     }
 
     Value
-    evalExpr(const Expr &e, Env &env, TxnFrame &frame)
+    evalExpr(std::int32_t idx, Env &env, TxnFrame &frame)
     {
         charge(I.costs_.perNode);
+        const CExpr &e = P.exprs[static_cast<size_t>(idx)];
         switch (e.kind) {
           case ExprKind::Const:
             return e.constVal;
-          case ExprKind::Var: {
-            const Value *v = env.find(e.name);
-            if (!v)
-                panic("unbound variable '" + e.name + "'");
-            return *v;
-          }
+          case ExprKind::Var:
+            return env.at(static_cast<size_t>(e.slot));
           case ExprKind::Prim:
             return evalPrimOp(e, env, frame);
           case ExprKind::Cond: {
-            Value p = evalExpr(*e.args[0], env, frame);
+            Value p = evalExpr(kid(e, 0), env, frame);
             if (p.asBool())
-                return evalExpr(*e.args[1], env, frame);
-            return evalExpr(*e.args[2], env, frame);
+                return evalExpr(kid(e, 1), env, frame);
+            return evalExpr(kid(e, 2), env, frame);
           }
           case ExprKind::When: {
             // Guard evaluated first: an unready guard poisons the
             // whole expression (axioms A.6-A.8 lift it outward).
-            Value g = evalExpr(*e.args[1], env, frame);
+            Value g = evalExpr(kid(e, 1), env, frame);
             if (!g.asBool())
                 throw GuardFail{};
-            return evalExpr(*e.args[0], env, frame);
+            return evalExpr(kid(e, 0), env, frame);
           }
           case ExprKind::Let: {
-            Value bound = evalExpr(*e.args[0], env, frame);
+            Value bound = evalExpr(kid(e, 0), env, frame);
             size_t m = env.mark();
-            env.push(e.name, std::move(bound));
-            Value out = evalExpr(*e.args[1], env, frame);
+            env.push(std::move(bound));
+            Value out = evalExpr(kid(e, 1), env, frame);
             env.popTo(m);
             return out;
           }
@@ -101,9 +104,10 @@ class InterpExec
     }
 
     void
-    evalAction(const Action &a, Env &env, TxnFrame &frame)
+    evalAction(std::int32_t idx, Env &env, TxnFrame &frame)
     {
         charge(I.costs_.perNode);
+        const CAct &a = P.acts[static_cast<size_t>(idx)];
         switch (a.kind) {
           case ActKind::NoOp:
             return;
@@ -111,54 +115,60 @@ class InterpExec
             evalPar(a, env, frame);
             return;
           case ActKind::Seq:
-            for (const auto &s : a.subs)
-                evalAction(*s, env, frame);
+            for (std::uint32_t i = 0; i < a.nsubs; i++)
+                evalAction(sub(a, i), env, frame);
             return;
           case ActKind::If: {
-            Value p = evalExpr(*a.exprs[0], env, frame);
+            Value p = evalExpr(ex(a, 0), env, frame);
             if (p.asBool())
-                evalAction(*a.subs[0], env, frame);
+                evalAction(sub(a, 0), env, frame);
             return;
           }
           case ActKind::When: {
-            Value g = evalExpr(*a.exprs[0], env, frame);
+            Value g = evalExpr(ex(a, 0), env, frame);
             if (!g.asBool())
                 throw GuardFail{};
-            evalAction(*a.subs[0], env, frame);
+            evalAction(sub(a, 0), env, frame);
             return;
           }
           case ActKind::Let: {
-            Value bound = evalExpr(*a.exprs[0], env, frame);
+            Value bound = evalExpr(ex(a, 0), env, frame);
             size_t m = env.mark();
-            env.push(a.name, std::move(bound));
-            evalAction(*a.subs[0], env, frame);
+            env.push(std::move(bound));
+            evalAction(sub(a, 0), env, frame);
             env.popTo(m);
             return;
           }
           case ActKind::Loop: {
             // Dynamic loops are bounded only by their condition; a
-            // runaway loop is a user bug, reported after a large
-            // iteration budget rather than hanging.
-            const std::uint64_t iterBudget = 1u << 22;
+            // runaway loop is a user bug, reported once the budget
+            // (CostModel::loopIterBudget body executions) is spent
+            // rather than hanging.
             std::uint64_t iters = 0;
             while (true) {
-                Value c = evalExpr(*a.exprs[0], env, frame);
+                Value c = evalExpr(ex(a, 0), env, frame);
                 if (!c.asBool())
                     break;
-                evalAction(*a.subs[0], env, frame);
-                if (++iters > iterBudget)
+                if (iters >= I.costs_.loopIterBudget)
                     fatal("loop exceeded iteration budget (runaway "
                           "loop in rule?)");
+                evalAction(sub(a, 0), env, frame);
+                ++iters;
             }
             return;
           }
           case ActKind::LocalGuard: {
             TxnFrame child(frame);
             I.stats_.shadowCopies++;
+            // A failure may unwind out of Let bodies whose popTo never
+            // ran; restore the activation depth so the slots assigned
+            // to later binders stay aligned.
+            size_t m = env.mark();
             try {
-                evalAction(*a.subs[0], env, child);
+                evalAction(sub(a, 0), env, child);
             } catch (const GuardFail &) {
                 // Body becomes noAction; its writes are discarded.
+                env.popTo(m);
                 charge(I.costs_.perRollback);
                 return;
             }
@@ -172,24 +182,69 @@ class InterpExec
         panic("unreachable action kind");
     }
 
+    /**
+     * Root entry for Interp::callActionMethod: equivalent to calling
+     * through a transient CallA node whose arguments are constants.
+     * Charges what the seed interpreter charged for that transient
+     * tree: one node for the call plus one per constant argument.
+     */
+    void
+    callActionRoot(int meth_id, const std::vector<Value> &args,
+                   TxnFrame &frame)
+    {
+        const ElabMethod &m = prog.methods[static_cast<size_t>(
+            meth_id)];
+        charge(I.costs_.perNode *
+               (1 + static_cast<std::uint64_t>(args.size())));
+        if (args.size() != m.params.size()) {
+            panic("method " + m.name + " called with " +
+                  std::to_string(args.size()) + " args, expects " +
+                  std::to_string(m.params.size()));
+        }
+        std::int32_t root = P.methodRoot(prog, meth_id);
+        Env callee;
+        for (const Value &v : args)
+            callee.push(v);
+        evalAction(root, callee, frame);
+    }
+
     std::uint64_t localWork = 0;
 
   private:
     Interp &I;
     const ElabProgram &prog;
+    CompiledProgram &P;
+
+    std::int32_t
+    kid(const CExpr &e, std::uint32_t i) const
+    {
+        return P.kidPool[e.kids + i];
+    }
+
+    std::int32_t
+    ex(const CAct &a, std::uint32_t i) const
+    {
+        return P.kidPool[a.exprs + i];
+    }
+
+    std::int32_t
+    sub(const CAct &a, std::uint32_t i) const
+    {
+        return P.kidPool[a.subs + i];
+    }
 
     void
-    evalPar(const Action &a, Env &env, TxnFrame &frame)
+    evalPar(const CAct &a, Env &env, TxnFrame &frame)
     {
         // Every branch observes the same pre-state; writes are
         // isolated into sibling frames and merged afterwards.
         std::vector<std::unique_ptr<TxnFrame>> frames;
-        frames.reserve(a.subs.size());
-        for (size_t i = 0; i < a.subs.size(); i++)
+        frames.reserve(a.nsubs);
+        for (std::uint32_t i = 0; i < a.nsubs; i++)
             frames.push_back(std::make_unique<TxnFrame>(frame));
-        I.stats_.shadowCopies += a.subs.size();
-        for (size_t i = 0; i < a.subs.size(); i++)
-            evalAction(*a.subs[i], env, *frames[i]);
+        I.stats_.shadowCopies += a.nsubs;
+        for (std::uint32_t i = 0; i < a.nsubs; i++)
+            evalAction(sub(a, i), env, *frames[i]);
         std::vector<TxnFrame *> ptrs;
         ptrs.reserve(frames.size());
         for (auto &f : frames)
@@ -198,62 +253,74 @@ class InterpExec
     }
 
     std::vector<Value>
-    evalArgs(const std::vector<ExprPtr> &args, Env &env, TxnFrame &frame)
+    evalArgs(const CAct &a, Env &env, TxnFrame &frame)
     {
         std::vector<Value> vals;
-        vals.reserve(args.size());
-        for (const auto &e : args)
-            vals.push_back(evalExpr(*e, env, frame));
+        vals.reserve(a.nexprs);
+        for (std::uint32_t i = 0; i < a.nexprs; i++)
+            vals.push_back(evalExpr(ex(a, i), env, frame));
         return vals;
     }
 
     Value
-    evalCallV(const Expr &e, Env &env, TxnFrame &frame)
+    evalCallV(const CExpr &e, Env &env, TxnFrame &frame)
     {
-        std::vector<Value> args = evalArgs(e.args, env, frame);
+        std::vector<Value> args;
+        args.reserve(e.nkids);
+        for (std::uint32_t i = 0; i < e.nkids; i++)
+            args.push_back(evalExpr(kid(e, i), env, frame));
         if (e.isPrim) {
-            const ElabPrim &prim = prog.prims[e.inst];
+            const ElabPrim &prim = prog.prims[static_cast<size_t>(
+                e.inst)];
             charge(I.costs_.perPrimCall);
-            PrimRead r = readPrim(prim, frame.get(e.inst), e.meth, args);
+            PrimRead r = readPrim(prim, frame.get(e.inst), e.pmeth,
+                                  args);
             if (!r.ok)
                 throw GuardFail{};
             // Frame-sized values cost word moves to copy out.
             chargeValueMove(r.val);
             return r.val;
         }
-        const ElabMethod &m = prog.methods[e.methIdx];
+        const ElabMethod &m = prog.methods[static_cast<size_t>(
+            e.methIdx)];
+        std::int32_t root = P.methods[static_cast<size_t>(e.methIdx)]
+                                .root;
         Env callee;
         bindParams(m, args, callee);
-        return evalExpr(*m.value, callee, frame);
+        return evalExpr(root, callee, frame);
     }
 
     void
-    evalCallA(const Action &a, Env &env, TxnFrame &frame)
+    evalCallA(const CAct &a, Env &env, TxnFrame &frame)
     {
-        std::vector<Value> args = evalArgs(a.exprs, env, frame);
+        std::vector<Value> args = evalArgs(a, env, frame);
         if (a.isPrim) {
-            const ElabPrim &prim = prog.prims[a.inst];
+            const ElabPrim &prim = prog.prims[static_cast<size_t>(
+                a.inst)];
             charge(I.costs_.perPrimCall);
-            PrimState shadow = frame.get(a.inst);
+            // The change-log shadow of this primitive; modeled as one
+            // snapshot (the generated code's commit granularity) even
+            // though the copy-on-write store shares the payload.
+            PrimState &shadow = frame.getForWrite(a.inst);
             I.stats_.shadowCopies++;
-            if (!writePrim(prim, shadow, a.meth, args))
+            if (!writePrim(prim, shadow, a.pmeth, args))
                 throw GuardFail{};
             if (!args.empty())
                 chargeValueMove(args[0]);
             // Crossing the partition boundary costs driver work on
             // the software side (marshaling descriptors, cache
             // maintenance); hardware partitions ignore work counts.
-            if ((prim.kind == "SyncTx" && a.meth == "enq") ||
-                (prim.kind == "SyncRx" && a.meth == "deq")) {
+            if (a.chargeSync)
                 charge(I.costs_.perSyncMessage);
-            }
-            frame.put(a.inst, std::move(shadow));
             return;
         }
-        const ElabMethod &m = prog.methods[a.methIdx];
+        const ElabMethod &m = prog.methods[static_cast<size_t>(
+            a.methIdx)];
+        std::int32_t root = P.methods[static_cast<size_t>(a.methIdx)]
+                                .root;
         Env callee;
         bindParams(m, args, callee);
-        evalAction(*m.body, callee, frame);
+        evalAction(root, callee, frame);
     }
 
     void
@@ -264,8 +331,8 @@ class InterpExec
                   std::to_string(args.size()) + " args, expects " +
                   std::to_string(m.params.size()));
         }
-        for (size_t i = 0; i < args.size(); i++)
-            env.push(m.params[i].name, std::move(args[i]));
+        for (auto &arg : args)
+            env.push(std::move(arg));
     }
 
     void
@@ -278,9 +345,11 @@ class InterpExec
     }
 
     Value
-    evalPrimOp(const Expr &e, Env &env, TxnFrame &frame)
+    evalPrimOp(const CExpr &e, Env &env, TxnFrame &frame)
     {
-        auto ev = [&](size_t i) { return evalExpr(*e.args[i], env, frame); };
+        auto ev = [&](std::uint32_t i) {
+            return evalExpr(kid(e, i), env, frame);
+        };
 
         switch (e.op) {
           case PrimOp::Add:
@@ -353,45 +422,45 @@ class InterpExec
           case PrimOp::Update: {
             Value vec = ev(0), idx = ev(1), val = ev(2);
             charge(I.costs_.perArith * 2);
-            return vec.withElem(idx.asUInt(), std::move(val));
+            return std::move(vec).withElem(idx.asUInt(),
+                                           std::move(val));
           }
           case PrimOp::Field: {
             Value s = ev(0);
             charge(I.costs_.perArith);
-            return s.field(e.strArg);
+            const Value *f = s.tryFieldById(e.fieldId);
+            if (!f) {
+                panic("struct has no field '" + *e.name +
+                      "': " + s.str());
+            }
+            return *f;
           }
           case PrimOp::SetField: {
             Value s = ev(0), val = ev(1);
             charge(I.costs_.perArith);
-            return s.withField(e.strArg, std::move(val));
+            size_t i = s.shape()->indexOf(e.fieldId);
+            if (i == StructShape::npos) {
+                panic("withField: no field '" + *e.name + "' in " +
+                      s.str());
+            }
+            return std::move(s).withFieldAt(i, std::move(val));
           }
           case PrimOp::MakeVec: {
             std::vector<Value> elems;
-            elems.reserve(e.args.size());
-            for (size_t i = 0; i < e.args.size(); i++)
+            elems.reserve(e.nkids);
+            for (std::uint32_t i = 0; i < e.nkids; i++)
                 elems.push_back(ev(i));
-            charge(I.costs_.perWordMove * e.args.size());
+            charge(I.costs_.perWordMove * e.nkids);
             return Value::makeVec(std::move(elems));
           }
           case PrimOp::MakeStruct: {
-            std::vector<std::pair<std::string, Value>> fields;
-            size_t start = 0, argi = 0;
-            const std::string &names = e.strArg;
-            while (start <= names.size() && argi < e.args.size()) {
-                size_t comma = names.find(',', start);
-                std::string fname =
-                    names.substr(start, comma == std::string::npos
-                                            ? std::string::npos
-                                            : comma - start);
-                fields.emplace_back(fname, ev(argi++));
-                if (comma == std::string::npos)
-                    break;
-                start = comma + 1;
-            }
-            if (argi != e.args.size())
-                panic("MakeStruct: field-name/operand mismatch");
-            charge(I.costs_.perArith * e.args.size());
-            return Value::makeStruct(std::move(fields));
+            std::vector<Value> vals;
+            vals.reserve(e.nkids);
+            for (std::uint32_t i = 0; i < e.nkids; i++)
+                vals.push_back(ev(i));
+            charge(I.costs_.perArith * e.nkids);
+            return Value::makeStructShaped(e.shape,
+                                           std::move(vals));
           }
           case PrimOp::BitRev: {
             Value a = ev(0);
@@ -408,7 +477,7 @@ class InterpExec
     }
 
     Value
-    evalBinary(const Expr &e, const Value &a, const Value &b)
+    evalBinary(const CExpr &e, const Value &a, const Value &b)
     {
         if (a.isBool() || b.isBool()) {
             // Logical forms on Bool operands.
@@ -478,23 +547,26 @@ class InterpExec
 };
 
 Interp::Interp(const ElabProgram &program, Store &store)
-    : prog(program), store_(store)
+    : prog(program), store_(store),
+      compiled_(std::make_unique<CompiledProgram>())
 {
 }
+
+Interp::~Interp() = default;
 
 bool
 Interp::fireRule(int rule_id)
 {
     if (rule_id < 0 || static_cast<size_t>(rule_id) >= prog.rules.size())
         panic("fireRule: bad rule id " + std::to_string(rule_id));
-    const ElabRule &rule = prog.rules[rule_id];
+    std::int32_t root = compiled_->ruleRoot(prog, rule_id);
     stats_.rulesAttempted++;
 
     TxnFrame frame(store_);
-    InterpExec exec(*this);
+    InterpExec exec(*this, *compiled_);
     Env env;
     try {
-        exec.evalAction(*rule.body, env, frame);
+        exec.evalAction(root, env, frame);
     } catch (const GuardFail &) {
         stats_.guardFails++;
         stats_.wastedWork += exec.localWork;
@@ -516,23 +588,9 @@ Interp::callActionMethod(int meth_id, const std::vector<Value> &args)
         panic("callActionMethod on value method " + m.name);
 
     TxnFrame frame(store_);
-    InterpExec exec(*this);
-    Env env;
+    InterpExec exec(*this, *compiled_);
     try {
-        std::vector<ExprPtr> arg_exprs;
-        arg_exprs.reserve(args.size());
-        for (const auto &v : args)
-            arg_exprs.push_back(constE(v));
-        // Build a transient call action resolved to this method.
-        auto call = std::make_shared<Action>();
-        call->kind = ActKind::CallA;
-        call->name = "<root>";
-        call->meth = m.name;
-        call->exprs = std::move(arg_exprs);
-        call->inst = m.modId;
-        call->isPrim = false;
-        call->methIdx = meth_id;
-        exec.evalAction(*call, env, frame);
+        exec.callActionRoot(meth_id, args, frame);
     } catch (const GuardFail &) {
         stats_.guardFails++;
         stats_.wastedWork += exec.localWork;
@@ -550,15 +608,16 @@ Interp::callValueMethod(int meth_id, const std::vector<Value> &args)
     const ElabMethod &m = prog.methods[meth_id];
     if (m.isAction)
         panic("callValueMethod on action method " + m.name);
-
-    TxnFrame frame(store_);
-    InterpExec exec(*this);
-    Env env;
     if (args.size() != m.params.size())
         panic("method " + m.name + " arg count mismatch");
-    for (size_t i = 0; i < args.size(); i++)
-        env.push(m.params[i].name, args[i]);
-    return exec.evalExpr(*m.value, env, frame);
+    std::int32_t root = compiled_->methodRoot(prog, meth_id);
+
+    TxnFrame frame(store_);
+    InterpExec exec(*this, *compiled_);
+    Env env;
+    for (const Value &v : args)
+        env.push(v);
+    return exec.evalExpr(root, env, frame);
 }
 
 } // namespace bcl

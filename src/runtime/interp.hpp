@@ -16,6 +16,13 @@
  * software: it counts abstract RISC-op work per node, which the
  * benches convert into processor cycles (see CostModel).
  *
+ * Execution runs over compiled bodies (runtime/compile.hpp): name
+ * lookups, field names and primitive-method dispatch are resolved to
+ * indices once per rule, not per evaluation. This is mechanism only —
+ * modeled work units are charged exactly as the AST walk charged
+ * them (see "Runtime data layout & cost-model invariance" in
+ * docs/ARCHITECTURE.md and tests/test_work_accounting.cpp).
+ *
  * Contract: fireRule() is atomic — it either commits the rule's
  * whole effect to the store and returns true, or changes nothing and
  * returns false (guard failure). This all-or-nothing property is
@@ -26,6 +33,7 @@
 #define BCL_RUNTIME_INTERP_HPP
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -33,6 +41,8 @@
 #include "runtime/store.hpp"
 
 namespace bcl {
+
+struct CompiledProgram;
 
 /** Guard-failure unwind; not an error (control flow). */
 struct GuardFail
@@ -62,6 +72,14 @@ struct CostModel
      * calibration against the paper's communication costs.
      */
     std::uint64_t perSyncMessage = 1400;
+
+    /**
+     * Iteration budget for dynamic loops: a loop body may execute at
+     * most this many times per rule firing before the interpreter
+     * reports a runaway loop (FatalError). Not a work-unit cost —
+     * exposed here so benches/tests can tighten it.
+     */
+    std::uint64_t loopIterBudget = 1u << 22;
 };
 
 /** Execution counters. */
@@ -91,6 +109,7 @@ class Interp
      * @param store Committed state (must outlive the interpreter).
      */
     Interp(const ElabProgram &prog, Store &store);
+    ~Interp();
 
     /**
      * Attempt rule @p rule_id as a transaction.
@@ -132,6 +151,9 @@ class Interp
     Store &store_;
     ExecStats stats_;
     CostModel costs_;
+    /** Lazily-built compiled rule/method bodies (see compile.hpp).
+     *  Pure mechanism: does not affect modeled work. */
+    std::unique_ptr<CompiledProgram> compiled_;
 };
 
 } // namespace bcl

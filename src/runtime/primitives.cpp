@@ -48,108 +48,160 @@ failRead()
 
 } // namespace
 
+PrimMethodId
+resolvePrimMethod(const ElabPrim &prim, const std::string &meth,
+                  bool is_action)
+{
+    const std::string &k = prim.kind;
+    if (!is_action) {
+        if (k == "Reg") {
+            if (meth == "_read")
+                return PrimMethodId::RegRead;
+        } else if (k == "Fifo" || k == "Sync" || k == "SyncRx" ||
+                   k == "SyncTx") {
+            if (meth == "first")
+                return PrimMethodId::QueueFirst;
+            if (meth == "notEmpty")
+                return PrimMethodId::QueueNotEmpty;
+            if (meth == "notFull")
+                return PrimMethodId::QueueNotFull;
+        } else if (k == "Bram") {
+            if (meth == "read")
+                return PrimMethodId::BramRead;
+        } else if (k == "Bitmap") {
+            if (meth == "get")
+                return PrimMethodId::BitmapGet;
+        }
+        panic("readPrim: no value method " + k + "." + meth + " (" +
+              prim.path + ")");
+    }
+    if (k == "Reg") {
+        if (meth == "_write")
+            return PrimMethodId::RegWrite;
+    } else if (k == "Fifo" || k == "Sync" || k == "SyncTx" ||
+               k == "SyncRx") {
+        if (meth == "enq")
+            return PrimMethodId::QueueEnq;
+        if (meth == "deq")
+            return PrimMethodId::QueueDeq;
+        if (meth == "clear")
+            return PrimMethodId::QueueClear;
+    } else if (k == "Bram") {
+        if (meth == "write")
+            return PrimMethodId::BramWrite;
+    } else if (k == "AudioDev") {
+        if (meth == "output")
+            return PrimMethodId::AudioOutput;
+    } else if (k == "Bitmap") {
+        if (meth == "store")
+            return PrimMethodId::BitmapStore;
+    }
+    panic("writePrim: no action method " + k + "." + meth + " (" +
+          prim.path + ")");
+}
+
 PrimRead
 readPrim(const ElabPrim &prim, const PrimState &st,
          const std::string &meth, const std::vector<Value> &args)
 {
-    const std::string &k = prim.kind;
-    if (k == "Reg") {
-        if (meth == "_read")
-            return okRead(st.val);
-    } else if (k == "Fifo" || k == "Sync" || k == "SyncRx" ||
-               k == "SyncTx") {
-        if (meth == "first") {
-            if (st.queue.empty())
-                return failRead();
-            return okRead(st.queue.front());
+    return readPrim(prim, st, resolvePrimMethod(prim, meth, false),
+                    args);
+}
+
+PrimRead
+readPrim(const ElabPrim &prim, const PrimState &st, PrimMethodId meth,
+         const std::vector<Value> &args)
+{
+    switch (meth) {
+      case PrimMethodId::RegRead:
+        return okRead(st.val);
+      case PrimMethodId::QueueFirst:
+        if (st.queue.empty())
+            return failRead();
+        return okRead(st.queue.front());
+      case PrimMethodId::QueueNotEmpty:
+        return okRead(Value::makeBool(!st.queue.empty()));
+      case PrimMethodId::QueueNotFull:
+        return okRead(Value::makeBool(
+            static_cast<int>(st.queue.size()) < prim.capacity));
+      case PrimMethodId::BramRead: {
+        auto addr = args[0].asUInt();
+        if (addr >= st.val.size()) {
+            panic("Bram " + prim.path + ": read address " +
+                  std::to_string(addr) + " out of range " +
+                  std::to_string(st.val.size()));
         }
-        if (meth == "notEmpty")
-            return okRead(Value::makeBool(!st.queue.empty()));
-        if (meth == "notFull") {
-            return okRead(Value::makeBool(
-                static_cast<int>(st.queue.size()) < prim.capacity));
+        return okRead(st.val.at(addr));
+      }
+      case PrimMethodId::BitmapGet: {
+        auto addr = args[0].asUInt();
+        if (addr >= st.val.size()) {
+            panic("Bitmap " + prim.path + ": index " +
+                  std::to_string(addr) + " out of range");
         }
-    } else if (k == "Bram") {
-        if (meth == "read") {
-            auto addr = args[0].asUInt();
-            if (addr >= st.val.size()) {
-                panic("Bram " + prim.path + ": read address " +
-                      std::to_string(addr) + " out of range " +
-                      std::to_string(st.val.size()));
-            }
-            return okRead(st.val.at(addr));
-        }
-    } else if (k == "Bitmap") {
-        if (meth == "get") {
-            auto addr = args[0].asUInt();
-            if (addr >= st.val.size()) {
-                panic("Bitmap " + prim.path + ": index " +
-                      std::to_string(addr) + " out of range");
-            }
-            return okRead(st.val.at(addr));
-        }
+        return okRead(st.val.at(addr));
+      }
+      default:
+        panic("readPrim: action method id used as value method (" +
+              prim.path + ")");
     }
-    panic("readPrim: no value method " + k + "." + meth + " (" +
-          prim.path + ")");
 }
 
 bool
 writePrim(const ElabPrim &prim, PrimState &st, const std::string &meth,
           const std::vector<Value> &args)
 {
-    const std::string &k = prim.kind;
-    if (k == "Reg") {
-        if (meth == "_write") {
-            st.val = args[0];
-            return true;
+    return writePrim(prim, st, resolvePrimMethod(prim, meth, true),
+                     args);
+}
+
+bool
+writePrim(const ElabPrim &prim, PrimState &st, PrimMethodId meth,
+          const std::vector<Value> &args)
+{
+    switch (meth) {
+      case PrimMethodId::RegWrite:
+        st.val = args[0];
+        return true;
+      case PrimMethodId::QueueEnq:
+        if (static_cast<int>(st.queue.size()) >= prim.capacity)
+            return false;
+        st.queue.push_back(args[0]);
+        return true;
+      case PrimMethodId::QueueDeq:
+        if (st.queue.empty())
+            return false;
+        st.queue.erase(st.queue.begin());
+        return true;
+      case PrimMethodId::QueueClear:
+        st.queue.clear();
+        return true;
+      case PrimMethodId::BramWrite: {
+        auto addr = args[0].asUInt();
+        if (addr >= st.val.size()) {
+            panic("Bram " + prim.path + ": write address " +
+                  std::to_string(addr) + " out of range " +
+                  std::to_string(st.val.size()));
         }
-    } else if (k == "Fifo" || k == "Sync" || k == "SyncTx" ||
-               k == "SyncRx") {
-        if (meth == "enq") {
-            if (static_cast<int>(st.queue.size()) >= prim.capacity)
-                return false;
-            st.queue.push_back(args[0]);
-            return true;
+        st.val = std::move(st.val).withElem(addr, args[1]);
+        return true;
+      }
+      case PrimMethodId::AudioOutput:
+        st.queue.push_back(args[0]);
+        return true;
+      case PrimMethodId::BitmapStore: {
+        auto addr = args[0].asUInt();
+        if (addr >= st.val.size()) {
+            panic("Bitmap " + prim.path + ": store index " +
+                  std::to_string(addr) + " out of range");
         }
-        if (meth == "deq") {
-            if (st.queue.empty())
-                return false;
-            st.queue.erase(st.queue.begin());
-            return true;
-        }
-        if (meth == "clear") {
-            st.queue.clear();
-            return true;
-        }
-    } else if (k == "Bram") {
-        if (meth == "write") {
-            auto addr = args[0].asUInt();
-            if (addr >= st.val.size()) {
-                panic("Bram " + prim.path + ": write address " +
-                      std::to_string(addr) + " out of range " +
-                      std::to_string(st.val.size()));
-            }
-            st.val = st.val.withElem(addr, args[1]);
-            return true;
-        }
-    } else if (k == "AudioDev") {
-        if (meth == "output") {
-            st.queue.push_back(args[0]);
-            return true;
-        }
-    } else if (k == "Bitmap") {
-        if (meth == "store") {
-            auto addr = args[0].asUInt();
-            if (addr >= st.val.size()) {
-                panic("Bitmap " + prim.path + ": store index " +
-                      std::to_string(addr) + " out of range");
-            }
-            st.val = st.val.withElem(addr, args[1]);
-            return true;
-        }
+        st.val = std::move(st.val).withElem(addr, args[1]);
+        return true;
+      }
+      default:
+        panic("writePrim: value method id used as action method (" +
+              prim.path + ")");
     }
-    panic("writePrim: no action method " + k + "." + meth + " (" +
-          prim.path + ")");
 }
 
 int

@@ -24,6 +24,36 @@ struct PrimRead
     Value val;        ///< result when ok
 };
 
+/**
+ * A (primitive kind, method name) pair resolved to one dispatch case.
+ * The interpreter resolves these once per call site at compile time
+ * so the hot path never compares strings.
+ */
+enum class PrimMethodId : std::uint8_t
+{
+    RegRead,
+    RegWrite,
+    QueueFirst,     ///< Fifo/Sync first
+    QueueNotEmpty,
+    QueueNotFull,
+    QueueEnq,
+    QueueDeq,
+    QueueClear,
+    BramRead,
+    BramWrite,
+    AudioOutput,
+    BitmapGet,
+    BitmapStore,
+};
+
+/**
+ * Resolve (@p prim kind, @p meth, action vs value) to its dispatch
+ * id. Panics — with the same message the string-keyed entry points
+ * use — when the primitive has no such method.
+ */
+PrimMethodId resolvePrimMethod(const ElabPrim &prim,
+                               const std::string &meth, bool is_action);
+
 /** Reset state for @p prim (Reg at init value, empty FIFOs, ...). */
 PrimState initPrimState(const ElabPrim &prim);
 
@@ -35,12 +65,20 @@ PrimRead readPrim(const ElabPrim &prim, const PrimState &st,
                   const std::string &meth,
                   const std::vector<Value> &args);
 
+/** Pre-resolved overload (the interpreter hot path). */
+PrimRead readPrim(const ElabPrim &prim, const PrimState &st,
+                  PrimMethodId meth, const std::vector<Value> &args);
+
 /**
  * Execute action method @p meth of @p prim, updating @p st in place.
  * Returns false (and leaves @p st unchanged) when the guard is down.
  */
 bool writePrim(const ElabPrim &prim, PrimState &st,
                const std::string &meth, const std::vector<Value> &args);
+
+/** Pre-resolved overload (the interpreter hot path). */
+bool writePrim(const ElabPrim &prim, PrimState &st, PrimMethodId meth,
+               const std::vector<Value> &args);
 
 /**
  * Abstract cost of moving one value of the prim's content type, in

@@ -45,6 +45,15 @@ TxnFrame::get(int id) const
     panic("TxnFrame chain has no base store");
 }
 
+PrimState &
+TxnFrame::getForWrite(int id)
+{
+    auto it = delta.find(id);
+    if (it == delta.end())
+        it = delta.emplace(id, get(id)).first;
+    return it->second;
+}
+
 void
 TxnFrame::put(int id, PrimState state)
 {

@@ -81,6 +81,16 @@ class TxnFrame
     /** Read: nearest write in the frame chain, else committed state. */
     const PrimState &get(int id) const;
 
+    /**
+     * Writable shadow of @p id in THIS frame: copies the inherited
+     * state into the change log on first touch, then hands back the
+     * same entry. The caller mutates it directly (no second copy, no
+     * put()). A guard failure after this leaves a clean shadow entry
+     * behind, which is harmless: failure always unwinds to a boundary
+     * (rule / localGuard) that discards the whole frame.
+     */
+    PrimState &getForWrite(int id);
+
     /** Record a write of @p id (shadow state replaces prior view). */
     void put(int id, PrimState state);
 

@@ -122,6 +122,9 @@ runVorbisPartition(VorbisPartition p, int frames,
     VorbisRunResult res;
     res.fpgaCycles = cycles;
     res.swWork = cosim.swInterp().stats().work;
+    res.swRulesFired = cosim.swInterp().stats().rulesFired;
+    res.swRulesAttempted = cosim.swInterp().stats().rulesAttempted;
+    res.swShadowCopies = cosim.swInterp().stats().shadowCopies;
     for (const auto &v : cosim.storeOf("SW").at(audio).queue) {
         for (const auto &s : v.elems())
             res.pcm.push_back(static_cast<std::int32_t>(s.asInt()));

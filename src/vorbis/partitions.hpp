@@ -48,6 +48,9 @@ struct VorbisRunResult
     std::uint64_t fpgaCycles = 0;   ///< end-to-end virtual time
     std::vector<std::int32_t> pcm;  ///< decoded samples (Q8.24 raw)
     std::uint64_t swWork = 0;       ///< software work units
+    std::uint64_t swRulesFired = 0;     ///< software rule firings
+    std::uint64_t swRulesAttempted = 0; ///< incl. guard failures
+    std::uint64_t swShadowCopies = 0;   ///< modeled state snapshots
     std::uint64_t hwRuleFires = 0;  ///< hardware activity
     std::uint64_t messages = 0;     ///< cross-partition messages
     std::uint64_t channelWords = 0; ///< payload words moved

@@ -187,6 +187,29 @@ TEST(Interp, LocalGuardConvertsFailureToNoAction)
     EXPECT_EQ(h.regInt("s"), 0);
 }
 
+TEST(Interp, LocalGuardFailureInsideLetKeepsLaterBindingsAligned)
+{
+    // A guard failure that unwinds out of a let body skips that let's
+    // scope pop. The LocalGuard that absorbs the failure must restore
+    // the activation depth, or every later binding in the rule reads
+    // the wrong slot (regression test for the slot-resolved Env).
+    ModuleBuilder b("Top");
+    b.addReg("r", w32());
+    b.addFifo("q", w32(), 1);
+    b.addRule("fill", callA("q", "enq", {intE(32, 1)}));
+    ActPtr failing_let =
+        letA("t", intE(32, 111),
+             callA("q", "enq", {varE("t")}));  // q full -> GuardFail
+    ActPtr use_after =
+        letA("u", intE(32, 7), regWrite("r", varE("u")));
+    b.addRule("lg", seqA({localGuardA(failing_let), use_after}));
+    Harness h(b.build());
+    EXPECT_TRUE(h.fire("fill"));  // q now full
+    EXPECT_TRUE(h.fire("lg"));
+    EXPECT_EQ(h.regInt("r"), 7);  // not the stale 111
+    EXPECT_EQ(h.fifoDepth("q"), 1u);
+}
+
 TEST(Interp, FifoEnqDeqFirstOrder)
 {
     ModuleBuilder b("Top");
@@ -352,6 +375,38 @@ TEST(Interp, ActionMethodOfSubmoduleExecutesAtomically)
     EXPECT_EQ(store.at(elab.primByPath("snap")).val.asInt(), 4);
 }
 
+TEST(Interp, ReplacedMethodBodyRecompilesStaleCallers)
+{
+    // Replacing a callee method's body in place (the inlining
+    // transform mutates m.value exactly this way) must reach callers
+    // whose own bodies did not change: the compiled-program cache has
+    // to invalidate transitively, not just per replaced entry.
+    ModuleBuilder inner("Inner");
+    inner.addValueMethod("answer", {}, w32(), intE(32, 1));
+    ModuleBuilder top("Top");
+    top.addSub("c", "Inner");
+    top.addReg("snap", w32());
+    top.addRule("read", regWrite("snap", callV("c", "answer")));
+    Program p = ProgramBuilder()
+                    .add(inner.build())
+                    .add(top.build())
+                    .setRoot("Top")
+                    .build();
+    ElabProgram elab = elaborate(p);
+    Store store(elab);
+    Interp interp(elab, store);
+
+    EXPECT_TRUE(interp.fireRule(elab.ruleByName("read")));
+    EXPECT_EQ(store.at(elab.primByPath("snap")).val.asInt(), 1);
+
+    for (ElabMethod &m : elab.methods) {
+        if (m.name == "answer")
+            m.value = intE(32, 2);
+    }
+    EXPECT_TRUE(interp.fireRule(elab.ruleByName("read")));
+    EXPECT_EQ(store.at(elab.primByPath("snap")).val.asInt(), 2);
+}
+
 TEST(Interp, RootActionMethodDrivesProgram)
 {
     ModuleBuilder b("Top");
@@ -395,6 +450,29 @@ TEST(Interp, RunawayLoopReportsFatal)
     b.addRule("spin", loopA(boolE(true), noOpA()));
     Harness h(b.build());
     EXPECT_THROW(h.fire("spin"), FatalError);
+}
+
+TEST(Interp, LoopIterBudgetIsExactAndTunable)
+{
+    // while (i < 10) i := i + 1. A budget of exactly 10 body
+    // executions must pass; 9 must trip the runaway report. (The
+    // seed checked after the increment, silently allowing budget+1.)
+    ModuleBuilder b("Top");
+    b.addReg("i", w32());
+    b.addRule("count",
+              loopA(primE(PrimOp::Lt, {regRead("i"), intE(32, 10)}),
+                    regWrite("i", primE(PrimOp::Add,
+                                        {regRead("i"), intE(32, 1)}))));
+    Harness h(b.build());
+    h.interp->costs().loopIterBudget = 10;
+    EXPECT_TRUE(h.fire("count"));
+    EXPECT_EQ(h.regInt("i"), 10);
+
+    h.store->at(h.elab.primByPath("i")).val = Value::makeInt(32, 0);
+    h.interp->costs().loopIterBudget = 9;
+    EXPECT_THROW(h.fire("count"), FatalError);
+    // The failed transaction left no partial state behind.
+    EXPECT_EQ(h.regInt("i"), 0);
 }
 
 TEST(Elaborate, DuplicateAndMissingDefinitionsRejected)

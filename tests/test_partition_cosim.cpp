@@ -15,6 +15,7 @@
 #include "core/elaborate.hpp"
 #include "core/partition.hpp"
 #include "platform/cosim.hpp"
+#include "platform/marshal.hpp"
 #include "runtime/exec.hpp"
 
 namespace bcl {
@@ -372,6 +373,54 @@ TEST(Hw, ValidateRejectsLoopsAndSeq)
     Program p2 = ProgramBuilder().add(c.build()).setRoot("Top").build();
     ElabProgram elab2 = elaborate(p2);
     EXPECT_THROW(validateForHardware(elab2), FatalError);
+}
+
+TEST(Marshal, RoundTripsEveryShapeInCanonicalWordCount)
+{
+    TypePtr cplx = Type::record(
+        "Complex", {{"re", Type::bits(32)}, {"im", Type::bits(32)}});
+    TypePtr t = Type::vec(3, cplx);
+    Value v = Value::makeVec(
+        {Value::makeStruct({{"re", Value::makeInt(32, -7)},
+                            {"im", Value::makeInt(32, 42)}}),
+         Value::makeStruct({{"re", Value::makeInt(32, 1 << 30)},
+                            {"im", Value::makeInt(32, -3)}}),
+         Value::makeStruct({{"re", Value::makeInt(32, 0)},
+                            {"im", Value::makeInt(32, -1)}})});
+    std::vector<std::uint32_t> words = marshalValue(v);
+    EXPECT_EQ(static_cast<int>(words.size()),
+              (t->flatWidth() + 31) / 32);
+    EXPECT_EQ(demarshalValue(t, words), v);
+
+    // Odd (non word-multiple) widths round-trip too.
+    TypePtr odd = Type::record("Odd", {{"a", Type::bits(13)},
+                                       {"b", Type::boolean()},
+                                       {"c", Type::bits(24)}});
+    Value ov = Value::makeStruct({{"a", Value::makeBits(13, 0x1234)},
+                                  {"b", Value::makeBool(true)},
+                                  {"c", Value::makeBits(24, 0xabcdef)}});
+    std::vector<std::uint32_t> owords = marshalValue(ov);
+    EXPECT_EQ(owords.size(), 2u);  // 38 bits -> 2 words
+    EXPECT_EQ(demarshalValue(odd, owords), ov);
+}
+
+TEST(Marshal, ShortWordStreamIsRejectedWithDiagnostic)
+{
+    // A short stream must be diagnosed, never silently demarshaled
+    // against zero-filled padding.
+    TypePtr t = Type::vec(3, Type::bits(32));
+    Value v = Value::makeVec({Value::makeBits(32, 1),
+                              Value::makeBits(32, 2),
+                              Value::makeBits(32, 3)});
+    std::vector<std::uint32_t> words = marshalValue(v);
+    words.pop_back();
+    EXPECT_THROW(demarshalValue(t, words), PanicError);
+    EXPECT_THROW(demarshalValue(t, {}), PanicError);
+
+    // Excess words violate the canonical sizing contract as well.
+    std::vector<std::uint32_t> padded = marshalValue(v);
+    padded.push_back(0);
+    EXPECT_THROW(demarshalValue(t, padded), PanicError);
 }
 
 } // namespace

@@ -95,16 +95,43 @@ TEST(Value, PanicsOnKindMismatch)
     EXPECT_THROW(Value::makeBool(true).field("x"), PanicError);
 }
 
-TEST(Value, PackBitsLittleEndianPerScalar)
+TEST(Value, PackWordsLittleEndianPerScalar)
 {
     Value v = Value::makeBits(4, 0b1010);
-    std::vector<bool> bits;
-    v.packBits(bits);
-    ASSERT_EQ(bits.size(), 4u);
-    EXPECT_FALSE(bits[0]);
-    EXPECT_TRUE(bits[1]);
-    EXPECT_FALSE(bits[2]);
-    EXPECT_TRUE(bits[3]);
+    BitSink sink;
+    v.packWords(sink);
+    ASSERT_EQ(sink.bitCount(), 4u);
+    std::vector<std::uint32_t> words = sink.takeWords();
+    ASSERT_EQ(words.size(), 1u);
+    EXPECT_EQ(words[0], 0b1010u);
+}
+
+TEST(Value, PackWordsSpansWordBoundaries)
+{
+    // Three 24-bit scalars straddle two 32-bit words.
+    BitSink sink;
+    Value::makeBits(24, 0xabcdef).packWords(sink);
+    Value::makeBits(24, 0x123456).packWords(sink);
+    Value::makeBits(24, 0xfedcba).packWords(sink);
+    ASSERT_EQ(sink.bitCount(), 72u);
+    std::vector<std::uint32_t> words = sink.takeWords();
+    ASSERT_EQ(words.size(), 3u);
+    BitCursor cur(words.data(), words.size());
+    EXPECT_EQ(cur.take(24), 0xabcdefu);
+    EXPECT_EQ(cur.take(24), 0x123456u);
+    EXPECT_EQ(cur.take(24), 0xfedcbau);
+}
+
+TEST(Value, BitSink64BitScalars)
+{
+    BitSink sink;
+    sink.put(1, 1);  // misalign by one bit
+    std::uint64_t big = 0xdeadbeefcafef00dull;
+    sink.put(big, 64);
+    std::vector<std::uint32_t> words = sink.takeWords();
+    BitCursor cur(words.data(), words.size());
+    EXPECT_EQ(cur.take(1), 1u);
+    EXPECT_EQ(cur.take(64), big);
 }
 
 TEST(Value, FlatWidthSumsNestedStructure)
@@ -189,20 +216,62 @@ TEST(Type, PackUnpackRoundTrip)
                             {"im", Value::makeInt(32, -(1 << 30))}}),
          Value::makeStruct({{"re", Value::makeInt(32, 0)},
                             {"im", Value::makeInt(32, -1)}})});
-    std::vector<bool> bits;
-    v.packBits(bits);
-    ASSERT_EQ(static_cast<int>(bits.size()), t->flatWidth());
-    size_t pos = 0;
-    Value u = t->unpackBits(bits, pos);
-    EXPECT_EQ(pos, bits.size());
+    BitSink sink;
+    v.packWords(sink);
+    ASSERT_EQ(static_cast<int>(sink.bitCount()), t->flatWidth());
+    std::vector<std::uint32_t> words = sink.takeWords();
+    BitCursor cur(words.data(), words.size());
+    Value u = t->unpackWords(cur);
+    EXPECT_EQ(cur.bitPos(), static_cast<size_t>(t->flatWidth()));
     EXPECT_EQ(u, v);
 }
 
-TEST(Type, UnpackBitsExhaustionPanics)
+TEST(Type, UnpackWordsExhaustionPanics)
 {
-    std::vector<bool> bits(3, true);
-    size_t pos = 0;
-    EXPECT_THROW(Type::bits(8)->unpackBits(bits, pos), PanicError);
+    // One word holds 32 bits; a 33rd bit must panic, not read zeros.
+    std::vector<std::uint32_t> words{0xffffffffu};
+    BitCursor cur(words.data(), words.size());
+    (void)cur.take(30);
+    EXPECT_THROW(Type::bits(8)->unpackWords(cur), PanicError);
+}
+
+TEST(Value, StructShapesAreInterned)
+{
+    Value a = Value::makeStruct({{"re", Value::makeBits(8, 1)},
+                                 {"im", Value::makeBits(8, 2)}});
+    Value b = Value::makeStruct({{"re", Value::makeBits(8, 3)},
+                                 {"im", Value::makeBits(8, 4)}});
+    Value c = Value::makeStruct({{"x", Value::makeBits(8, 3)}});
+    EXPECT_EQ(a.shape(), b.shape());
+    EXPECT_NE(a.shape(), c.shape());
+    EXPECT_EQ(a.shape()->indexOf(internFieldName("im")), 1u);
+    EXPECT_EQ(a.shape()->indexOf(internFieldName("nope")),
+              StructShape::npos);
+}
+
+TEST(Value, CopyOnWriteSharesUntilUpdated)
+{
+    Value v = Value::makeVec({Value::makeBits(8, 1),
+                              Value::makeBits(8, 2)});
+    Value snapshot = v;  // O(1): shares the payload
+    Value w = std::move(v).withElem(0, Value::makeBits(8, 7));
+    // The snapshot still observes the original contents.
+    EXPECT_EQ(snapshot.at(0).asUInt(), 1u);
+    EXPECT_EQ(w.at(0).asUInt(), 7u);
+    EXPECT_EQ(w.at(1).asUInt(), 2u);
+}
+
+TEST(Value, FlatWidthStaysConsistentAcrossUpdates)
+{
+    TypePtr cplx = Type::record(
+        "Complex", {{"re", Type::bits(32)}, {"im", Type::bits(32)}});
+    Value v = Type::vec(4, cplx)->zeroValue();
+    EXPECT_EQ(v.flatWidth(), 4 * 64);
+    Value w = v.withElem(
+        2, Value::makeStruct({{"re", Value::makeInt(32, 1)},
+                              {"im", Value::makeInt(32, 2)}}));
+    EXPECT_EQ(w.flatWidth(), 4 * 64);
+    EXPECT_EQ(v.flatWidth(), 4 * 64);
 }
 
 } // namespace

@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Golden work-accounting regression test. Runs a fixed mixed-shape
+ * program (vectors, structs, loops, parallel branches, localGuard,
+ * guard failures, user-method calls) through a deterministic driver
+ * and snapshot-asserts every Interp::stats() counter.
+ *
+ * The golden numbers were captured from the pre-optimization
+ * interpreter (PR 3 seed). They are the cost-model contract: runtime
+ * data-layout work (resolved slots, interned fields, copy-on-write
+ * values, word-wise marshaling) may change wall-clock freely, but the
+ * MODELED work units, shadow-copy counts and guard-failure counts
+ * must stay bit-identical — Figure 13's software bars are built from
+ * them. If a refactor changes any number here, it changed the cost
+ * model, not just the mechanism, and must be rejected (or the
+ * calibration in docs/EXPERIMENTS.md redone from scratch).
+ */
+#include <gtest/gtest.h>
+
+#include "core/axioms.hpp"
+#include "core/builder.hpp"
+#include "core/elaborate.hpp"
+#include "core/sequentialize.hpp"
+#include "runtime/interp.hpp"
+#include "runtime/store.hpp"
+
+namespace bcl {
+namespace {
+
+TypePtr
+w32()
+{
+    return Type::bits(32);
+}
+
+TypePtr
+complexT()
+{
+    return Type::record("Complex", {{"re", Type::bits(32)},
+                                    {"im", Type::bits(32)}});
+}
+
+/**
+ * One module hierarchy touching every value shape and every action
+ * combinator the interpreter implements.
+ */
+Program
+makeMixedProgram()
+{
+    ModuleBuilder leaf("Leaf");
+    leaf.addReg("acc", w32());
+    leaf.addActionMethod(
+        "bump", {{"by", w32()}},
+        regWrite("acc",
+                 primE(PrimOp::Add, {regRead("acc"), varE("by")})));
+    leaf.addValueMethod("value", {}, w32(), regRead("acc"));
+
+    ModuleBuilder b("Top");
+    b.addReg("r", w32());
+    b.addReg("i", w32());
+    b.addReg("vec", Type::vec(4, Type::bits(16)));
+    b.addBram("mem", complexT(), 4);
+    b.addFifo("q", w32(), 2);
+    b.addSub("leaf", "Leaf");
+
+    // Vector churn: vec := update(vec, 1, index(vec, 0) + 3).
+    b.addRule(
+        "vecs",
+        regWrite(
+            "vec",
+            primE(PrimOp::Update,
+                  {regRead("vec"), intE(32, 1),
+                   primE(PrimOp::Add,
+                         {primE(PrimOp::Index,
+                                {regRead("vec"), intE(32, 0)}),
+                          intE(16, 3)})})));
+
+    // Struct make / field read / functional field update through BRAM.
+    b.addRule(
+        "structs",
+        seqA({callA("mem", "write",
+                    {primE(PrimOp::And, {regRead("i"), intE(32, 3)}),
+                     primE(PrimOp::MakeStruct,
+                           {primE(PrimOp::Add,
+                                  {regRead("r"), intE(32, 1)}),
+                            primE(PrimOp::Xor,
+                                  {regRead("r"), intE(32, 5)})},
+                           0, "re,im")}),
+              callA("mem", "write",
+                    {intE(32, 1),
+                     primE(PrimOp::SetField,
+                           {callV("mem", "read", {intE(32, 0)}),
+                            regRead("r")},
+                           0, "im")}),
+              regWrite(
+                  "r",
+                  primE(PrimOp::Add,
+                        {primE(PrimOp::Field,
+                               {callV("mem", "read", {intE(32, 0)})},
+                               0, "re"),
+                         primE(PrimOp::Field,
+                               {callV("mem", "read", {intE(32, 1)})},
+                               0, "im")}))}));
+
+    // Loop with let-bound temporaries, including binder shadowing.
+    ActPtr loop_body = letA(
+        "t", primE(PrimOp::Add, {regRead("i"), intE(32, 1)}),
+        seqA({regWrite("i", varE("t")),
+              letA("t", primE(PrimOp::Mul, {varE("t"), intE(32, 2)}),
+                   regWrite("r", primE(PrimOp::Add,
+                                       {regRead("r"), varE("t")})))}));
+    b.addRule("looped",
+              seqA({regWrite("i", intE(32, 0)),
+                    loopA(primE(PrimOp::Lt,
+                                {regRead("i"), intE(32, 5)}),
+                          loop_body)}));
+
+    // Parallel branches + a localGuard whose body always fails (the
+    // third enq overflows the capacity-2 FIFO), dropping its writes.
+    b.addRule(
+        "parlg",
+        parA({regWrite("vec",
+                       primE(PrimOp::Update,
+                             {regRead("vec"), intE(32, 2),
+                              intE(16, 9)})),
+              localGuardA(seqA({callA("q", "enq", {intE(32, 7)}),
+                                callA("q", "enq", {intE(32, 8)}),
+                                callA("q", "enq", {intE(32, 9)})})),
+              callA("leaf", "bump", {intE(32, 3)})}));
+
+    // Guarded drain: fails while q is empty (wasted work).
+    b.addRule("drain", seqA({regWrite("r", callV("q", "first")),
+                             callA("q", "deq")}));
+
+    // Producer for drain.
+    b.addRule("feed",
+              callA("q", "enq",
+                    {primE(PrimOp::Shl, {intE(32, 3), intE(32, 2)})}));
+
+    // Conditional + when + unary/fixed-point operator coverage.
+    b.addRule(
+        "condy",
+        regWrite(
+            "r",
+            condE(primE(PrimOp::Ge, {regRead("r"), intE(32, 100)}),
+                  primE(PrimOp::Sub, {regRead("r"), intE(32, 100)}),
+                  whenE(primE(PrimOp::Add, {regRead("r"), intE(32, 1)}),
+                        boolE(true)))));
+    b.addRule(
+        "mathy",
+        regWrite(
+            "r",
+            primE(PrimOp::Add,
+                  {primE(PrimOp::BitRev,
+                         {primE(PrimOp::And,
+                                {regRead("r"), intE(32, 255)})},
+                         8),
+                   primE(PrimOp::MulFx,
+                         {primE(PrimOp::Neg, {regRead("i")}),
+                          intE(32, 3 << 20)},
+                         20)})));
+
+    b.addActionMethod("push", {{"x", w32()}},
+                      callA("q", "enq", {varE("x")}), "SW");
+    b.addValueMethod("peek", {}, w32(), regRead("r"), "SW");
+
+    return ProgramBuilder()
+        .add(leaf.build())
+        .add(b.build())
+        .setRoot("Top")
+        .build();
+}
+
+/** Fixed driver over an already-elaborated program. */
+ExecStats
+runMixed(const ElabProgram &elab)
+{
+    Store store(elab);
+    Interp interp(elab, store);
+    int push = elab.rootMethod("push");
+    int peek = elab.rootMethod("peek");
+    const char *order[] = {"vecs", "structs", "looped", "parlg",
+                           "drain", "feed",    "drain",  "drain",
+                           "condy", "mathy"};
+    std::int64_t sink = 0;
+    for (int round = 0; round < 10; round++) {
+        for (const char *name : order) {
+            int id = elab.ruleByName(name);
+            EXPECT_GE(id, 0) << name;
+            interp.fireRule(id);
+        }
+        interp.callActionMethod(push,
+                                {Value::makeInt(32, round)});
+        sink += interp.callValueMethod(peek, {}).asInt();
+    }
+    EXPECT_NE(sink, 0);
+    return interp.stats();
+}
+
+void
+expectStats(const ExecStats &s, const ExecStats &want)
+{
+    EXPECT_EQ(s.work, want.work);
+    EXPECT_EQ(s.wastedWork, want.wastedWork);
+    EXPECT_EQ(s.rulesAttempted, want.rulesAttempted);
+    EXPECT_EQ(s.rulesFired, want.rulesFired);
+    EXPECT_EQ(s.guardFails, want.guardFails);
+    EXPECT_EQ(s.commits, want.commits);
+    EXPECT_EQ(s.shadowCopies, want.shadowCopies);
+}
+
+// Golden counters captured from the seed interpreter (see file
+// comment). Do not update these to make a refactor pass.
+TEST(WorkAccounting, MixedShapeProgramMatchesSeedGolden)
+{
+    ElabProgram elab = elaborate(makeMixedProgram());
+    ExecStats want;
+    want.work = 4269;
+    want.wastedWork = 55;
+    want.rulesAttempted = 100;
+    want.rulesFired = 89;
+    want.guardFails = 11;
+    want.commits = 99;
+    want.shadowCopies = 309;
+    expectStats(runMixed(elab), want);
+}
+
+// The same program after guard lifting: transformed ASTs (fresh
+// Let/Var/When nodes built by liftRule) must account identically to
+// how the seed interpreter ran them.
+TEST(WorkAccounting, LiftedRulesMatchSeedGolden)
+{
+    ElabProgram elab = elaborate(makeMixedProgram());
+    for (size_t i = 0; i < elab.rules.size(); i++)
+        elab.rules[i] = liftRule(elab, static_cast<int>(i));
+    ExecStats want;
+    want.work = 4474;
+    want.wastedWork = 44;
+    want.rulesAttempted = 100;
+    want.rulesFired = 89;
+    want.guardFails = 11;
+    want.commits = 99;
+    want.shadowCopies = 299;
+    expectStats(runMixed(elab), want);
+}
+
+// And after sequentialization of parallel actions.
+TEST(WorkAccounting, SequentializedMatchesSeedGolden)
+{
+    ElabProgram elab = sequentializeProgram(
+        elaborate(makeMixedProgram()));
+    ExecStats want;
+    want.work = 4269;
+    want.wastedWork = 55;
+    want.rulesAttempted = 100;
+    want.rulesFired = 89;
+    want.guardFails = 11;
+    want.commits = 99;
+    want.shadowCopies = 279;
+    expectStats(runMixed(elab), want);
+}
+
+} // namespace
+} // namespace bcl
