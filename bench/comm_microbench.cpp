@@ -80,21 +80,21 @@ runEcho(int words, int depth, int count, const BusParams &bus)
                           words, Value::makeInt(32, 7)));
     int fed = 0;
     SwDriver driver;
-    driver.step = [&](Interp &interp) -> std::uint64_t {
+    driver.step = [&](SwPort &port) -> std::uint64_t {
         if (fed >= count)
             return 0;
         // Serialized ping-pong: the next message goes out only after
         // the previous echo came back (words == 1 measures the
         // round-trip latency); streaming runs keep the pipe full.
         if (words == 1 &&
-            interp.store().at(out).queue.size() !=
+            port.store().at(out).queue.size() !=
                 static_cast<size_t>(fed)) {
             return 0;
         }
-        std::uint64_t before = interp.stats().work;
-        if (interp.callActionMethod(push, {msg})) {
+        std::uint64_t before = port.work();
+        if (port.callActionMethod(push, {msg})) {
             fed++;
-            return interp.stats().work - before + 1;
+            return port.work() - before + 1;
         }
         return 0;
     };

@@ -151,15 +151,15 @@ main()
     int out = sw.prog.primByPath("out");
     size_t fed = 0;
     SwDriver driver;
-    driver.step = [&](Interp &interp) -> std::uint64_t {
+    driver.step = [&](SwPort &port) -> std::uint64_t {
         if (fed >= 4)
             return 0;
-        std::uint64_t before = interp.stats().work;
-        if (interp.callActionMethod(
+        std::uint64_t before = port.work();
+        if (port.callActionMethod(
                 push, {pairValue(inputs[fed].first,
                                  inputs[fed].second)})) {
             fed++;
-            return interp.stats().work - before + 1;
+            return port.work() - before + 1;
         }
         return 0;
     };

@@ -7,6 +7,9 @@ Runs the built benchmarks and merges their machine-readable output:
   - fig13_vorbis --json: wall-clock ns/frame, modeled work units and
     rules fired/sec for the full-software Vorbis partition (the
     headline software-runtime throughput number),
+  - strategy_compare --json: the section 6.3 compiled-execution cost
+    ladder (interpreter vs generated Naive/Inlined/Lifted C++, all
+    bit-exact), skipped when no host compiler is available,
   - sw_runtime_opts (Google Benchmark, optional): scheduling/lifting/
     sequentialization ablations with wall-clock per run.
 
@@ -39,6 +42,35 @@ def run_fig13(build_dir, frames):
             check=True,
             stdout=subprocess.DEVNULL,
         )
+        with open(tmp_path) as f:
+            return json.load(f)
+    finally:
+        os.unlink(tmp_path)
+
+
+def run_strategy_compare(build_dir, frames):
+    """Compiled-execution ladder; absent when the benchmark is not
+    built or no host compiler exists on the machine."""
+    exe = os.path.join(build_dir, "strategy_compare")
+    if not os.path.exists(exe):
+        return None
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        tmp_path = tmp.name
+    try:
+        try:
+            subprocess.run(
+                [exe, "--frames", str(frames), "--json", tmp_path],
+                check=True,
+                stdout=subprocess.DEVNULL,
+            )
+        except subprocess.CalledProcessError as err:
+            print(f"warning: {exe} failed ({err}); omitting ladder",
+                  file=sys.stderr)
+            return None
+        if os.path.getsize(tmp_path) == 0:
+            # The bench exits 0 without writing JSON when no host
+            # compiler is available.
+            return None
         with open(tmp_path) as f:
             return json.load(f)
     finally:
@@ -103,6 +135,9 @@ def main():
         "frames": args.frames,
         "fig13_vorbis": run_fig13(args.build_dir, args.frames),
     }
+    ladder = run_strategy_compare(args.build_dir, args.frames)
+    if ladder is not None:
+        report["strategy_compare"] = ladder
     ablations = run_sw_runtime_opts(args.build_dir)
     if ablations is not None:
         report["sw_runtime_opts"] = ablations
@@ -118,6 +153,12 @@ def main():
         f"{full_sw['rules_per_sec']:.0f} rules/s, "
         f"{full_sw['work_per_frame']:.0f} work/frame"
     )
+    if ladder is not None:
+        steps = ", ".join(
+            f"{name} {s['speedup_vs_interp']:.1f}x"
+            for name, s in ladder["strategies"].items()
+        )
+        print(f"compiled ladder (vs interp): {steps}")
 
 
 if __name__ == "__main__":

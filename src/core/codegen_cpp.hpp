@@ -37,10 +37,33 @@ enum class CppGenMode : std::uint8_t { Naive, Inlined, Lifted };
 /**
  * Generate a self-contained C++ translation unit for @p prog (a
  * software partition). @p class_name names the emitted class.
+ *
+ * Besides the partition class itself, the unit carries a fixed
+ * `extern "C"` ABI (`bcl_gen_*`) that lets a host harness drive the
+ * compiled partition through marshaled 32-bit words without sharing
+ * any C++ types with it: create/destroy, run_to_quiescence, push/pop
+ * on FIFO-kind primitives (the synchronizer halves of a partition),
+ * device-output drain, and transactional root-interface action-method
+ * calls. runtime/gencc.hpp is the in-tree consumer.
  */
 std::string generateCpp(const ElabProgram &prog,
                         const std::string &class_name,
                         CppGenMode mode = CppGenMode::Lifted);
+
+/** ABI revision emitted as bcl_gen_abi_version() (bumped whenever the
+ *  generated symbol contract changes incompatibly). */
+constexpr int kCppGenAbiVersion = 1;
+
+/**
+ * The payload type a device primitive (AudioDev / Bitmap) receives:
+ * deduced from the first `output` / `store` call targeting @p prim_id
+ * in any rule or method body, since device prims carry no element
+ * type of their own. Returns Bit#(32) when the device is never
+ * written (the historical default). Both the code generator and the
+ * gencc harness derive the device word layout from this one answer —
+ * the same single-source-of-truth trick the paper plays with Type.
+ */
+TypePtr devicePayloadType(const ElabProgram &prog, int prim_id);
 
 } // namespace bcl
 

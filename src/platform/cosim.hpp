@@ -38,15 +38,31 @@
 #include <string>
 #include <vector>
 
+#include "core/codegen_cpp.hpp"
 #include "core/partition.hpp"
 #include "hwsim/clocksim.hpp"
 #include "platform/channel.hpp"
 #include "runtime/exec.hpp"
+#include "runtime/gencc.hpp"
 
 namespace bcl {
 
 /** Execution discipline of a domain. */
 enum class DomainKind : std::uint8_t { Software, Hardware };
+
+/**
+ * How a software domain executes its rules:
+ *   Interpreted - RuleEngine over the reference interpreter (also the
+ *                 performance model; virtual time from modeled work),
+ *   Compiled    - generateCpp + host compiler + dlopen (the paper's
+ *                 actual software story; native speed, virtual time
+ *                 approximated per firing — see
+ *                 CosimConfig::swCompiledCyclesPerFiring).
+ * Functional results are identical either way (differential-tested);
+ * only wall-clock speed and the fidelity of reported cycle counts
+ * differ.
+ */
+enum class SwBackend : std::uint8_t { Interpreted, Compiled };
 
 /** Co-simulation parameters. */
 struct CosimConfig
@@ -68,6 +84,23 @@ struct CosimConfig
 
     /** Software scheduling strategy. */
     SwStrategy swStrategy = SwStrategy::Dataflow;
+
+    /** Execution backend for software domains (the config switch
+     *  between the interpreter and compiled shared objects). */
+    SwBackend swBackend = SwBackend::Interpreted;
+
+    /** Code-generation strategy when swBackend == Compiled. */
+    CppGenMode swGenMode = CppGenMode::Lifted;
+
+    /**
+     * Virtual-time charge (CPU cycles) per rule firing of a compiled
+     * software domain. Compiled execution does not model work — it IS
+     * the generated code running natively — so virtual time is
+     * approximated per firing. Latency-insensitive interfaces make
+     * functional results independent of this knob; only reported
+     * cycle counts move.
+     */
+    double swCompiledCyclesPerFiring = 200.0;
 
     /** Cost model applied to software partitions (calibration knobs;
      *  see docs/EXPERIMENTS.md). */
@@ -95,6 +128,36 @@ struct CosimConfig
     }
 };
 
+/**
+ * Backend-neutral handle a SwDriver uses to feed a software domain:
+ * the same driver closure works whether the domain runs interpreted
+ * or compiled. Only the operations a host "up the stack" legitimately
+ * has are exposed — transactional root-method calls and the domain's
+ * committed state (for compiled domains, the mirror Store that
+ * channel transports and done-predicates already read).
+ */
+class SwPort
+{
+  public:
+    virtual ~SwPort() = default;
+
+    /** Invoke a root-interface action method transactionally.
+     *  @return true when it committed. */
+    virtual bool callActionMethod(int meth_id,
+                                  const std::vector<Value> &args) = 0;
+
+    /** Modeled work consumed so far. Compiled domains do not model
+     *  work; they report 0 and drivers fall back to their own
+     *  per-call estimate. */
+    virtual std::uint64_t work() const = 0;
+
+    /** The domain's committed state (mirror Store when compiled). */
+    virtual Store &store() = 0;
+
+    /** The interpreter behind this port; nullptr when compiled. */
+    virtual Interp *interp() { return nullptr; }
+};
+
 /** Host-side input source driving a software partition. */
 struct SwDriver
 {
@@ -102,7 +165,7 @@ struct SwDriver
      * Try to make progress (e.g. push one frame through a root
      * method). Returns abstract work consumed; 0 = blocked or done.
      */
-    std::function<std::uint64_t(Interp &)> step;
+    std::function<std::uint64_t(SwPort &)> step;
 
     /** True when the driver has no more input to offer. */
     std::function<bool()> done;
@@ -128,8 +191,14 @@ class CoSim
     /** Store of a domain's partition. */
     Store &storeOf(const std::string &domain);
 
-    /** Interpreter of a software domain. */
+    /** Interpreter of a software domain (the mirror interpreter when
+     *  the domain runs compiled: its stats stay zero). */
     Interp &swInterp(const std::string &domain = "SW");
+
+    /** Compiled backend of a software domain; nullptr when the domain
+     *  runs interpreted. */
+    const CompiledPartition *swCompiled(
+        const std::string &domain = "SW") const;
 
     /** Hardware statistics of a hardware domain (nullptr if none). */
     const HwStats *hwStats(const std::string &domain) const;
@@ -151,9 +220,17 @@ class CoSim
     struct SwProc
     {
         std::string domain;
+        /**
+         * Committed state when interpreted; the *mirror* store when
+         * compiled: channel transports, done-predicates and drivers
+         * keep reading/writing it, and the slice loop exchanges its
+         * synchronizer/device queues with the shared object through
+         * the marshaled C ABI (sync-half stubs).
+         */
         std::unique_ptr<Store> store;
         std::unique_ptr<Interp> interp;
         std::unique_ptr<RuleEngine> engine;
+        std::unique_ptr<CompiledPartition> compiled;
         SwDriver driver;
         double time = 0;  ///< local virtual time, FPGA cycles
         bool driverBlocked = false;
@@ -168,6 +245,12 @@ class CoSim
     };
 
     bool sliceSoftware(SwProc &sw);
+    bool sliceSoftwareCompiled(SwProc &sw);
+    bool tryDriver(SwProc &sw, double work_to_cycles);
+    /** Mirror SyncRx deliveries into the shared object. */
+    bool feedCompiledInputs(SwProc &sw);
+    /** Mirror SyncTx/device output out of the shared object. */
+    bool drainCompiledOutputs(SwProc &sw);
     bool sliceHardware(HwProc &hw, std::uint64_t horizon);
     void pumpFrom(const std::string &domain, std::uint64_t time);
     bool deliverTo(const std::string &domain, std::uint64_t time);

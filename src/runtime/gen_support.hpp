@@ -9,11 +9,20 @@
  *     with the same guarded interfaces as the runtime primitives,
  *   - shadow copies with commit/rollback (the change-log discipline
  *     of section 6.1),
- *   - gen::GuardFail for the try/catch strategy of Figure 9.
+ *   - gen::GuardFail for the try/catch strategy of Figure 9,
+ *   - gen::BitWriter / gen::BitReader: the canonical little-endian
+ *     word-wise value layout (identical to core/value.hpp's
+ *     BitSink/BitCursor), used by the generated C ABI to exchange
+ *     marshaled messages with the host harness (runtime/gencc.hpp)
+ *     without either side linking the other's value representation.
  *
  * Values in generated code are plain structs/arrays (the data-format
  * problem of section 2.3 is solved by generating both sides from one
  * Type), so everything here is a template over the value type.
+ *
+ * Contract: this header must stay self-contained (standard library
+ * only) — generated translation units are compiled out of tree by the
+ * gencc harness with only -I<src> on the command line.
  */
 #ifndef BCL_RUNTIME_GEN_SUPPORT_HPP
 #define BCL_RUNTIME_GEN_SUPPORT_HPP
@@ -61,6 +70,7 @@ class Fifo
     bool canDeq() const { return !q.empty(); }
     bool notEmpty() const { return !q.empty(); }
     bool notFull() const { return canEnq(); }
+    std::size_t size() const { return q.size(); }
 
     void
     enq(const T &v)
@@ -103,6 +113,13 @@ class Bram
   public:
     explicit Bram(int size) : mem(static_cast<size_t>(size)) {}
 
+    /** Pre-initialized memory (table ROMs); padded with T{} to
+     *  @p size like the interpreter's zero fill. */
+    Bram(int size, std::vector<T> init) : mem(std::move(init))
+    {
+        mem.resize(static_cast<size_t>(size));
+    }
+
     const T &read(std::uint32_t addr) const { return mem.at(addr); }
     void write(std::uint32_t addr, const T &v) { mem.at(addr) = v; }
 
@@ -113,19 +130,139 @@ class Bram
     std::vector<T> mem;
 };
 
-/** Output device sink (AudioDev / Bitmap stand-in). */
+/**
+ * Output device sink (AudioDev / Bitmap stand-in). The host harness
+ * drains outputs through the generated C ABI (popFront), so the log
+ * is a queue, not an append-only vector; the cumulative output
+ * history lives host-side (mirrored into the domain's Store).
+ */
 template <typename T>
 class Device
 {
   public:
     void output(const T &v) { log.push_back(v); }
-    const std::vector<T> &data() const { return log; }
+    const std::deque<T> &data() const { return log; }
+    bool empty() const { return log.empty(); }
 
-    std::vector<T> shadow() const { return log; }
-    void rollback(const std::vector<T> &shadow) { log = shadow; }
+    /** Oldest undrained output (ABI pop; call only when !empty()). */
+    const T &front() const { return log.front(); }
+    void popFront() { log.pop_front(); }
+
+    std::deque<T> shadow() const { return log; }
+    void rollback(const std::deque<T> &shadow) { log = shadow; }
 
   private:
-    std::vector<T> log;
+    std::deque<T> log;
+};
+
+// ---------------------------------------------------------------------------
+// Canonical word-wise value layout (mirror of core BitSink/BitCursor).
+// ---------------------------------------------------------------------------
+
+/** Sign-extend the low @p width bits of @p raw (width in [1,64]). */
+inline std::int64_t
+sign_extend(std::uint64_t raw, int width)
+{
+    if (width >= 64)
+        return static_cast<std::int64_t>(raw);
+    std::uint64_t sign = 1ull << (width - 1);
+    std::uint64_t mask = (1ull << width) - 1;
+    raw &= mask;
+    return static_cast<std::int64_t>((raw ^ sign) - sign);
+}
+
+/**
+ * Writes a little-endian bit stream into a caller-provided word
+ * buffer (LSB of the first scalar is bit 0 of word 0) — the exact
+ * layout of marshalValue(). The buffer is zeroed on construction;
+ * writing past the end is silently dropped (the generated ABI checks
+ * word counts before packing, so overflow indicates a harness bug,
+ * not a data-dependent condition).
+ */
+class BitWriter
+{
+  public:
+    BitWriter(std::uint32_t *words, int nwords)
+        : words_(words), capBits_(static_cast<size_t>(nwords) * 32)
+    {
+        for (int i = 0; i < nwords; i++)
+            words_[i] = 0;
+    }
+
+    /** Append the low @p nbits of @p raw (nbits in [1,64]). */
+    void
+    put(std::uint64_t raw, int nbits)
+    {
+        if (nbits <= 0 || nbits > 64 || bits_ + static_cast<size_t>(nbits) > capBits_)
+            return;
+        if (nbits < 64)
+            raw &= (1ull << nbits) - 1;
+        size_t word = bits_ / 32;
+        int off = static_cast<int>(bits_ % 32);
+        words_[word] |= static_cast<std::uint32_t>(raw << off);
+        int taken = 32 - off;
+        if (nbits > taken) {
+            std::uint64_t rest = raw >> taken;
+            words_[word + 1] |= static_cast<std::uint32_t>(rest);
+            if (nbits > taken + 32)
+                words_[word + 2] |=
+                    static_cast<std::uint32_t>(rest >> 32);
+        }
+        bits_ += static_cast<size_t>(nbits);
+    }
+
+    /** Skip to the next 32-bit boundary (per-argument alignment). */
+    void alignWord() { bits_ = (bits_ + 31) & ~static_cast<size_t>(31); }
+
+    size_t bitCount() const { return bits_; }
+
+  private:
+    std::uint32_t *words_;
+    size_t capBits_;
+    size_t bits_ = 0;
+};
+
+/** Reads the BitWriter/BitSink layout back; inverse of BitWriter. */
+class BitReader
+{
+  public:
+    BitReader(const std::uint32_t *words, int nwords)
+        : words_(words), capBits_(static_cast<size_t>(nwords) * 32)
+    {
+    }
+
+    /** Consume @p nbits (in [1,64]); reads past the end yield 0. */
+    std::uint64_t
+    take(int nbits)
+    {
+        if (nbits <= 0 || nbits > 64 ||
+            pos_ + static_cast<size_t>(nbits) > capBits_)
+            return 0;
+        size_t word = pos_ / 32;
+        int off = static_cast<int>(pos_ % 32);
+        std::uint64_t out = words_[word] >> off;
+        int got = 32 - off;
+        if (nbits > got) {
+            out |= static_cast<std::uint64_t>(words_[word + 1]) << got;
+            if (nbits > got + 32)
+                out |= static_cast<std::uint64_t>(words_[word + 2])
+                       << (got + 32);
+        }
+        if (nbits < 64)
+            out &= (1ull << nbits) - 1;
+        pos_ += static_cast<size_t>(nbits);
+        return out;
+    }
+
+    /** Skip to the next 32-bit boundary (per-argument alignment). */
+    void alignWord() { pos_ = (pos_ + 31) & ~static_cast<size_t>(31); }
+
+    size_t bitPos() const { return pos_; }
+
+  private:
+    const std::uint32_t *words_;
+    size_t capBits_;
+    size_t pos_ = 0;
 };
 
 } // namespace gen

@@ -1,0 +1,311 @@
+#include "runtime/gencc.hpp"
+
+#include <dlfcn.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "common/logging.hpp"
+#include "core/typecheck.hpp"
+
+namespace bcl {
+
+namespace {
+
+/** The compiler the harness invokes (overridable via $CXX). */
+std::string
+compilerCommand()
+{
+    const char *cxx = std::getenv("CXX");
+    return cxx && *cxx ? cxx : "c++";
+}
+
+/** Include root holding runtime/gen_support.hpp. */
+std::string
+defaultIncludeDir()
+{
+#ifdef BCL_GENCC_INCLUDE_DIR
+    return BCL_GENCC_INCLUDE_DIR;
+#else
+    return "";
+#endif
+}
+
+std::string
+makeWorkDir()
+{
+    const char *tmp = std::getenv("TMPDIR");
+    std::string tmpl = std::string(tmp && *tmp ? tmp : "/tmp") +
+                       "/bcl_gencc_XXXXXX";
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    if (!mkdtemp(buf.data()))
+        fatal("gencc: cannot create scratch directory " + tmpl);
+    return std::string(buf.data());
+}
+
+std::string
+readAll(const std::string &path, size_t limit = 4000)
+{
+    std::ifstream in(path);
+    std::string line, all;
+    while (std::getline(in, line)) {
+        all += line + "\n";
+        if (all.size() > limit)
+            break;
+    }
+    return all.substr(0, limit);
+}
+
+} // namespace
+
+bool
+CompiledPartition::hostCompilerAvailable()
+{
+    static const bool available = [] {
+        std::string cmd =
+            compilerCommand() + " --version > /dev/null 2>&1";
+        return std::system(cmd.c_str()) == 0;
+    }();
+    return available;
+}
+
+CompiledPartition::CompiledPartition(const ElabProgram &prog,
+                                     GenccOptions opts)
+    : prog_(prog), opts_(std::move(opts))
+{
+    if (!hostCompilerAvailable())
+        fatal("gencc: no host C++ compiler ('" + compilerCommand() +
+              "') — guard call sites with hostCompilerAvailable()");
+    std::string inc = opts_.includeDir.empty() ? defaultIncludeDir()
+                                               : opts_.includeDir;
+    if (inc.empty())
+        fatal("gencc: include directory for runtime/gen_support.hpp "
+              "unknown; set GenccOptions::includeDir");
+    // The compile line runs through the shell; double quotes handle
+    // spaces, but quote/expansion metacharacters in a path would
+    // still break out — refuse them rather than misparse.
+    auto rejectMeta = [](const std::string &what,
+                         const std::string &s) {
+        if (s.find_first_of("\"$`\\") != std::string::npos)
+            fatal("gencc: " + what +
+                  " contains shell metacharacters: " + s);
+    };
+    rejectMeta("include directory", inc);
+
+    source_ = generateCpp(prog_, "BclGenPartition", opts_.mode);
+    dir_ = opts_.workDir.empty() ? makeWorkDir() : opts_.workDir;
+    rejectMeta("scratch directory", dir_);  // covers $TMPDIR too
+    std::filesystem::create_directories(dir_);
+
+    std::string cpp = dir_ + "/partition.cpp";
+    std::string so = dir_ + "/partition.so";
+    std::string log = dir_ + "/compile.log";
+    {
+        std::ofstream out(cpp);
+        out << source_;
+        if (!out)
+            fatal("gencc: cannot write " + cpp);
+    }
+
+    // -O2: the whole point is native-speed execution; the §6.3
+    // strategies differ in what they make the optimizer's job easy on.
+    // Paths are quoted — source trees and TMPDIRs with spaces must
+    // not split the shell command.
+    std::string cmd = compilerCommand() +
+                      " -std=c++20 -O2 -fPIC -shared -I\"" + inc +
+                      "\" " +
+                      (opts_.extraFlags.empty() ? ""
+                                                : opts_.extraFlags + " ") +
+                      "\"" + cpp + "\" -o \"" + so + "\" 2> \"" + log +
+                      "\"";
+    if (std::system(cmd.c_str()) != 0) {
+        fatal("gencc: generated partition failed to compile:\n" +
+              readAll(log) + "\n(command: " + cmd + ")");
+    }
+
+    dl_ = dlopen(so.c_str(), RTLD_NOW | RTLD_LOCAL);
+    if (!dl_)
+        fatal(std::string("gencc: dlopen failed: ") + dlerror());
+
+    auto resolve = [&](const char *name) -> void * {
+        void *sym = dlsym(dl_, name);
+        if (!sym)
+            fatal(std::string("gencc: generated object lacks symbol ") +
+                  name);
+        return sym;
+    };
+    auto *fnAbi = reinterpret_cast<int (*)()>(
+        resolve("bcl_gen_abi_version"));
+    if (fnAbi() != kCppGenAbiVersion) {
+        fatal("gencc: ABI version mismatch: harness " +
+              std::to_string(kCppGenAbiVersion) + ", generated " +
+              std::to_string(fnAbi()));
+    }
+    auto *fnCreate =
+        reinterpret_cast<void *(*)()>(resolve("bcl_gen_create"));
+    fnDestroy_ = reinterpret_cast<void (*)(void *)>(
+        resolve("bcl_gen_destroy"));
+    fnRun_ = reinterpret_cast<std::uint64_t (*)(void *)>(
+        resolve("bcl_gen_run"));
+    fnStat_ = reinterpret_cast<std::uint64_t (*)(void *, int)>(
+        resolve("bcl_gen_stat"));
+    fnPush_ = reinterpret_cast<int (*)(void *, int,
+                                       const std::uint32_t *, int)>(
+        resolve("bcl_gen_prim_push"));
+    fnPop_ =
+        reinterpret_cast<int (*)(void *, int, std::uint32_t *, int)>(
+            resolve("bcl_gen_prim_pop"));
+    fnDevPop_ =
+        reinterpret_cast<int (*)(void *, int, std::uint32_t *, int)>(
+            resolve("bcl_gen_dev_pop"));
+    fnCall_ = reinterpret_cast<int (*)(void *, int,
+                                       const std::uint32_t *, int)>(
+        resolve("bcl_gen_call_action"));
+    fnWords_ =
+        reinterpret_cast<int (*)(int)>(resolve("bcl_gen_payload_words"));
+
+    // Layout cross-check: the word count the generated side derived
+    // for every ABI-visible primitive must match the host's own
+    // derivation from the same Type — any drift here would corrupt
+    // every message silently.
+    for (const auto &prim : prog_.prims) {
+        int host_words = -1;
+        if (prim.kind == "Fifo" || prim.kind == "Sync" ||
+            prim.kind == "SyncTx" || prim.kind == "SyncRx") {
+            host_words = (prim.type->flatWidth() + 31) / 32;
+        } else if (prim.kind == "AudioDev") {
+            TypePtr t = devicePayloadType(prog_, prim.id);
+            deviceTypes_[prim.id] = t;
+            host_words = (t->flatWidth() + 31) / 32;
+        } else {
+            continue;
+        }
+        int gen_words = fnWords_(prim.id);
+        if (gen_words != host_words) {
+            fatal("gencc: marshaled layout mismatch on " + prim.path +
+                  ": generated side expects " +
+                  std::to_string(gen_words) + " words, host " +
+                  std::to_string(host_words));
+        }
+    }
+
+    inst_ = fnCreate();
+    if (!inst_)
+        fatal("gencc: bcl_gen_create returned null");
+}
+
+CompiledPartition::~CompiledPartition()
+{
+    if (inst_ && fnDestroy_)
+        fnDestroy_(inst_);
+    if (dl_)
+        dlclose(dl_);
+    if (!opts_.keepArtifacts && !dir_.empty()) {
+        std::error_code ec;
+        std::filesystem::remove_all(dir_, ec);
+    }
+}
+
+std::uint64_t
+CompiledPartition::runToQuiescence()
+{
+    return fnRun_(inst_);
+}
+
+std::uint64_t
+CompiledPartition::rulesFired() const
+{
+    return fnStat_(inst_, 0);
+}
+
+std::uint64_t
+CompiledPartition::rulesAttempted() const
+{
+    return fnStat_(inst_, 1);
+}
+
+bool
+CompiledPartition::pushPrim(int prim_id, const Value &v)
+{
+    BitSink sink;
+    v.packWords(sink);
+    std::vector<std::uint32_t> words = sink.takeWords();
+    int rc = fnPush_(inst_, prim_id, words.data(),
+                     static_cast<int>(words.size()));
+    if (rc < 0) {
+        panic("gencc: prim_push(" + std::to_string(prim_id) +
+              ") rejected with " + std::to_string(rc) +
+              " (id unknown or word count mismatch)");
+    }
+    return rc == 1;
+}
+
+Value
+CompiledPartition::popValue(int prim_id, const TypePtr &type,
+                            bool device, bool &ok)
+{
+    int nwords = (type->flatWidth() + 31) / 32;
+    std::vector<std::uint32_t> words(
+        static_cast<size_t>(nwords > 0 ? nwords : 1));
+    int rc = device ? fnDevPop_(inst_, prim_id, words.data(), nwords)
+                    : fnPop_(inst_, prim_id, words.data(), nwords);
+    if (rc < 0) {
+        panic("gencc: pop(" + std::to_string(prim_id) +
+              ") rejected with " + std::to_string(rc) +
+              " (id unknown or word count mismatch)");
+    }
+    ok = rc == 1;
+    if (!ok)
+        return Value();
+    BitCursor cursor(words.data(), static_cast<size_t>(nwords));
+    return type->unpackWords(cursor);
+}
+
+bool
+CompiledPartition::popPrim(int prim_id, Value &out)
+{
+    const ElabPrim &p = prog_.prims[static_cast<size_t>(prim_id)];
+    bool ok = false;
+    out = popValue(prim_id, p.type, false, ok);
+    return ok;
+}
+
+bool
+CompiledPartition::popDevice(int prim_id, Value &out)
+{
+    auto it = deviceTypes_.find(prim_id);
+    if (it == deviceTypes_.end())
+        panic("gencc: popDevice on non-device prim " +
+              std::to_string(prim_id));
+    bool ok = false;
+    out = popValue(prim_id, it->second, true, ok);
+    return ok;
+}
+
+bool
+CompiledPartition::callActionMethod(int meth_id,
+                                    const std::vector<Value> &args)
+{
+    // Per-argument marshaling, each argument starting on a word
+    // boundary (the generated unpacker aligns between arguments).
+    std::vector<std::uint32_t> words;
+    for (const Value &a : args) {
+        BitSink sink;
+        a.packWords(sink);
+        std::vector<std::uint32_t> part = sink.takeWords();
+        words.insert(words.end(), part.begin(), part.end());
+    }
+    int rc = fnCall_(inst_, meth_id, words.data(),
+                     static_cast<int>(words.size()));
+    if (rc < 0) {
+        panic("gencc: call_action(" + std::to_string(meth_id) +
+              ") rejected with " + std::to_string(rc) +
+              " (id unknown or word count mismatch)");
+    }
+    return rc == 1;
+}
+
+} // namespace bcl

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Compiled-execution backend for software partitions (section 6 of
+ * the paper made real): take a single-domain ElabProgram, run it
+ * through generateCpp(), hand the translation unit to the host C++
+ * compiler as a shared object, dlopen it, and drive it through the
+ * generated `bcl_gen_*` C ABI.
+ *
+ * This is the missing half of the paper's claim that software
+ * partitions are *compiled* — rules become member functions with
+ * shadow/commit/rollback and a static schedule driver — where the
+ * interpreter (runtime/interp.hpp) is only the semantic reference
+ * and performance model. Differential tests pin the two against each
+ * other bit for bit (tests/test_codegen_exec.cpp).
+ *
+ * All data crosses the host/compiled boundary as marshaled 32-bit
+ * words in the canonical Value layout (core BitSink / generated
+ * gen::BitWriter), so the harness and the shared object share no C++
+ * types — the same single-source-of-truth answer the paper gives to
+ * the section 2.3 data-format problem.
+ *
+ * Contract: the ElabProgram must outlive the CompiledPartition and
+ * must be a valid generateCpp() input (single-domain, typechecked).
+ * Construction fatals when no host compiler is available — callers
+ * that want to degrade gracefully check hostCompilerAvailable()
+ * first. One CompiledPartition owns one live instance of the
+ * generated class; all calls are single-threaded.
+ */
+#ifndef BCL_RUNTIME_GENCC_HPP
+#define BCL_RUNTIME_GENCC_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/codegen_cpp.hpp"
+#include "core/elaborate.hpp"
+
+namespace bcl {
+
+/** Build options for a compiled partition. */
+struct GenccOptions
+{
+    /** Generation strategy (the §6.3 cost ladder). */
+    CppGenMode mode = CppGenMode::Lifted;
+
+    /** Scratch directory; "" creates a unique one under TMPDIR. */
+    std::string workDir;
+
+    /** Keep the generated .cpp/.so/compile log on destruction. */
+    bool keepArtifacts = false;
+
+    /**
+     * Include root for runtime/gen_support.hpp; "" uses the source
+     * tree the harness itself was built from.
+     */
+    std::string includeDir;
+
+    /** Extra flags appended to the compile command (e.g. "-O0 -g"). */
+    std::string extraFlags;
+};
+
+/**
+ * One software partition compiled to native code and loaded into the
+ * process. Mirrors the engine surface exec.hpp exposes (run to
+ * quiescence, external pokes arrive as pushPrim calls) plus the
+ * host-driver entry points CoSim needs.
+ */
+class CompiledPartition
+{
+  public:
+    /** True when a host C++ compiler responds on this machine
+     *  (cached after the first call). */
+    static bool hostCompilerAvailable();
+
+    CompiledPartition(const ElabProgram &prog,
+                      GenccOptions opts = {});
+    ~CompiledPartition();
+
+    CompiledPartition(const CompiledPartition &) = delete;
+    CompiledPartition &operator=(const CompiledPartition &) = delete;
+
+    /**
+     * Run the generated static schedule until no rule can fire.
+     * @return rules fired by this call.
+     */
+    std::uint64_t runToQuiescence();
+
+    /**
+     * Enqueue @p v into FIFO-kind primitive @p prim_id (Fifo / Sync /
+     * SyncTx / SyncRx) — the harness side of a channel delivery.
+     * @return false when the FIFO is full.
+     */
+    bool pushPrim(int prim_id, const Value &v);
+
+    /**
+     * Dequeue the head of FIFO-kind primitive @p prim_id into @p out
+     * — the harness side of a channel pickup.
+     * @return false when empty.
+     */
+    bool popPrim(int prim_id, Value &out);
+
+    /** Drain one output of device primitive @p prim_id (AudioDev).
+     *  @return false when no undrained output remains. */
+    bool popDevice(int prim_id, Value &out);
+
+    /**
+     * Invoke root-interface action method @p meth_id transactionally
+     * (same all-or-nothing contract as Interp::callActionMethod).
+     * @return true when it committed.
+     */
+    bool callActionMethod(int meth_id, const std::vector<Value> &args);
+
+    /** Cumulative rule firings inside the shared object. */
+    std::uint64_t rulesFired() const;
+
+    /** Cumulative rule attempts (schedule slots tried). */
+    std::uint64_t rulesAttempted() const;
+
+    const ElabProgram &program() const { return prog_; }
+
+    /** The generated translation unit (for tests/diagnostics). */
+    const std::string &source() const { return source_; }
+
+    /** Where the .cpp/.so/compile log live. */
+    const std::string &artifactDir() const { return dir_; }
+
+  private:
+    Value popValue(int prim_id, const TypePtr &type, bool device,
+                   bool &ok);
+
+    const ElabProgram &prog_;
+    GenccOptions opts_;
+    /** Device payload types, resolved once at load (deriving one is
+     *  a whole-program scan — see devicePayloadType). */
+    std::map<int, TypePtr> deviceTypes_;
+    std::string source_;
+    std::string dir_;
+    void *dl_ = nullptr;
+    void *inst_ = nullptr;
+
+    // Resolved ABI entry points.
+    std::uint64_t (*fnRun_)(void *) = nullptr;
+    std::uint64_t (*fnStat_)(void *, int) = nullptr;
+    int (*fnPush_)(void *, int, const std::uint32_t *, int) = nullptr;
+    int (*fnPop_)(void *, int, std::uint32_t *, int) = nullptr;
+    int (*fnDevPop_)(void *, int, std::uint32_t *, int) = nullptr;
+    int (*fnCall_)(void *, int, const std::uint32_t *, int) = nullptr;
+    int (*fnWords_)(int) = nullptr;
+    void (*fnDestroy_)(void *) = nullptr;
+};
+
+} // namespace bcl
+
+#endif // BCL_RUNTIME_GENCC_HPP

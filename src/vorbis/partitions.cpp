@@ -93,21 +93,21 @@ runVorbisPartition(VorbisPartition p, int frames,
     std::vector<std::vector<Fix32>> inputs = makeFrames(frames, seed);
     size_t fed = 0;
     SwDriver driver;
-    driver.step = [&](Interp &interp) -> std::uint64_t {
+    driver.step = [&](SwPort &port) -> std::uint64_t {
         if (fed >= inputs.size())
             return 0;
         std::vector<Value> elems;
         elems.reserve(kFrameIn);
         for (Fix32 s : inputs[fed])
             elems.push_back(fixValue(s));
-        std::uint64_t before = interp.stats().work;
-        if (interp.callActionMethod(push,
-                                    {Value::makeVec(std::move(elems))})) {
+        std::uint64_t before = port.work();
+        if (port.callActionMethod(push,
+                                  {Value::makeVec(std::move(elems))})) {
             fed++;
             // Front-end framing cost: the frame was produced by the
             // (hand-written) front end; pushing it costs the method
             // call work already counted, plus loop bookkeeping.
-            return interp.stats().work - before + kFrameIn;
+            return port.work() - before + kFrameIn;
         }
         return 0;
     };
@@ -125,6 +125,12 @@ runVorbisPartition(VorbisPartition p, int frames,
     res.swRulesFired = cosim.swInterp().stats().rulesFired;
     res.swRulesAttempted = cosim.swInterp().stats().rulesAttempted;
     res.swShadowCopies = cosim.swInterp().stats().shadowCopies;
+    if (const CompiledPartition *cp = cosim.swCompiled()) {
+        // Compiled backend: firings counted inside the shared object;
+        // work is not modeled there.
+        res.swRulesFired = cp->rulesFired();
+        res.swRulesAttempted = cp->rulesAttempted();
+    }
     for (const auto &v : cosim.storeOf("SW").at(audio).queue) {
         for (const auto &s : v.elems())
             res.pcm.push_back(static_cast<std::int32_t>(s.asInt()));

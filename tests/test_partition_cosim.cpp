@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include "common/logging.hpp"
+#include "common/rng.hpp"
 #include "core/builder.hpp"
 #include "core/domains.hpp"
 #include "core/elaborate.hpp"
@@ -189,14 +190,14 @@ cosimRun(const std::vector<std::int64_t> &inputs,
 
     size_t fed = 0;
     SwDriver driver;
-    driver.step = [&](Interp &interp) -> std::uint64_t {
+    driver.step = [&](SwPort &port) -> std::uint64_t {
         if (fed >= inputs.size())
             return 0;
-        std::uint64_t before = interp.stats().work;
-        if (interp.callActionMethod(
+        std::uint64_t before = port.work();
+        if (port.callActionMethod(
                 push, {Value::makeInt(32, inputs[fed])})) {
             fed++;
-            return interp.stats().work - before + 1;
+            return port.work() - before + 1;
         }
         return 0;
     };
@@ -268,14 +269,14 @@ TEST(CoSim, ThroughputBenefitsFromSyncCapacityPipelining)
         int out_prim = sw.prog.primByPath("out");
         size_t fed = 0;
         SwDriver driver;
-        driver.step = [&](Interp &interp) -> std::uint64_t {
+        driver.step = [&](SwPort &port) -> std::uint64_t {
             if (fed >= inputs.size())
                 return 0;
-            std::uint64_t before = interp.stats().work;
-            if (interp.callActionMethod(
+            std::uint64_t before = port.work();
+            if (port.callActionMethod(
                     push, {Value::makeInt(32, inputs[fed])})) {
                 fed++;
-                return interp.stats().work - before + 1;
+                return port.work() - before + 1;
             }
             return 0;
         };
@@ -315,13 +316,13 @@ TEST(CoSim, DeadlockIsReportedNotHung)
     int out_prim = sw.prog.primByPath("out");
     bool pushed = false;
     SwDriver driver;
-    driver.step = [&](Interp &interp) -> std::uint64_t {
+    driver.step = [&](SwPort &port) -> std::uint64_t {
         if (pushed)
             return 0;
-        std::uint64_t before = interp.stats().work;
-        if (interp.callActionMethod(push, {Value::makeInt(32, 1)})) {
+        std::uint64_t before = port.work();
+        if (port.callActionMethod(push, {Value::makeInt(32, 1)})) {
             pushed = true;
-            return interp.stats().work - before + 1;
+            return port.work() - before + 1;
         }
         return 0;
     };
@@ -402,6 +403,95 @@ TEST(Marshal, RoundTripsEveryShapeInCanonicalWordCount)
     std::vector<std::uint32_t> owords = marshalValue(ov);
     EXPECT_EQ(owords.size(), 2u);  // 38 bits -> 2 words
     EXPECT_EQ(demarshalValue(odd, owords), ov);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized marshal round-trip: generated types and values, not just
+// the hand-picked shapes above. Seeded (common/rng.hpp) so failures
+// reproduce exactly.
+// ---------------------------------------------------------------------------
+
+TypePtr
+randomType(Rng &rng, int depth)
+{
+    // Leaves get more likely as depth grows; at depth 0 only leaves.
+    std::uint64_t pick = rng.below(depth > 0 ? 4 : 2);
+    switch (pick) {
+      case 0:
+        return Type::bits(static_cast<int>(rng.below(64)) + 1);
+      case 1:
+        return Type::boolean();
+      case 2:
+        return Type::vec(static_cast<int>(rng.below(4)) + 1,
+                         randomType(rng, depth - 1));
+      default: {
+        int nfields = static_cast<int>(rng.below(4)) + 1;
+        std::vector<std::pair<std::string, TypePtr>> fields;
+        for (int i = 0; i < nfields; i++) {
+            fields.emplace_back("f" + std::to_string(i),
+                                randomType(rng, depth - 1));
+        }
+        return Type::record("", std::move(fields));
+      }
+    }
+}
+
+Value
+randomValue(Rng &rng, const TypePtr &t)
+{
+    if (t->isBool())
+        return Value::makeBool(rng.chance(0.5));
+    if (t->isBits())
+        return Value::makeBits(t->width(), rng.next());
+    if (t->isVec()) {
+        std::vector<Value> elems;
+        for (int i = 0; i < t->vecSize(); i++)
+            elems.push_back(randomValue(rng, t->elem()));
+        return Value::makeVec(std::move(elems));
+    }
+    std::vector<std::pair<std::string, Value>> fields;
+    for (const auto &[name, ft] : t->fields())
+        fields.emplace_back(name, randomValue(rng, ft));
+    return Value::makeStruct(std::move(fields));
+}
+
+TEST(Marshal, RandomizedRoundTripIsBitExact)
+{
+    Rng rng(0x4A55u);
+    for (int iter = 0; iter < 500; iter++) {
+        TypePtr t = randomType(rng, 3);
+        Value v = randomValue(rng, t);
+        std::vector<std::uint32_t> words = marshalValue(v);
+        ASSERT_EQ(static_cast<int>(words.size()),
+                  (t->flatWidth() + 31) / 32)
+            << "canonical sizing violated for " << t->str();
+        Value back = demarshalValue(t, words);
+        ASSERT_EQ(back, v)
+            << "round-trip mismatch for " << t->str() << ": "
+            << v.str() << " vs " << back.str();
+    }
+}
+
+TEST(Marshal, RandomizedTruncatedPrefixesAndExcessAreRejected)
+{
+    Rng rng(0x7A75u);
+    for (int iter = 0; iter < 200; iter++) {
+        TypePtr t = randomType(rng, 2);
+        Value v = randomValue(rng, t);
+        std::vector<std::uint32_t> words = marshalValue(v);
+        // EVERY strict prefix must be diagnosed, not just size-1.
+        for (size_t keep = 0; keep < words.size(); keep++) {
+            std::vector<std::uint32_t> prefix(words.begin(),
+                                              words.begin() + keep);
+            EXPECT_THROW(demarshalValue(t, prefix), PanicError)
+                << t->str() << " with " << keep << "/" << words.size()
+                << " words";
+        }
+        std::vector<std::uint32_t> excess = words;
+        excess.push_back(0);
+        EXPECT_THROW(demarshalValue(t, excess), PanicError)
+            << t->str();
+    }
 }
 
 TEST(Marshal, ShortWordStreamIsRejectedWithDiagnostic)

@@ -176,17 +176,17 @@ TEST(VorbisPartition, CombIfftMatchesPipelinedIfft)
     auto inputs = makeFrames(frames);
     size_t fed = 0;
     SwDriver driver;
-    driver.step = [&](Interp &interp) -> std::uint64_t {
+    driver.step = [&](SwPort &port) -> std::uint64_t {
         if (fed >= inputs.size())
             return 0;
         std::vector<Value> elems;
         for (Fix32 s : inputs[fed])
             elems.push_back(fixValue(s));
-        std::uint64_t before = interp.stats().work;
-        if (interp.callActionMethod(push,
-                                    {Value::makeVec(std::move(elems))})) {
+        std::uint64_t before = port.work();
+        if (port.callActionMethod(push,
+                                  {Value::makeVec(std::move(elems))})) {
             fed++;
-            return interp.stats().work - before + kFrameIn;
+            return port.work() - before + kFrameIn;
         }
         return 0;
     };
