@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Parallel co-simulation scaling sweep: every Vorbis partitioning
+ * (Figure 12's six letters plus the per-stage split that puts IMDCT,
+ * IFFT and Window in three separate hardware domains) and every
+ * ray-tracer partitioning (Figure 14's four letters plus the
+ * per-engine split) is run under CosimConfig::threads in {1, 2, ...,
+ * hardware_concurrency}, measuring wall-clock per run and verifying
+ * that outputs are byte-identical to the threads=1 run — the LIBDN
+ * latency-insensitivity guarantee is what licenses running domains
+ * concurrently at all (section 4.4).
+ *
+ * The lettered partitionings have two domains, so their speedup caps
+ * near 1x (plus barrier overhead); the split configurations have four
+ * domains and are the scaling workloads. Speedups are physical — on a
+ * single-core host every configuration reports ~1x and the sweep
+ * degenerates to a correctness + overhead measurement (the recorded
+ * hardware_concurrency says which regime produced the numbers).
+ *
+ * Usage: cosim_parallel [--frames N] [--ray-size W] [--json FILE]
+ * --json emits the sweep for scripts/bench_report.py to fold into
+ * BENCH_runtime.json.
+ */
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "core/domains.hpp"
+#include "ray/partitions.hpp"
+#include "vorbis/partitions.hpp"
+
+using namespace bcl;
+
+namespace {
+
+struct RunPoint
+{
+    int threads = 0;
+    double wallMs = 0;
+    std::uint64_t fpgaCycles = 0;
+    bool outputsMatch = true;
+};
+
+struct WorkloadResult
+{
+    std::string name;
+    int domains = 0;
+    std::vector<RunPoint> runs;
+
+    double
+    speedupAt(int threads) const
+    {
+        double base = 0, at = 0;
+        for (const RunPoint &r : runs) {
+            if (r.threads == 1)
+                base = r.wallMs;
+            if (r.threads == threads)
+                at = r.wallMs;
+        }
+        return (base > 0 && at > 0) ? base / at : 0;
+    }
+
+    /** Best speedup among threads>1 runs — the threads=1 baseline is
+     *  excluded so a parallel-engine slowdown reads as < 1 instead
+     *  of being floored at 1.0. */
+    double
+    bestSpeedup() const
+    {
+        double best = 0;
+        for (const RunPoint &r : runs) {
+            if (r.threads > 1)
+                best = std::max(best, speedupAt(r.threads));
+        }
+        return best;
+    }
+};
+
+std::vector<int>
+threadSweep()
+{
+    unsigned hc = std::thread::hardware_concurrency();
+    std::vector<int> sweep{1, 2};
+    for (int t = 4; t <= static_cast<int>(hc); t *= 2)
+        sweep.push_back(t);
+    if (hc > 2 &&
+        std::find(sweep.begin(), sweep.end(), static_cast<int>(hc)) ==
+            sweep.end())
+        sweep.push_back(static_cast<int>(hc));
+    return sweep;
+}
+
+/** Distinct domains of a vorbis config ("SW" + its HW domains). */
+int
+vorbisDomains(const vorbis::VorbisConfig &cfg)
+{
+    return 1 + static_cast<int>(
+                   distinctHwDomains(
+                       {cfg.imdctDom, cfg.ifftDom, cfg.winDom})
+                       .size());
+}
+
+int
+rayDomains(const ray::RayConfig &cfg)
+{
+    return 1 + static_cast<int>(
+                   distinctHwDomains(
+                       {cfg.travDom, cfg.boxDom, cfg.geomDom})
+                       .size());
+}
+
+template <typename RunFn, typename OutputOf>
+WorkloadResult
+sweepWorkload(const std::string &name, int domains, RunFn run,
+              OutputOf output_of)
+{
+    WorkloadResult res;
+    res.name = name;
+    res.domains = domains;
+    bool have_ref = false;
+    decltype(output_of(run(1))) ref{};
+    for (int threads : threadSweep()) {
+        // Warm-up pass (allocator, code paths), then the timed pass.
+        run(threads);
+        auto t0 = std::chrono::steady_clock::now();
+        auto r = run(threads);
+        auto t1 = std::chrono::steady_clock::now();
+        RunPoint pt;
+        pt.threads = threads;
+        pt.wallMs =
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        pt.fpgaCycles = r.fpgaCycles;
+        if (!have_ref) {
+            ref = output_of(r);
+            have_ref = true;
+        } else {
+            pt.outputsMatch = output_of(r) == ref;
+        }
+        res.runs.push_back(pt);
+    }
+    return res;
+}
+
+void
+writeJson(const std::string &path,
+          const std::vector<WorkloadResult> &results)
+{
+    std::ofstream out(path);
+    out << "{\n  \"hardware_concurrency\": "
+        << std::thread::hardware_concurrency() << ",\n"
+        << "  \"workloads\": [\n";
+    for (size_t i = 0; i < results.size(); i++) {
+        const WorkloadResult &w = results[i];
+        out << "    {\"name\": \"" << w.name
+            << "\", \"domains\": " << w.domains << ", \"runs\": [";
+        for (size_t j = 0; j < w.runs.size(); j++) {
+            const RunPoint &r = w.runs[j];
+            out << (j ? ", " : "") << "{\"threads\": " << r.threads
+                << ", \"wall_ms\": " << r.wallMs
+                << ", \"fpga_cycles\": " << r.fpgaCycles
+                << ", \"outputs_match\": "
+                << (r.outputsMatch ? "true" : "false") << "}";
+        }
+        out << "], \"best_speedup\": " << w.bestSpeedup() << "}"
+            << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int frames = 16;
+    int ray_size = 10;
+    int ray_prims = 64;
+    std::string json_path;
+    for (int i = 1; i < argc; i++) {
+        if (std::strcmp(argv[i], "--frames") == 0 && i + 1 < argc)
+            frames = std::atoi(argv[++i]);
+        else if (std::strcmp(argv[i], "--ray-size") == 0 &&
+                 i + 1 < argc)
+            ray_size = std::atoi(argv[++i]);
+        else if (std::strcmp(argv[i], "--ray-prims") == 0 &&
+                 i + 1 < argc)
+            ray_prims = std::atoi(argv[++i]);
+        else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+            json_path = argv[++i];
+    }
+
+    std::printf("== Parallel co-simulation scaling sweep ==\n");
+    std::printf("hardware_concurrency: %u; vorbis frames: %d; "
+                "ray: %dx%d/%d prims\n\n",
+                std::thread::hardware_concurrency(), frames, ray_size,
+                ray_size, ray_prims);
+
+    std::vector<WorkloadResult> results;
+
+    // --- Vorbis ---------------------------------------------------------
+    std::vector<std::pair<std::string, vorbis::VorbisConfig>> vcfgs;
+    for (vorbis::VorbisPartition p : vorbis::allVorbisPartitions()) {
+        vcfgs.emplace_back(
+            std::string("vorbis_") + vorbis::partitionName(p),
+            vorbis::partitionConfig(p));
+    }
+    vcfgs.emplace_back("vorbis_split", vorbis::splitVorbisConfig());
+
+    for (const auto &[name, vcfg] : vcfgs) {
+        results.push_back(sweepWorkload(
+            name, vorbisDomains(vcfg),
+            [&](int threads) {
+                CosimConfig cfg;
+                cfg.threads = threads;
+                return vorbis::runVorbisConfig(vcfg, frames, &cfg);
+            },
+            [](const vorbis::VorbisRunResult &r) { return r.pcm; }));
+    }
+
+    // --- Ray tracer -----------------------------------------------------
+    std::vector<std::pair<std::string, ray::RayConfig>> rcfgs;
+    for (ray::RayPartition p : ray::allRayPartitions()) {
+        rcfgs.emplace_back(
+            std::string("ray_") + ray::rayPartitionName(p),
+            ray::rayPartitionConfig(p, ray_size, ray_size));
+    }
+    rcfgs.emplace_back("ray_split",
+                       ray::splitRayConfig(ray_size, ray_size));
+
+    for (const auto &[name, rcfg] : rcfgs) {
+        results.push_back(sweepWorkload(
+            name, rayDomains(rcfg),
+            [&](int threads) {
+                CosimConfig cfg;
+                cfg.threads = threads;
+                return ray::runRayConfig(rcfg, ray_prims, &cfg);
+            },
+            [](const ray::RayRunResult &r) { return r.pixels; }));
+    }
+
+    // --- report ---------------------------------------------------------
+    TextTable table;
+    table.header({"workload", "domains", "threads", "wall ms",
+                  "speedup", "outputs"});
+    bool all_match = true;
+    for (const WorkloadResult &w : results) {
+        for (const RunPoint &r : w.runs) {
+            all_match &= r.outputsMatch;
+            table.row({w.name, std::to_string(w.domains),
+                       std::to_string(r.threads),
+                       fixedDecimal(r.wallMs, 2),
+                       fixedDecimal(w.speedupAt(r.threads), 2),
+                       r.outputsMatch ? "match" : "MISMATCH"});
+        }
+    }
+    std::printf("%s\n", table.str().c_str());
+    std::printf("outputs byte-identical across all thread counts: "
+                "%s\n",
+                all_match ? "yes" : "NO — LIBDN VIOLATION");
+
+    if (!json_path.empty())
+        writeJson(json_path, results);
+    return all_match ? 0 : 1;
+}

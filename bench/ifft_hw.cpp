@@ -89,7 +89,7 @@ runVariant(bool pipelined, int frames)
         cycles++;
         PrimState &out = store.at(out_q);
         while (!out.queue.empty()) {
-            out.queue.erase(out.queue.begin());
+            out.queue.pop_front();
             subs_out++;
         }
     }

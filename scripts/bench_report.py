@@ -10,6 +10,11 @@ Runs the built benchmarks and merges their machine-readable output:
   - strategy_compare --json: the section 6.3 compiled-execution cost
     ladder (interpreter vs generated Naive/Inlined/Lifted C++, all
     bit-exact), skipped when no host compiler is available,
+  - cosim_parallel --json: parallel co-simulation scaling — wall-clock
+    and speedup per thread count over every Vorbis/ray partitioning
+    including the >=3-domain per-stage splits, with the host's
+    hardware_concurrency recorded so single-core runs read as the
+    overhead measurements they are,
   - sw_runtime_opts (Google Benchmark, optional): scheduling/lifting/
     sequentialization ablations with wall-clock per run.
 
@@ -70,6 +75,33 @@ def run_strategy_compare(build_dir, frames):
         if os.path.getsize(tmp_path) == 0:
             # The bench exits 0 without writing JSON when no host
             # compiler is available.
+            return None
+        with open(tmp_path) as f:
+            return json.load(f)
+    finally:
+        os.unlink(tmp_path)
+
+
+def run_cosim_parallel(build_dir, frames):
+    """Parallel co-simulation scaling sweep (thread counts over every
+    Vorbis/ray partitioning incl. the >=3-domain splits). Speedups
+    are physical: on a single-core runner they sit near 1x — read
+    them against the recorded hardware_concurrency."""
+    exe = os.path.join(build_dir, "cosim_parallel")
+    if not os.path.exists(exe):
+        return None
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        tmp_path = tmp.name
+    try:
+        try:
+            subprocess.run(
+                [exe, "--frames", str(frames), "--json", tmp_path],
+                check=True,
+                stdout=subprocess.DEVNULL,
+            )
+        except subprocess.CalledProcessError as err:
+            print(f"warning: {exe} failed ({err}); omitting scaling",
+                  file=sys.stderr)
             return None
         with open(tmp_path) as f:
             return json.load(f)
@@ -138,6 +170,10 @@ def main():
     ladder = run_strategy_compare(args.build_dir, args.frames)
     if ladder is not None:
         report["strategy_compare"] = ladder
+    scaling = run_cosim_parallel(args.build_dir,
+                                 min(args.frames, 16))
+    if scaling is not None:
+        report["cosim_parallel"] = scaling
     ablations = run_sw_runtime_opts(args.build_dir)
     if ablations is not None:
         report["sw_runtime_opts"] = ablations
@@ -159,6 +195,17 @@ def main():
             for name, s in ladder["strategies"].items()
         )
         print(f"compiled ladder (vs interp): {steps}")
+    if scaling is not None:
+        splits = {
+            w["name"]: w["best_speedup"]
+            for w in scaling["workloads"]
+            if w["domains"] >= 3
+        }
+        line = ", ".join(f"{n} {s:.2f}x" for n, s in splits.items())
+        print(
+            f"parallel cosim (hc={scaling['hardware_concurrency']}): "
+            f"{line}"
+        )
 
 
 if __name__ == "__main__":

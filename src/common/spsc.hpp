@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Bounded single-producer / single-consumer queue (Lamport ring).
+ *
+ * The parallel co-simulation moves channel messages between domain
+ * worker threads through this ring: the producer domain's thread is
+ * the only pusher, the consumer domain's thread the only popper, so
+ * a pair of acquire/release indices is the entire synchronization —
+ * no locks on the message path.
+ *
+ * Contract: at most one thread calls push() and at most one thread
+ * calls front()/pop() concurrently. The two MAY be the same thread
+ * (the sequential co-simulation uses the ring as a plain FIFO).
+ * Capacity is fixed at construction and rounded up to a power of
+ * two; push() on a full ring returns false and commits nothing.
+ * size() is exact when either side is quiesced (or single-threaded)
+ * and a conservative snapshot while racing.
+ */
+#ifndef BCL_COMMON_SPSC_HPP
+#define BCL_COMMON_SPSC_HPP
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace bcl {
+
+template <typename T>
+class SpscQueue
+{
+  public:
+    /** Ring holding at least @p min_capacity elements. */
+    explicit SpscQueue(size_t min_capacity)
+    {
+        size_t cap = 2;
+        while (cap < min_capacity)
+            cap *= 2;
+        slots_.resize(cap);
+    }
+
+    SpscQueue(const SpscQueue &) = delete;
+    SpscQueue &operator=(const SpscQueue &) = delete;
+
+    /** Usable element capacity. */
+    size_t capacity() const { return slots_.size(); }
+
+    /**
+     * Producer side: enqueue @p v.
+     * @return false when the ring is full. The argument is consumed
+     * either way (it was moved into the parameter), so a caller that
+     * could see false must not retry with the same object — size the
+     * ring so rejection is impossible (the channel transports bound
+     * in-flight occupancy by capacity and treat false as a panic).
+     */
+    bool
+    push(T v)
+    {
+        const size_t tail = tail_.load(std::memory_order_relaxed);
+        const size_t head = head_.load(std::memory_order_acquire);
+        if (tail - head >= slots_.size())
+            return false;
+        slots_[tail & (slots_.size() - 1)] = std::move(v);
+        tail_.store(tail + 1, std::memory_order_release);
+        return true;
+    }
+
+    /**
+     * Consumer side: the oldest element, or nullptr when empty. The
+     * pointer stays valid until the matching pop(); the consumer may
+     * mutate the element through it (e.g. move the payload out).
+     */
+    T *
+    front()
+    {
+        const size_t head = head_.load(std::memory_order_relaxed);
+        const size_t tail = tail_.load(std::memory_order_acquire);
+        if (head == tail)
+            return nullptr;
+        return &slots_[head & (slots_.size() - 1)];
+    }
+
+    /** Const peek at the oldest element (consumer-side read). */
+    const T *
+    front() const
+    {
+        const size_t head = head_.load(std::memory_order_relaxed);
+        const size_t tail = tail_.load(std::memory_order_acquire);
+        if (head == tail)
+            return nullptr;
+        return &slots_[head & (slots_.size() - 1)];
+    }
+
+    /** Consumer side: drop the oldest element (front() must have
+     *  returned non-null since the last pop). */
+    void
+    pop()
+    {
+        const size_t head = head_.load(std::memory_order_relaxed);
+        // Release the slot for reuse before publishing: the producer
+        // may overwrite it as soon as head_ advances.
+        slots_[head & (slots_.size() - 1)] = T();
+        head_.store(head + 1, std::memory_order_release);
+    }
+
+    /** Elements currently queued (see class comment for the racing
+     *  semantics). */
+    size_t
+    size() const
+    {
+        const size_t tail = tail_.load(std::memory_order_acquire);
+        const size_t head = head_.load(std::memory_order_acquire);
+        return tail - head;
+    }
+
+    bool empty() const { return size() == 0; }
+
+  private:
+    std::vector<T> slots_;
+    std::atomic<size_t> head_{0};  ///< next slot to pop (consumer)
+    std::atomic<size_t> tail_{0};  ///< next slot to fill (producer)
+};
+
+} // namespace bcl
+
+#endif // BCL_COMMON_SPSC_HPP

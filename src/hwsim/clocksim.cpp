@@ -46,6 +46,20 @@ ClockSim::cycle()
 }
 
 std::uint64_t
+ClockSim::stepCycles(std::uint64_t budget, std::uint64_t &fired)
+{
+    std::uint64_t used = 0;
+    while (used < budget) {
+        used++;
+        int f = cycle();
+        fired += static_cast<std::uint64_t>(f);
+        if (f == 0)
+            break;
+    }
+    return used;
+}
+
+std::uint64_t
 ClockSim::run(std::uint64_t max_cycles)
 {
     std::uint64_t used = 0;

@@ -60,6 +60,18 @@ class ClockSim
      */
     std::uint64_t run(std::uint64_t max_cycles);
 
+    /**
+     * Externally paced stepping: clock up to @p budget cycles,
+     * stopping after the first idle cycle. Unlike run(), the caller
+     * owns the clock — the co-simulation paces bursts of cycles
+     * against virtual time and polls channels between bursts, so a
+     * partition never free-runs past in-flight deliveries. @p fired
+     * accumulates rules fired across the burst.
+     * @return cycles consumed (the trailing idle cycle included).
+     */
+    std::uint64_t stepCycles(std::uint64_t budget,
+                             std::uint64_t &fired);
+
     /** True when the last cycle() fired nothing. */
     bool idle() const { return lastFired == 0; }
 

@@ -9,6 +9,10 @@ BusParams::embeddedLocalLink()
     p.requestLatency = 34;
     p.perMessageOverhead = 14;
     p.perWordCycles = 1;
+    // Must match the BusParams default (this 1024 once silently
+    // disagreed with a 256 header default, making the §7 streaming
+    // numbers depend on which constructor a caller reached the
+    // parameters through).
     p.maxBurstWords = 1024;
     return p;
 }

@@ -17,6 +17,7 @@
 #define BCL_PLATFORM_BUS_HPP
 
 #include <cstdint>
+#include <mutex>
 
 namespace bcl {
 
@@ -32,8 +33,18 @@ struct BusParams
     /** Cycles per 32-bit beat once streaming. */
     std::uint64_t perWordCycles = 1;
 
-    /** Largest single burst; longer messages are split. */
-    int maxBurstWords = 256;
+    /**
+     * Largest single burst (header word included); longer messages
+     * are split and pay perMessageOverhead once per burst. 1024
+     * words (one HDMA descriptor ring page) is what the §7
+     * calibration needs: a 512-word streaming message then moves at
+     * ~388 MB/s, the paper's "up to 400 megabytes per second" —
+     * splitting at 256 caps streaming at ~349 MB/s. This default and
+     * embeddedLocalLink() must agree (they once silently disagreed,
+     * 256 vs 1024); a unit test pins both the agreement and the
+     * occupancyCycles split boundary.
+     */
+    int maxBurstWords = 1024;
 
     /** The embedded PPC440/LocalLink configuration (paper default). */
     static BusParams embeddedLocalLink();
@@ -63,6 +74,16 @@ struct BusParams
  * occupies the wire at a time (virtual channels queue *before* the
  * arbiter, so a blocked channel never blocks others - no head-of-line
  * blocking, section 4.4).
+ *
+ * Thread safety: every operation takes the arbiter's lock. In the
+ * parallel co-simulation each arbiter is keyed by (from-domain,
+ * to-domain), so exactly one worker thread pumps through it
+ * mid-epoch — the lock's real job is ordering that producer's
+ * grants against the coordinator's barrier-time reads
+ * (freeTime/busy/grantCount and the barrier channel sweep's own
+ * pumps), and future-proofing any topology that does share a
+ * direction between producers. See "Parallel co-simulation" in
+ * docs/ARCHITECTURE.md.
  */
 class LinkArbiter
 {
@@ -74,6 +95,7 @@ class LinkArbiter
     std::uint64_t
     acquire(std::uint64_t ready, std::uint64_t occupancy)
     {
+        std::lock_guard<std::mutex> lock(mu_);
         std::uint64_t start = ready > freeAt ? ready : freeAt;
         freeAt = start + occupancy;
         busyCycles += occupancy;
@@ -82,15 +104,31 @@ class LinkArbiter
     }
 
     /** Earliest time a new transfer could start. */
-    std::uint64_t freeTime() const { return freeAt; }
+    std::uint64_t
+    freeTime() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return freeAt;
+    }
 
     /** Total cycles the wire was occupied. */
-    std::uint64_t busy() const { return busyCycles; }
+    std::uint64_t
+    busy() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return busyCycles;
+    }
 
     /** Number of messages granted. */
-    std::uint64_t grantCount() const { return grants; }
+    std::uint64_t
+    grantCount() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return grants;
+    }
 
   private:
+    mutable std::mutex mu_;
     std::uint64_t freeAt = 0;
     std::uint64_t busyCycles = 0;
     std::uint64_t grants = 0;

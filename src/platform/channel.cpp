@@ -7,12 +7,29 @@ namespace bcl {
 ChannelTransport::ChannelTransport(const ChannelSpec &spec,
                                    Store &tx_store, Store &rx_store,
                                    LinkArbiter &link_arb,
-                                   const BusParams &bus_params)
+                                   const BusParams &bus_params,
+                                   bool threaded)
     : spec_(spec), txStore(tx_store), rxStore(rx_store), link(link_arb),
-      bus(bus_params)
+      bus(bus_params), threaded_(threaded),
+      // Credits bound in-flight occupancy by the synchronizer
+      // capacity, so the ring can never be asked to hold more.
+      ring_(static_cast<size_t>(spec.capacity > 0 ? spec.capacity : 1))
 {
     if (spec_.txPrim < 0 || spec_.rxPrim < 0)
         panic("channel '" + spec_.name + "' endpoints unresolved");
+}
+
+int
+ChannelTransport::rxCreditsFree() const
+{
+    if (threaded_) {
+        // Producer side must not read the consumer's live queue; the
+        // atomic charge (conservatively) stands in for it.
+        return spec_.capacity - charged_.load(std::memory_order_acquire);
+    }
+    const PrimState &rx = rxStore.at(spec_.rxPrim);
+    return spec_.capacity - static_cast<int>(rx.queue.size()) -
+           static_cast<int>(ring_.size());
 }
 
 void
@@ -23,21 +40,54 @@ ChannelTransport::pump(std::uint64_t now)
     while (!tx.queue.empty()) {
         if (rxCreditsFree() <= 0) {
             // Consumer full: leave staged; producer back-pressure
-            // propagates through the SyncTx guard.
-            stats_.stallCycles++;
+            // propagates through the SyncTx guard. Accrue the
+            // deferral incrementally — elapsed cycles since the last
+            // poll, never per-attempt counts (same-time polls charge
+            // zero) — so a stall still open when the simulation ends
+            // is charged up to the last pump rather than dropped.
+            if (!stalled_) {
+                stalled_ = true;
+                stats_.stallEvents++;
+            } else {
+                stats_.stallCycles += now - stalledSince_;
+            }
+            stalledSince_ = now;
             break;
         }
+        if (stalled_) {
+            stats_.stallCycles += now - stalledSince_;
+            stalled_ = false;
+        }
         Value msg = tx.queue.front();
-        // Marshaling happens here conceptually; the word count drives
-        // the timing. (Values cross the model by structure, the
-        // bit-exactness of marshal/demarshal is covered by tests.)
         int words = spec_.payloadWords;
         std::uint64_t occupancy = bus.occupancyCycles(words);
         std::uint64_t start = link.acquire(now, occupancy);
         std::uint64_t arrive = start + occupancy + bus.requestLatency;
 
-        tx.queue.erase(tx.queue.begin());
-        inflight.push_back({std::move(msg), arrive});
+        tx.queue.pop_front();
+        InFlight f;
+        f.deliverAt = arrive;
+        if (threaded_) {
+            // Marshal for real: COW Values share representation with
+            // whatever the producer still holds, and Value's
+            // uniqueness gate is not a cross-thread synchronization
+            // point — only plain words may cross to the consumer.
+            f.words = marshalValue(msg);
+        } else {
+            // Sequentially the structure crosses directly; the word
+            // count above still drives the timing, and marshal
+            // bit-exactness is covered by its own tests.
+            f.msg = std::move(msg);
+        }
+        if (threaded_)
+            charged_.fetch_add(1, std::memory_order_acq_rel);
+        if (!ring_.push(std::move(f))) {
+            // Unreachable while the credit invariant holds: in-flight
+            // count never exceeds capacity <= ring capacity.
+            panic("channel '" + spec_.name +
+                  "': in-flight ring overflow (credit accounting "
+                  "violated)");
+        }
         stats_.messages++;
         stats_.payloadWords += static_cast<std::uint64_t>(words);
     }
@@ -46,25 +96,42 @@ ChannelTransport::pump(std::uint64_t now)
 bool
 ChannelTransport::deliver(std::uint64_t now)
 {
+    PrimState &rx = rxStore.at(spec_.rxPrim);
+    if (threaded_) {
+        // Consumer end: fold the queue drain observed since the last
+        // call back into the credit charge.
+        size_t sz = rx.queue.size();
+        if (sz < lastRxSize_) {
+            charged_.fetch_sub(static_cast<int>(lastRxSize_ - sz),
+                               std::memory_order_acq_rel);
+        }
+        lastRxSize_ = sz;
+    }
     bool any = false;
-    while (!inflight.empty() && inflight.front().deliverAt <= now) {
-        PrimState &rx = rxStore.at(spec_.rxPrim);
+    while (InFlight *f = ring_.front()) {
+        if (f->deliverAt > now)
+            break;
         if (static_cast<int>(rx.queue.size()) >= spec_.capacity)
             panic("channel '" + spec_.name +
                   "': credit accounting violated (rx overflow)");
-        rx.queue.push_back(std::move(inflight.front().msg));
-        inflight.pop_front();
+        if (threaded_) {
+            rx.queue.push_back(
+                demarshalValue(spec_.msgType, f->words));
+        } else {
+            rx.queue.push_back(std::move(f->msg));
+        }
+        ring_.pop();
         any = true;
     }
+    if (threaded_)
+        lastRxSize_ = rx.queue.size();
     return any;
 }
 
 std::uint64_t
 ChannelTransport::nextEventAt() const
 {
-    std::uint64_t next = std::numeric_limits<std::uint64_t>::max();
-    if (!inflight.empty())
-        next = inflight.front().deliverAt;
+    std::uint64_t next = nextArrivalAt();
     const PrimState &tx = txStore.at(spec_.txPrim);
     if (!tx.queue.empty() && rxCreditsFree() > 0) {
         std::uint64_t pickup =
@@ -79,7 +146,7 @@ ChannelTransport::nextEventAt() const
 bool
 ChannelTransport::busy() const
 {
-    return !inflight.empty() ||
+    return !ring_.empty() ||
            !txStore.at(spec_.txPrim).queue.empty();
 }
 

@@ -14,6 +14,25 @@
  * shared LinkArbiter this gives the LIBDN no-deadlock /
  * no-head-of-line-blocking property.
  *
+ * Threading: the transport has two ends with disjoint owners. pump()
+ * belongs to the producer domain, deliver()/nextArrivalAt() to the
+ * consumer domain; in-flight messages cross between them over a
+ * bounded SPSC ring (common/spsc.hpp) and credits over an atomic
+ * counter, so in the parallel co-simulation the two domain worker
+ * threads touch the transport lock-free (the LinkArbiter, shared per
+ * link direction, is the only lock on the path). In threaded mode
+ * messages cross the ring as *marshaled words* — precisely what the
+ * physical channel does — so no COW Value payload is ever shared
+ * between domain threads (Value's in-place-mutation gate is not a
+ * synchronization point); the consumer rebuilds the Value from the
+ * canonical layout, which tests pin as a bit-exact round trip. In sequential mode
+ * (threaded=false) credits are computed from the live consumer queue
+ * exactly as the single-threaded co-simulation always has, so cycle
+ * accounting is bit-stable against history. Mixed-end views
+ * (nextEventAt(), busy()) are only valid when both domains are
+ * quiesced — the co-simulation calls them single-threaded or at
+ * epoch barriers.
+ *
  * Contract: channels deliver every message exactly once, in order,
  * after a bus-model delay; they never overflow the consumer half
  * (credit check before pickup). Functional behavior of a partitioned
@@ -23,10 +42,11 @@
 #ifndef BCL_PLATFORM_CHANNEL_HPP
 #define BCL_PLATFORM_CHANNEL_HPP
 
+#include <atomic>
 #include <cstdint>
-#include <deque>
 #include <limits>
 
+#include "common/spsc.hpp"
 #include "core/partition.hpp"
 #include "platform/bus.hpp"
 #include "platform/marshal.hpp"
@@ -34,12 +54,21 @@
 
 namespace bcl {
 
-/** Traffic counters of one channel. */
+/** Traffic counters of one channel (written by the producer end). */
 struct ChannelStats
 {
     std::uint64_t messages = 0;
     std::uint64_t payloadWords = 0;
-    std::uint64_t stallCycles = 0;  ///< pickup deferred for credit
+    /** Cycles pickups sat deferred for credit: each deferral episode
+     *  is charged the virtual time that actually elapsed between the
+     *  pump that first found the consumer full and the latest pump
+     *  (accrued incrementally, so a stall still open at simulation
+     *  end is counted). Historically this counted deferred pump
+     *  *attempts*, which over- or under-stated congestion depending
+     *  on how often the scheduler polled. */
+    std::uint64_t stallCycles = 0;
+    /** Distinct deferral episodes (attempts collapse into one). */
+    std::uint64_t stallEvents = 0;
 };
 
 /** Runtime transport for one logical channel (one direction). */
@@ -52,29 +81,44 @@ class ChannelTransport
      * @param rx_store Store of the consumer partition.
      * @param link Shared per-direction arbiter.
      * @param bus Timing parameters.
+     * @param threaded Producer and consumer run on different worker
+     *        threads: credits go through the atomic charge counter
+     *        instead of reading the consumer queue directly.
      */
     ChannelTransport(const ChannelSpec &spec, Store &tx_store,
                      Store &rx_store, LinkArbiter &link,
-                     const BusParams &bus);
+                     const BusParams &bus, bool threaded = false);
 
     /**
-     * Pick up messages staged in the producer half at time @p now:
-     * marshal, acquire the link, and put them in flight. Safe to call
-     * repeatedly with non-decreasing @p now.
+     * Producer end. Pick up messages staged in the producer half at
+     * time @p now: marshal, acquire the link, and put them in flight.
+     * Safe to call repeatedly with non-decreasing @p now.
      */
     void pump(std::uint64_t now);
 
     /**
-     * Move messages whose arrival time has passed into the consumer
-     * half. @return true when at least one message was delivered.
+     * Consumer end. Move messages whose arrival time has passed into
+     * the consumer half. @return true when at least one message was
+     * delivered.
      */
     bool deliver(std::uint64_t now);
 
+    /** Consumer end: earliest in-flight arrival, or UINT64_MAX. */
+    std::uint64_t
+    nextArrivalAt() const
+    {
+        const InFlight *f = ring_.front();
+        return f ? f->deliverAt
+                 : std::numeric_limits<std::uint64_t>::max();
+    }
+
     /** Earliest pending event (arrival or deferred pickup), or
-     *  UINT64_MAX when nothing is pending. */
+     *  UINT64_MAX when nothing is pending. Both-ends view: only
+     *  valid single-threaded / at an epoch barrier. */
     std::uint64_t nextEventAt() const;
 
-    /** Messages staged or in flight? */
+    /** Messages staged or in flight? (Both-ends view — see
+     *  nextEventAt.) */
     bool busy() const;
 
     const ChannelSpec &spec() const { return spec_; }
@@ -83,24 +127,45 @@ class ChannelTransport
   private:
     struct InFlight
     {
+        /** Payload by structure (sequential mode only). */
         Value msg;
-        std::uint64_t deliverAt;
+        /** Payload as canonical marshaled words (threaded mode only:
+         *  the two domain threads must share no Value state). */
+        std::vector<std::uint32_t> words;
+        std::uint64_t deliverAt = 0;
     };
 
-    int
-    rxCreditsFree() const
-    {
-        const PrimState &rx = rxStore.at(spec_.rxPrim);
-        return spec_.capacity - static_cast<int>(rx.queue.size()) -
-               static_cast<int>(inflight.size());
-    }
+    int rxCreditsFree() const;
 
     ChannelSpec spec_;
     Store &txStore;
     Store &rxStore;
     LinkArbiter &link;
     BusParams bus;
-    std::deque<InFlight> inflight;
+    bool threaded_;
+
+    SpscQueue<InFlight> ring_;
+
+    /**
+     * Threaded-mode credit charge: messages counted against the
+     * consumer's capacity (in flight + believed still in the consumer
+     * queue). The producer increments at pickup; the consumer
+     * decrements as it observes its queue drain (deliver() entry).
+     * The observation lags the actual drain, so the charge is always
+     * conservative — the rx-overflow panic in deliver() stays a hard
+     * invariant under threading.
+     */
+    std::atomic<int> charged_{0};
+    /** Consumer-side memo of the last observed rx queue size. */
+    size_t lastRxSize_ = 0;
+
+    // Producer-side deferral episode being accrued (stall fix:
+    // charge deferred *cycles*, not pump attempts). stalledSince_ is
+    // the last poll that charged, so open episodes accrue as they
+    // are observed.
+    bool stalled_ = false;
+    std::uint64_t stalledSince_ = 0;
+
     std::uint64_t lastPumpTime = 0;
     ChannelStats stats_;
 };

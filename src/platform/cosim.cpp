@@ -1,7 +1,11 @@
 #include "platform/cosim.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <barrier>
+#include <exception>
 #include <limits>
+#include <thread>
 
 #include "common/logging.hpp"
 
@@ -56,9 +60,30 @@ class CompiledPort final : public SwPort
 
 } // namespace
 
+namespace {
+
+/** Worker threads the config asks for (0 = one per core). */
+int
+requestedThreads(const CosimConfig &cfg)
+{
+    if (cfg.threads == 0) {
+        unsigned hc = std::thread::hardware_concurrency();
+        return static_cast<int>(hc > 0 ? hc : 1);
+    }
+    return cfg.threads < 1 ? 1 : cfg.threads;
+}
+
+} // namespace
+
 CoSim::CoSim(const PartitionResult &parts, CosimConfig config)
     : cfg(std::move(config))
 {
+    // Parallel execution needs at least two domains to overlap; with
+    // one domain (or threads == 1) the exact sequential loop runs and
+    // transports stay in their historical direct-read credit mode.
+    parallel_ =
+        requestedThreads(cfg) > 1 && parts.parts.size() > 1;
+
     for (const auto &part : parts.parts) {
         if (cfg.kindOf(part.domain) == DomainKind::Software) {
             SwProc p;
@@ -93,7 +118,7 @@ CoSim::CoSim(const PartitionResult &parts, CosimConfig config)
         }
         transports.push_back(std::make_unique<ChannelTransport>(
             chan, storeOf(chan.fromDomain), storeOf(chan.toDomain),
-            *it->second, cfg.bus));
+            *it->second, cfg.bus, parallel_));
     }
 }
 
@@ -202,6 +227,22 @@ CoSim::nextChannelEvent() const
     return next;
 }
 
+std::uint64_t
+CoSim::nextDeliveryTo(const std::string &domain) const
+{
+    std::uint64_t next = std::numeric_limits<std::uint64_t>::max();
+    for (const auto &t : transports) {
+        if (t->spec().toDomain != domain)
+            continue;
+        // Mid-epoch a worker may only read its own (consumer) end of
+        // the transport; the sequential loop keeps the historical
+        // both-ends view, deferred pickups included.
+        next = std::min(next, parallel_ ? t->nextArrivalAt()
+                                        : t->nextEventAt());
+    }
+    return next;
+}
+
 /**
  * Try the host driver once; true when it made progress. The driver
  * sees the domain through a backend-appropriate SwPort.
@@ -289,9 +330,7 @@ CoSim::feedCompiledInputs(SwProc &sw)
                sw.compiled->pushPrim(prim.id, queue[accepted]))
             accepted++;
         if (accepted > 0) {
-            queue.erase(queue.begin(),
-                        queue.begin() +
-                            static_cast<std::ptrdiff_t>(accepted));
+            queue.pop_front(accepted);
             moved = true;
         }
     }
@@ -368,6 +407,15 @@ CoSim::sliceSoftwareCompiled(SwProc &sw)
 bool
 CoSim::sliceHardware(HwProc &hw, std::uint64_t horizon)
 {
+    // Parallel mode amortizes per-cycle overhead: the worker clocks
+    // the simulator in externally paced bursts (ClockSim::stepCycles)
+    // and polls channels between bursts. Observing a delivery a few
+    // cycles late is yet another link-timing perturbation, which
+    // LIBDN makes functionally invisible; the sequential engine keeps
+    // the historical cycle-by-cycle polling so its reported cycle
+    // counts stay bit-stable.
+    constexpr std::uint64_t kHwBurst = 8;
+
     bool progress = false;
     // The slice always attempts at least one cycle, and an *active*
     // partition keeps clocking past the horizon until its internal
@@ -378,9 +426,15 @@ CoSim::sliceHardware(HwProc &hw, std::uint64_t horizon)
         pumpFrom(hw.domain, hw.time);
         if (deliverTo(hw.domain, hw.time))
             progress = true;
-        int fired = hw.sim->cycle();
-        hw.time++;
-        active = fired > 0;
+        std::uint64_t fired = 0;
+        if (parallel_) {
+            hw.time += hw.sim->stepCycles(kHwBurst, fired);
+            active = !hw.sim->idle();
+        } else {
+            fired = static_cast<std::uint64_t>(hw.sim->cycle());
+            hw.time++;
+            active = fired > 0;
+        }
         if (fired > 0) {
             progress = true;
             pumpFrom(hw.domain, hw.time);
@@ -390,11 +444,7 @@ CoSim::sliceHardware(HwProc &hw, std::uint64_t horizon)
             break;
         // Idle inside the horizon: jump to the next delivery
         // addressed to us (or stop).
-        std::uint64_t next = std::numeric_limits<std::uint64_t>::max();
-        for (const auto &t : transports) {
-            if (t->spec().toDomain == hw.domain)
-                next = std::min(next, t->nextEventAt());
-        }
+        std::uint64_t next = nextDeliveryTo(hw.domain);
         if (next == std::numeric_limits<std::uint64_t>::max() ||
             next >= horizon) {
             break;
@@ -406,6 +456,12 @@ CoSim::sliceHardware(HwProc &hw, std::uint64_t horizon)
 
 std::uint64_t
 CoSim::run(const std::function<bool(CoSim &)> &done)
+{
+    return parallel_ ? runParallel(done) : runSequential(done);
+}
+
+std::uint64_t
+CoSim::runSequential(const std::function<bool(CoSim &)> &done)
 {
     while (!done(*this)) {
         if (now() > cfg.maxFpgaCycles)
@@ -465,6 +521,225 @@ CoSim::run(const std::function<bool(CoSim &)> &done)
               "messages in flight, and the completion predicate is "
               "not satisfied");
     }
+    return now();
+}
+
+std::uint64_t
+CoSim::domainTime(const std::string &domain) const
+{
+    for (const auto &p : swProcs) {
+        if (p.domain == domain)
+            return static_cast<std::uint64_t>(p.time);
+    }
+    for (const auto &p : hwProcs) {
+        if (p.domain == domain)
+            return p.time;
+    }
+    panic("domainTime: no domain '" + domain + "'");
+}
+
+/**
+ * Epoch-barrier channel sweep (single-threaded; all workers parked):
+ * land every due arrival, refresh credit observations, restart
+ * deferred pickups, and poke consumers that received messages — the
+ * deliveries a worker performed mid-epoch poked its own engine, but
+ * messages arriving at the barrier need this sweep's pokes to keep
+ * quiescence detection honest. Deterministic: transports are visited
+ * in construction (channel id) order.
+ */
+bool
+CoSim::sweepChannels()
+{
+    std::uint64_t picked_before = 0;
+    for (const auto &t : transports)
+        picked_before += t->stats().messages;
+
+    bool delivered_any = false;
+    for (auto &t : transports) {
+        if (!t->deliver(domainTime(t->spec().toDomain)))
+            continue;
+        delivered_any = true;
+        for (auto &sw : swProcs) {
+            if (sw.domain == t->spec().toDomain) {
+                sw.engine->poke();
+                sw.driverBlocked = false;
+            }
+        }
+    }
+    for (auto &t : transports)
+        t->pump(domainTime(t->spec().fromDomain));
+
+    std::uint64_t picked_after = 0;
+    for (const auto &t : transports)
+        picked_after += t->stats().messages;
+    return delivered_any || picked_after != picked_before;
+}
+
+/**
+ * The parallel engine: one worker per domain (round-robin when
+ * domains outnumber threads), epoch barriers at swQuantum
+ * granularity. Within an epoch each worker advances only its own
+ * partitions and touches only its own ends of the channel
+ * transports; between epochs the coordinating thread (the caller)
+ * sweeps channels, evaluates the completion predicate, recomputes
+ * the hardware horizon and handles quiescence — exactly the duties
+ * the sequential loop performs inline. Worker exceptions are
+ * captured and rethrown here after an orderly shutdown.
+ */
+std::uint64_t
+CoSim::runParallel(const std::function<bool(CoSim &)> &done)
+{
+    struct ProcRef
+    {
+        SwProc *sw = nullptr;
+        HwProc *hw = nullptr;
+    };
+    std::vector<ProcRef> procs;
+    for (auto &p : swProcs)
+        procs.push_back({&p, nullptr});
+    for (auto &p : hwProcs)
+        procs.push_back({nullptr, &p});
+
+    const int W = std::min<int>(requestedThreads(cfg),
+                                static_cast<int>(procs.size()));
+
+    // Two-phase epoch protocol: coordinator publishes the horizon and
+    // releases the start barrier; workers slice their domains and
+    // meet at the end barrier; the coordinator then owns everything
+    // until the next start. std::barrier is cyclic, so the same pair
+    // serves every epoch.
+    std::barrier<> startBarrier(W + 1);
+    std::barrier<> endBarrier(W + 1);
+    std::atomic<bool> stop{false};
+    std::atomic<bool> anyProgress{false};
+    std::uint64_t horizon = 1;  // barrier-ordered: coordinator writes
+                                // between epochs, workers read within
+    std::vector<std::exception_ptr> errors(
+        static_cast<size_t>(W));
+
+    auto worker = [&](int w) {
+        for (;;) {
+            startBarrier.arrive_and_wait();
+            if (stop.load(std::memory_order_acquire))
+                return;
+            try {
+                bool progress = false;
+                for (size_t i = static_cast<size_t>(w);
+                     i < procs.size(); i += static_cast<size_t>(W)) {
+                    if (procs[i].sw)
+                        progress |= sliceSoftware(*procs[i].sw);
+                    else
+                        progress |= sliceHardware(*procs[i].hw, horizon);
+                }
+                if (progress)
+                    anyProgress.store(true, std::memory_order_relaxed);
+            } catch (...) {
+                if (!errors[static_cast<size_t>(w)])
+                    errors[static_cast<size_t>(w)] =
+                        std::current_exception();
+            }
+            endBarrier.arrive_and_wait();
+        }
+    };
+
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<size_t>(W));
+    for (int w = 0; w < W; w++)
+        workers.emplace_back(worker, w);
+
+    bool shut = false;
+    auto shutdown = [&] {
+        if (shut)
+            return;
+        shut = true;
+        stop.store(true, std::memory_order_release);
+        startBarrier.arrive_and_wait();
+        for (auto &t : workers)
+            t.join();
+        // Compiled partitions were driven (and thread-bound) by their
+        // workers; hand them back so the caller can keep using them.
+        for (auto &sw : swProcs) {
+            if (sw.compiled)
+                sw.compiled->rebindThread();
+        }
+    };
+
+    std::string failure;
+    std::exception_ptr workerError;
+    try {
+        for (;;) {
+            // Coordinator-owned window: workers are parked at the
+            // start barrier, so predicates may read any store.
+            if (done(*this))
+                break;
+            if (now() > cfg.maxFpgaCycles) {
+                failure = "co-simulation exceeded maxFpgaCycles";
+                break;
+            }
+
+            horizon = 1;
+            for (auto &sw : swProcs) {
+                horizon = std::max(
+                    horizon, static_cast<std::uint64_t>(sw.time) + 1);
+            }
+            std::uint64_t chan_next = nextChannelEvent();
+            if (chan_next !=
+                std::numeric_limits<std::uint64_t>::max())
+                horizon = std::max(horizon, chan_next + 1);
+
+            anyProgress.store(false, std::memory_order_relaxed);
+            startBarrier.arrive_and_wait();
+            // ... workers run one epoch ...
+            endBarrier.arrive_and_wait();
+
+            for (auto &e : errors) {
+                if (e) {
+                    workerError = e;
+                    break;
+                }
+            }
+            if (workerError)
+                break;
+
+            bool swept = sweepChannels();
+            if (anyProgress.load(std::memory_order_relaxed) || swept)
+                continue;
+
+            // Nothing ran anywhere. Advance every process to the next
+            // channel event and retry (mirrors the sequential loop).
+            std::uint64_t next = nextChannelEvent();
+            if (next != std::numeric_limits<std::uint64_t>::max()) {
+                for (auto &sw : swProcs) {
+                    if (sw.time < static_cast<double>(next + 1))
+                        sw.time = static_cast<double>(next + 1);
+                    sw.engine->poke();
+                    sw.driverBlocked = false;
+                }
+                for (auto &hw : hwProcs) {
+                    if (hw.time < next + 1)
+                        hw.time = next + 1;
+                }
+                sweepChannels();
+                continue;
+            }
+
+            if (done(*this))
+                break;
+            failure =
+                "co-simulation deadlock: all partitions quiescent, "
+                "no messages in flight, and the completion predicate "
+                "is not satisfied";
+            break;
+        }
+    } catch (...) {
+        shutdown();
+        throw;
+    }
+    shutdown();
+    if (workerError)
+        std::rethrow_exception(workerError);
+    if (!failure.empty())
+        fatal(failure);
     return now();
 }
 

@@ -21,6 +21,19 @@
  * only within a pipeline batch, never functional results. Tests
  * verify bit-identical outputs across all partitionings of a program.
  *
+ * Parallelism (CosimConfig::threads): with threads > 1 every
+ * partition advances on its own worker thread, synchronized by epoch
+ * barriers at the swQuantum granularity; channel messages cross
+ * between workers over thread-safe SPSC transports. The LIBDN
+ * latency-insensitivity guarantee is exactly what makes this
+ * semantics-preserving — domains may race ahead of each other
+ * arbitrarily and functional outputs cannot change. threads == 1
+ * takes the historical single-threaded loop bit for bit (outputs,
+ * firing counts AND reported cycle counts); threads > 1 keeps
+ * outputs and firing counts bit-identical while reported cycle
+ * counts may shift within an epoch. See "Parallel co-simulation" in
+ * docs/ARCHITECTURE.md.
+ *
  * Contract: construct from a PartitionResult whose parts/channels are
  * untouched since partitionProgram(); the cosim owns one engine per
  * partition and advances them in virtual time until the caller's done
@@ -107,8 +120,21 @@ struct CosimConfig
     CostModel swCosts;
 
     /** Max software rule firings per slice before hardware catches
-     *  up (bounds virtual-time skew). */
+     *  up (bounds virtual-time skew). In parallel mode this is also
+     *  the epoch granularity between barriers. */
     int swQuantum = 64;
+
+    /**
+     * Worker threads for the co-simulation. 1 (default) runs the
+     * exact historical single-threaded loop. >1 runs each partition
+     * on a worker thread (domains are distributed round-robin when
+     * there are more domains than threads), synchronized by epoch
+     * barriers. 0 = one thread per domain up to
+     * std::thread::hardware_concurrency(). Outputs and firing counts
+     * are identical in every mode; cycle counts can shift within an
+     * epoch at threads > 1.
+     */
+    int threads = 1;
 
     /** Hard stop for the whole co-simulation. */
     std::uint64_t maxFpgaCycles = 1ull << 40;
@@ -158,7 +184,18 @@ class SwPort
     virtual Interp *interp() { return nullptr; }
 };
 
-/** Host-side input source driving a software partition. */
+/**
+ * Host-side input source driving a software partition.
+ *
+ * Threading contract: in parallel co-simulation step() runs on the
+ * owning domain's worker thread (never concurrently with itself),
+ * while done() and the CoSim::run completion predicate run on the
+ * coordinating thread at epoch barriers. Closures touching shared
+ * host state (input cursors, result buffers) need no locks as long
+ * as that state is only used by this driver and the completion
+ * predicate — the epoch barrier orders them — but must not touch
+ * other domains' engines or stores.
+ */
 struct SwDriver
 {
     /**
@@ -255,8 +292,22 @@ class CoSim
     void pumpFrom(const std::string &domain, std::uint64_t time);
     bool deliverTo(const std::string &domain, std::uint64_t time);
     std::uint64_t nextChannelEvent() const;
+    /** Next delivery addressed to @p domain (consumer-end view in
+     *  parallel mode; both-ends view otherwise). */
+    std::uint64_t nextDeliveryTo(const std::string &domain) const;
+
+    /** The single-threaded virtual-time loop (threads == 1). */
+    std::uint64_t runSequential(const std::function<bool(CoSim &)> &done);
+    /** One worker per domain, epoch barriers (threads > 1). */
+    std::uint64_t runParallel(const std::function<bool(CoSim &)> &done);
+    /** Barrier-time channel sweep; true when any message moved. */
+    bool sweepChannels();
+    std::uint64_t domainTime(const std::string &domain) const;
 
     CosimConfig cfg;
+    /** True when run() executes the epoch-parallel engine; fixed at
+     *  construction so transports are built thread-safe. */
+    bool parallel_ = false;
     std::vector<SwProc> swProcs;
     std::vector<HwProc> hwProcs;
     std::vector<std::unique_ptr<ChannelTransport>> transports;

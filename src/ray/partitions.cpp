@@ -68,12 +68,31 @@ RayRunResult
 runRayPartition(RayPartition p, int width, int height, int prim_count,
                 const CosimConfig *cfg_override, std::uint64_t seed)
 {
+    return runRayConfig(rayPartitionConfig(p, width, height),
+                        prim_count, cfg_override, seed);
+}
+
+RayConfig
+splitRayConfig(int width, int height)
+{
+    RayConfig cfg;
+    cfg.width = width;
+    cfg.height = height;
+    cfg.travDom = "HWT";
+    cfg.boxDom = "HWX";
+    cfg.geomDom = "HWG";
+    return cfg;
+}
+
+RayRunResult
+runRayConfig(const RayConfig &rcfg, int prim_count,
+             const CosimConfig *cfg_override, std::uint64_t seed)
+{
     std::vector<Sphere> scene = makeScene(prim_count, seed);
     Bvh bvh = buildBvh(scene);
     Camera cam = makeCamera();
 
-    Program prog = makeRayProgram(rayPartitionConfig(p, width, height),
-                                  scene, bvh, cam);
+    Program prog = makeRayProgram(rcfg, scene, bvh, cam);
     ElabProgram elab = elaborate(prog);
     DomainAssignment doms = inferDomains(elab);
     PartitionResult parts = partitionProgram(elab, doms);
@@ -85,7 +104,7 @@ runRayPartition(RayPartition p, int width, int height, int prim_count,
     int done_cnt = sw.prog.primByPath("doneCnt");
     int fb = sw.prog.primByPath("fb");
     const std::uint64_t total =
-        static_cast<std::uint64_t>(width) * height;
+        static_cast<std::uint64_t>(rcfg.width) * rcfg.height;
 
     std::uint64_t cycles = cosim.run([&](CoSim &cs) {
         return cs.storeOf("SW").at(done_cnt).val.asUInt() == total;
@@ -98,8 +117,13 @@ runRayPartition(RayPartition p, int width, int height, int prim_count,
     res.pixels.reserve(total);
     for (const Value &px : image.elems())
         res.pixels.push_back(static_cast<std::uint32_t>(px.asUInt()));
-    if (const HwStats *hw = cosim.hwStats("HW"))
-        res.hwRuleFires = hw->rulesFired;
+    // Sum hardware activity over every hardware domain the
+    // configuration names (the split config has three).
+    for (const std::string &d : distinctHwDomains(
+             {rcfg.travDom, rcfg.boxDom, rcfg.geomDom})) {
+        if (const HwStats *hw = cosim.hwStats(d))
+            res.hwRuleFires += hw->rulesFired;
+    }
     for (const auto &chan : cosim.channels()) {
         res.messages += chan->stats().messages;
         res.channelWords += chan->stats().payloadWords;

@@ -209,9 +209,36 @@ CompiledPartition::~CompiledPartition()
     }
 }
 
+void
+CompiledPartition::checkThread(const char *op)
+{
+    const std::thread::id cur = std::this_thread::get_id();
+    std::thread::id expect{};
+    // Unbound -> bind to the calling thread; already-bound -> must
+    // match. The CAS only ever installs over the unbound id, so the
+    // bound owner is stable until rebindThread().
+    if (owner_.compare_exchange_strong(expect, cur,
+                                       std::memory_order_acq_rel))
+        return;
+    if (expect != cur) {
+        panic(std::string("gencc: ") + op +
+              " called from a second thread while the partition is "
+              "bound to another (compiled partitions are "
+              "thread-confined; rebindThread() moves ownership at a "
+              "synchronization point)");
+    }
+}
+
+void
+CompiledPartition::rebindThread()
+{
+    owner_.store(std::thread::id{}, std::memory_order_release);
+}
+
 std::uint64_t
 CompiledPartition::runToQuiescence()
 {
+    checkThread("runToQuiescence");
     return fnRun_(inst_);
 }
 
@@ -230,6 +257,7 @@ CompiledPartition::rulesAttempted() const
 bool
 CompiledPartition::pushPrim(int prim_id, const Value &v)
 {
+    checkThread("pushPrim");
     BitSink sink;
     v.packWords(sink);
     std::vector<std::uint32_t> words = sink.takeWords();
@@ -267,6 +295,7 @@ CompiledPartition::popValue(int prim_id, const TypePtr &type,
 bool
 CompiledPartition::popPrim(int prim_id, Value &out)
 {
+    checkThread("popPrim");
     const ElabPrim &p = prog_.prims[static_cast<size_t>(prim_id)];
     bool ok = false;
     out = popValue(prim_id, p.type, false, ok);
@@ -276,6 +305,7 @@ CompiledPartition::popPrim(int prim_id, Value &out)
 bool
 CompiledPartition::popDevice(int prim_id, Value &out)
 {
+    checkThread("popDevice");
     auto it = deviceTypes_.find(prim_id);
     if (it == deviceTypes_.end())
         panic("gencc: popDevice on non-device prim " +
@@ -289,6 +319,7 @@ bool
 CompiledPartition::callActionMethod(int meth_id,
                                     const std::vector<Value> &args)
 {
+    checkThread("callActionMethod");
     // Per-argument marshaling, each argument starting on a word
     // boundary (the generated unpacker aligns between arguments).
     std::vector<std::uint32_t> words;

@@ -24,14 +24,34 @@
  * Construction fatals when no host compiler is available — callers
  * that want to degrade gracefully check hostCompilerAvailable()
  * first. One CompiledPartition owns one live instance of the
- * generated class; all calls are single-threaded.
+ * generated class.
+ *
+ * Thread confinement: the generated object is single-threaded state;
+ * every mutating ABI call (runToQuiescence / pushPrim / popPrim /
+ * popDevice / callActionMethod) must come from one thread at a time.
+ * The partition *enforces* this — the first mutating call binds the
+ * owning thread and a call from any other thread panics — so a
+ * parallel co-simulation that accidentally shared a compiled domain
+ * across workers fails loudly instead of corrupting the shadow
+ * state. Ownership may move between threads only through an explicit
+ * rebindThread() at a synchronization point (the co-simulation calls
+ * it at epoch-barrier boundaries, e.g. so the caller thread can read
+ * results after a parallel run). Counter reads (rulesFired /
+ * rulesAttempted) do not bind ownership, but they read plain
+ * (non-atomic) counters inside the shared object — reading them
+ * while another thread is actively driving the partition is a data
+ * race; read them from the owning thread, or from anywhere only
+ * across a synchronization point with the owner quiesced (join,
+ * barrier).
  */
 #ifndef BCL_RUNTIME_GENCC_HPP
 #define BCL_RUNTIME_GENCC_HPP
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/codegen_cpp.hpp"
@@ -112,6 +132,14 @@ class CompiledPartition
      */
     bool callActionMethod(int meth_id, const std::vector<Value> &args);
 
+    /**
+     * Release thread ownership: the next mutating ABI call (from any
+     * thread) becomes the new owner. Only call when the current owner
+     * is quiesced and a happens-before edge to the next user exists
+     * (join, barrier, mutex) — the rebind publishes no state itself.
+     */
+    void rebindThread();
+
     /** Cumulative rule firings inside the shared object. */
     std::uint64_t rulesFired() const;
 
@@ -129,6 +157,13 @@ class CompiledPartition
   private:
     Value popValue(int prim_id, const TypePtr &type, bool device,
                    bool &ok);
+
+    /** Bind-or-verify the owning thread (see class comment). */
+    void checkThread(const char *op);
+
+    /** Owning thread of the mutating ABI; default-constructed id =
+     *  unbound. */
+    std::atomic<std::thread::id> owner_{};
 
     const ElabProgram &prog_;
     GenccOptions opts_;

@@ -171,7 +171,7 @@ writePrim(const ElabPrim &prim, PrimState &st, PrimMethodId meth,
       case PrimMethodId::QueueDeq:
         if (st.queue.empty())
             return false;
-        st.queue.erase(st.queue.begin());
+        st.queue.pop_front();
         return true;
       case PrimMethodId::QueueClear:
         st.queue.clear();

@@ -19,13 +19,140 @@
 #define BCL_RUNTIME_STORE_HPP
 
 #include <cstdint>
+#include <initializer_list>
 #include <unordered_map>
 #include <vector>
 
+#include "common/logging.hpp"
 #include "core/elaborate.hpp"
 #include "core/value.hpp"
 
 namespace bcl {
+
+/**
+ * FIFO of Values with an O(1) amortized front pop. A plain
+ * std::vector popped with erase(begin()) makes draining a deep queue
+ * O(n^2) (every pop slides the whole tail); this keeps a front index
+ * instead and compacts lazily, so the channel transports and FIFO
+ * primitives pop in O(1) while iteration, indexing and equality keep
+ * their obvious vector semantics (logical contents only — the popped
+ * prefix is invisible). Copying compacts: a snapshot never carries
+ * the dead prefix.
+ */
+class ValueQueue
+{
+  public:
+    ValueQueue() = default;
+    ValueQueue(std::initializer_list<Value> init) : buf_(init) {}
+
+    ValueQueue(const ValueQueue &o)
+        : buf_(o.begin(), o.end())
+    {
+    }
+    // Moves must reset the source's front index along with the
+    // buffer, or the moved-from queue would report an underflowed
+    // size (head_ past an empty buf_).
+    ValueQueue(ValueQueue &&o) noexcept
+        : buf_(std::move(o.buf_)), head_(o.head_)
+    {
+        o.buf_.clear();
+        o.head_ = 0;
+    }
+    ValueQueue &
+    operator=(const ValueQueue &o)
+    {
+        if (this != &o) {
+            buf_.assign(o.begin(), o.end());
+            head_ = 0;
+        }
+        return *this;
+    }
+    ValueQueue &
+    operator=(ValueQueue &&o) noexcept
+    {
+        if (this != &o) {
+            buf_ = std::move(o.buf_);
+            head_ = o.head_;
+            o.buf_.clear();
+            o.head_ = 0;
+        }
+        return *this;
+    }
+
+    void
+    push_back(Value v)
+    {
+        buf_.push_back(std::move(v));
+    }
+
+    const Value &front() const { return buf_[head_]; }
+
+    /** Drop the front element; O(1) amortized. Panics when empty —
+     *  over-popping would silently wrap size() otherwise. */
+    void
+    pop_front()
+    {
+        pop_front(1);
+    }
+
+    /** Drop the first @p n elements; O(n) in live elements at most.
+     *  Panics when fewer than @p n are queued. */
+    void
+    pop_front(size_t n)
+    {
+        if (n > size())
+            panic("ValueQueue: pop_front past end");
+        head_ += n;
+        maybeCompact();
+    }
+
+    size_t size() const { return buf_.size() - head_; }
+    bool empty() const { return head_ == buf_.size(); }
+
+    void
+    clear()
+    {
+        buf_.clear();
+        head_ = 0;
+    }
+
+    const Value &operator[](size_t i) const { return buf_[head_ + i]; }
+
+    Value *begin() { return buf_.data() + head_; }
+    Value *end() { return buf_.data() + buf_.size(); }
+    const Value *begin() const { return buf_.data() + head_; }
+    const Value *end() const { return buf_.data() + buf_.size(); }
+
+    /** Logical-content equality (front index is representation). */
+    bool
+    operator==(const ValueQueue &o) const
+    {
+        if (size() != o.size())
+            return false;
+        for (size_t i = 0; i < size(); i++) {
+            if (!((*this)[i] == o[i]))
+                return false;
+        }
+        return true;
+    }
+
+  private:
+    void
+    maybeCompact()
+    {
+        if (head_ == buf_.size()) {
+            buf_.clear();
+            head_ = 0;
+        } else if (head_ > 32 && head_ >= buf_.size() / 2) {
+            buf_.erase(buf_.begin(),
+                       buf_.begin() + static_cast<std::ptrdiff_t>(head_));
+            head_ = 0;
+        }
+    }
+
+    std::vector<Value> buf_;
+    size_t head_ = 0;
+};
 
 /**
  * State of one primitive instance. Which fields are used depends on
@@ -41,7 +168,7 @@ namespace bcl {
 struct PrimState
 {
     Value val;
-    std::vector<Value> queue;
+    ValueQueue queue;
 
     bool operator==(const PrimState &o) const = default;
 };

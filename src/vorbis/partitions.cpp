@@ -77,7 +77,25 @@ VorbisRunResult
 runVorbisPartition(VorbisPartition p, int frames,
                    const CosimConfig *cfg_override, std::uint64_t seed)
 {
-    Program prog = makeVorbisProgram(partitionConfig(p));
+    return runVorbisConfig(partitionConfig(p), frames, cfg_override,
+                           seed);
+}
+
+VorbisConfig
+splitVorbisConfig()
+{
+    VorbisConfig cfg;
+    cfg.imdctDom = "HWA";
+    cfg.ifftDom = "HWB";
+    cfg.winDom = "HWC";
+    return cfg;
+}
+
+VorbisRunResult
+runVorbisConfig(const VorbisConfig &vcfg, int frames,
+                const CosimConfig *cfg_override, std::uint64_t seed)
+{
+    Program prog = makeVorbisProgram(vcfg);
     ElabProgram elab = elaborate(prog);
     DomainAssignment doms = inferDomains(elab);
     PartitionResult parts = partitionProgram(elab, doms);
@@ -135,8 +153,13 @@ runVorbisPartition(VorbisPartition p, int frames,
         for (const auto &s : v.elems())
             res.pcm.push_back(static_cast<std::int32_t>(s.asInt()));
     }
-    if (const HwStats *hw = cosim.hwStats("HW"))
-        res.hwRuleFires = hw->rulesFired;
+    // Sum hardware activity over every hardware domain the
+    // configuration names (the split config has three).
+    for (const std::string &d : distinctHwDomains(
+             {vcfg.imdctDom, vcfg.ifftDom, vcfg.winDom})) {
+        if (const HwStats *hw = cosim.hwStats(d))
+            res.hwRuleFires += hw->rulesFired;
+    }
     for (const auto &chan : cosim.channels()) {
         res.messages += chan->stats().messages;
         res.channelWords += chan->stats().payloadWords;

@@ -67,6 +67,24 @@ VorbisRunResult runVorbisPartition(VorbisPartition p, int frames,
                                        nullptr,
                                    std::uint64_t seed = 12345);
 
+/**
+ * Run an arbitrary domain configuration — not just the six lettered
+ * Figure 12 partitions. Domain polymorphism makes any assignment of
+ * {imdctDom, ifftDom, winDom} legal; in particular each stage may be
+ * its own hardware domain (e.g. "HWA"/"HWB"/"HWC"), producing a
+ * >=3-domain pipeline the parallel co-simulation can spread across
+ * worker threads. PCM is bit-identical across every configuration.
+ */
+VorbisRunResult runVorbisConfig(const VorbisConfig &vcfg, int frames,
+                                const CosimConfig *cfg_override =
+                                    nullptr,
+                                std::uint64_t seed = 12345);
+
+/** The per-stage split: IMDCT, IFFT and Window each in their own
+ *  hardware domain (4 domains incl. SW — the parallel-scaling
+ *  workload). */
+VorbisConfig splitVorbisConfig();
+
 } // namespace vorbis
 } // namespace bcl
 

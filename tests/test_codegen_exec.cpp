@@ -15,6 +15,7 @@
 #include <fstream>
 #include <iterator>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/logging.hpp"
@@ -367,6 +368,55 @@ TEST_P(CodegenExec, CosimBackendSwitchIsFunctionallyInvisible)
 
 /** Vorbis partition D (IMDCT+IFFT in HW, window in SW) under the
  *  compiled backend: mixed-domain cosim stays bit-exact. */
+/**
+ * Thread confinement: the first mutating ABI call binds the owning
+ * thread, a second thread panics until rebindThread() moves
+ * ownership at a synchronization point (the contract the parallel
+ * co-simulation relies on).
+ */
+TEST(CodegenExecConfinement, SecondThreadPanicsUntilRebound)
+{
+    REQUIRE_HOST_COMPILER();
+    PartitionResult parts = counterParts();
+    CompiledPartition cp(parts.part("SW").prog, GenccOptions{});
+
+    // Bind to this thread.
+    cp.runToQuiescence();
+
+    // Mutating calls from another thread must panic. The counter
+    // read below does not bind ownership, and is safe here only
+    // because the owner is quiesced (this thread blocks in join):
+    // stat counters are plain memory in the shared object.
+    bool panicked = false;
+    std::uint64_t fired = 0;
+    std::thread intruder([&] {
+        fired = cp.rulesFired();
+        try {
+            cp.runToQuiescence();
+        } catch (const PanicError &) {
+            panicked = true;
+        }
+    });
+    intruder.join();
+    EXPECT_TRUE(panicked);
+    EXPECT_GT(fired, 0u);
+
+    // After an explicit rebind (join above is the sync point), a new
+    // thread may take ownership...
+    cp.rebindThread();
+    bool ok = false;
+    std::thread heir([&] {
+        cp.runToQuiescence();
+        ok = true;
+    });
+    heir.join();
+    EXPECT_TRUE(ok);
+
+    // ...and the original thread is now the intruder.
+    cp.rebindThread();
+    cp.runToQuiescence();
+}
+
 TEST(CodegenExecCosim, VorbisPartitionDCompiledMatchesInterpreted)
 {
     REQUIRE_HOST_COMPILER();

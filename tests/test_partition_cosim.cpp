@@ -9,6 +9,9 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <thread>
+
 #include "common/logging.hpp"
 #include "common/rng.hpp"
 #include "core/builder.hpp"
@@ -17,7 +20,9 @@
 #include "core/partition.hpp"
 #include "platform/cosim.hpp"
 #include "platform/marshal.hpp"
+#include "ray/partitions.hpp"
 #include "runtime/exec.hpp"
+#include "vorbis/partitions.hpp"
 
 namespace bcl {
 namespace {
@@ -491,6 +496,385 @@ TEST(Marshal, RandomizedTruncatedPrefixesAndExcessAreRejected)
         excess.push_back(0);
         EXPECT_THROW(demarshalValue(t, excess), PanicError)
             << t->str();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bus model: burst accounting must split at the documented boundary
+// (maxBurstWords counts the header word — satellite of the 256/1024
+// default mismatch fix).
+// ---------------------------------------------------------------------------
+
+TEST(Bus, OccupancySplitsBurstsAtDocumentedBoundary)
+{
+    BusParams bus = BusParams::embeddedLocalLink();
+    ASSERT_EQ(bus.maxBurstWords, 1024);
+    ASSERT_EQ(bus.maxBurstWords, BusParams{}.maxBurstWords)
+        << "constructor default and embedded preset must agree";
+
+    // words + 1 header <= 1024 -> a single burst: one per-message
+    // overhead plus one cycle per word.
+    EXPECT_EQ(bus.occupancyCycles(1), bus.perMessageOverhead + 2);
+    EXPECT_EQ(bus.occupancyCycles(1023),
+              bus.perMessageOverhead + 1024);
+    // 1024 payload words + header = 1025 -> exactly two bursts.
+    EXPECT_EQ(bus.occupancyCycles(1024),
+              2 * bus.perMessageOverhead + 1025);
+    // Large transfer: ceil(4097/1024) = 5 bursts.
+    EXPECT_EQ(bus.occupancyCycles(4096),
+              5 * bus.perMessageOverhead + 4097);
+
+    // The §7 calibration: a 512-word streaming message sustains at
+    // least 380 MB/s of the "up to 400 MB/s" line rate (4 B/cycle at
+    // 100 MHz); the once-divergent 256-word default capped this at
+    // ~349 MB/s.
+    std::uint64_t occ = bus.occupancyCycles(512);
+    double mbps = 512.0 * 4.0 /
+                  static_cast<double>(occ) * 100.0;  // 100 MHz
+    EXPECT_GT(mbps, 380.0);
+    EXPECT_LE(mbps, 400.0);
+}
+
+// ---------------------------------------------------------------------------
+// ChannelTransport accounting. A transport is driven by hand over the
+// echo program's first channel so pump/deliver times are exact.
+// ---------------------------------------------------------------------------
+
+/** Harness owning the two stores + arbiter a transport needs. */
+struct TransportRig
+{
+    Program prog = makeEchoProgram();
+    ElabProgram elab;
+    DomainAssignment doms;
+    PartitionResult parts;
+    std::unique_ptr<Store> txStore;
+    std::unique_ptr<Store> rxStore;
+    LinkArbiter link;
+    ChannelSpec spec;
+
+    explicit TransportRig()
+    {
+        elab = elaborate(prog);
+        doms = inferDomains(elab);
+        parts = partitionProgram(elab, doms);
+        // SW -> HW channel ("toHw").
+        for (const auto &c : parts.channels) {
+            if (c.fromDomain == "SW")
+                spec = c;
+        }
+        txStore = std::make_unique<Store>(parts.part("SW").prog);
+        rxStore = std::make_unique<Store>(parts.part("HW").prog);
+    }
+
+    Value msg(std::int64_t v) { return Value::makeInt(32, v); }
+};
+
+TEST(Channel, StallChargesDeferredCyclesNotPumpAttempts)
+{
+    TransportRig rig;
+    ChannelTransport ch(rig.spec, *rig.txStore, *rig.rxStore, rig.link,
+                        BusParams::embeddedLocalLink());
+
+    // Exhaust credits: consumer half full to capacity.
+    PrimState &rx = rig.rxStore->at(rig.spec.rxPrim);
+    for (int i = 0; i < rig.spec.capacity; i++)
+        rx.queue.push_back(rig.msg(100 + i));
+
+    // Stage one message; the pickup must defer.
+    rig.txStore->at(rig.spec.txPrim).queue.push_back(rig.msg(7));
+    ch.pump(100);
+    EXPECT_EQ(ch.stats().messages, 0u);
+    EXPECT_EQ(ch.stats().stallEvents, 1u);
+    EXPECT_EQ(ch.stats().stallCycles, 0u)
+        << "no cycles have elapsed yet";
+
+    // The charge is elapsed virtual time, never an attempt count:
+    // nine polls spanning 90 cycles accrue exactly 90 (the pre-fix
+    // behavior counted one per pump call), and re-polling the same
+    // instant charges zero.
+    for (std::uint64_t t = 110; t <= 190; t += 10)
+        ch.pump(t);
+    EXPECT_EQ(ch.stats().stallEvents, 1u);
+    EXPECT_EQ(ch.stats().stallCycles, 90u);
+    ch.pump(190);
+    ch.pump(190);
+    EXPECT_EQ(ch.stats().stallCycles, 90u)
+        << "same-instant polls must not double-charge";
+
+    // Consumer drains at t=300; the restarted pickup completes the
+    // episode at the actual deferral span: 300 - 100.
+    rx.queue.clear();
+    ch.pump(300);
+    EXPECT_EQ(ch.stats().messages, 1u);
+    EXPECT_EQ(ch.stats().stallCycles, 200u);
+    EXPECT_EQ(ch.stats().stallEvents, 1u);
+
+    // An unstalled pickup charges nothing.
+    rig.txStore->at(rig.spec.txPrim).queue.push_back(rig.msg(8));
+    rx.queue.clear();
+    ch.pump(400);
+    EXPECT_EQ(ch.stats().messages, 2u);
+    EXPECT_EQ(ch.stats().stallCycles, 200u);
+    EXPECT_EQ(ch.stats().stallEvents, 1u);
+}
+
+TEST(Channel, RxOverflowPanicStillFiresUnderThreading)
+{
+    // The credit invariant is enforced at delivery even in threaded
+    // mode (where credits go through the atomic charge instead of a
+    // live read of the consumer queue). Violate it deliberately by
+    // stuffing the consumer half behind the transport's back.
+    TransportRig rig;
+    ChannelTransport ch(rig.spec, *rig.txStore, *rig.rxStore, rig.link,
+                        BusParams::embeddedLocalLink(),
+                        /*threaded=*/true);
+
+    rig.txStore->at(rig.spec.txPrim).queue.push_back(rig.msg(1));
+    ch.pump(0);
+    ASSERT_EQ(ch.stats().messages, 1u);
+
+    PrimState &rx = rig.rxStore->at(rig.spec.rxPrim);
+    for (int i = 0; i < rig.spec.capacity; i++)
+        rx.queue.push_back(rig.msg(200 + i));
+
+    EXPECT_THROW(ch.deliver(100000), PanicError);
+}
+
+TEST(Channel, ThreadedCreditsObserveConsumerDrain)
+{
+    // Threaded mode: the producer's credit view is the atomic charge;
+    // the consumer folds its queue drain back in at deliver().
+    TransportRig rig;
+    ChannelTransport ch(rig.spec, *rig.txStore, *rig.rxStore, rig.link,
+                        BusParams::embeddedLocalLink(),
+                        /*threaded=*/true);
+
+    PrimState &tx = rig.txStore->at(rig.spec.txPrim);
+    PrimState &rx = rig.rxStore->at(rig.spec.rxPrim);
+    for (int i = 0; i < rig.spec.capacity + 2; i++)
+        tx.queue.push_back(rig.msg(i));
+
+    ch.pump(0);
+    // capacity messages picked up, the rest deferred for credit.
+    EXPECT_EQ(ch.stats().messages,
+              static_cast<std::uint64_t>(rig.spec.capacity));
+    EXPECT_EQ(tx.queue.size(), 2u);
+
+    ch.deliver(100000);
+    EXPECT_EQ(rx.queue.size(),
+              static_cast<size_t>(rig.spec.capacity));
+
+    // Deliveries alone free no credits (messages still occupy the
+    // consumer queue)...
+    ch.pump(100000);
+    EXPECT_EQ(tx.queue.size(), 2u);
+
+    // ...until the consumer dequeues and the next deliver() call
+    // observes the drain.
+    rx.queue.pop_front();
+    rx.queue.pop_front();
+    ch.deliver(100001);
+    ch.pump(100001);
+    EXPECT_EQ(tx.queue.size(), 0u);
+    EXPECT_EQ(ch.stats().messages,
+              static_cast<std::uint64_t>(rig.spec.capacity) + 2);
+}
+
+TEST(Channel, ValueQueueOverPopPanics)
+{
+    // The FIFO invariant is hard: over-popping panics instead of
+    // wrapping the front index past the buffer.
+    ValueQueue q;
+    q.push_back(Value::makeInt(32, 1));
+    q.pop_front();
+    EXPECT_TRUE(q.empty());
+    EXPECT_THROW(q.pop_front(), PanicError);
+    q.push_back(Value::makeInt(32, 2));
+    EXPECT_THROW(q.pop_front(2), PanicError);
+    EXPECT_EQ(q.size(), 1u);
+    EXPECT_EQ(q.front().asInt(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel co-simulation: the LIBDN guarantee in action. Outputs and
+// firing counts must be byte-identical for every thread count; only
+// cycle accounting may shift at threads > 1.
+// ---------------------------------------------------------------------------
+
+TEST(CoSimParallel, EchoMatchesSequentialOutputs)
+{
+    std::vector<std::int64_t> inputs;
+    for (int i = 0; i < 50; i++)
+        inputs.push_back(i * 3 - 25);
+    std::vector<std::int64_t> ref = referenceRun(inputs);
+
+    for (int threads : {2, 4}) {
+        CosimConfig cfg;
+        cfg.threads = threads;
+        std::uint64_t cycles = 0;
+        std::vector<std::int64_t> out = cosimRun(inputs, &cycles, cfg);
+        EXPECT_EQ(out, ref) << "threads=" << threads;
+        EXPECT_GT(cycles, 0u);
+    }
+}
+
+TEST(CoSimParallel, DeadlockIsReportedNotHungAcrossThreads)
+{
+    // Same shape as CoSim.DeadlockIsReportedNotHung but through the
+    // epoch-parallel engine: worker quiescence + empty channels must
+    // surface as FatalError, not a barrier hang.
+    ModuleBuilder b("Top");
+    b.addSync("toHw", w32(), 2, "SW", "HW");
+    b.addAudioDev("out", "SW");
+    b.addReg("sink", w32());
+    b.addActionMethod("push", {{"x", w32()}},
+                      callA("toHw", "enq", {varE("x")}), "SW");
+    b.addRule("consume", parA({regWrite("sink", callV("toHw", "first")),
+                               callA("toHw", "deq")}));
+    Program p = ProgramBuilder().add(b.build()).setRoot("Top").build();
+    ElabProgram elab = elaborate(p);
+    DomainAssignment doms = inferDomains(elab);
+    PartitionResult parts = partitionProgram(elab, doms);
+
+    CosimConfig cfg;
+    cfg.threads = 2;
+    CoSim cosim(parts, cfg);
+    const PartitionPart &sw = parts.part("SW");
+    int push = sw.prog.rootMethod("push");
+    int out_prim = sw.prog.primByPath("out");
+    bool pushed = false;
+    SwDriver driver;
+    driver.step = [&](SwPort &port) -> std::uint64_t {
+        if (pushed)
+            return 0;
+        if (port.callActionMethod(push, {Value::makeInt(32, 1)})) {
+            pushed = true;
+            return 1;
+        }
+        return 0;
+    };
+    driver.done = [&] { return pushed; };
+    cosim.setDriver("SW", driver);
+
+    EXPECT_THROW(cosim.run([&](CoSim &cs) {
+        return !cs.storeOf("SW").at(out_prim).queue.empty();
+    }),
+                 FatalError);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism matrix: every Vorbis / ray-tracer partitioning (the
+// lettered Figure 12/14 configurations plus the per-stage splits that
+// give the parallel engine >= 3 domains), under threads in {1, 2,
+// hardware_concurrency}, must produce byte-identical outputs and
+// firing counts. The software backend axis is covered where the
+// harness supports it: Vorbis runs Interpreted AND Compiled; the ray
+// harness reads results back through mirror registers, which the
+// compiled ABI does not sync, so ray runs Interpreted (see
+// docs/ARCHITECTURE.md "Executing generated software").
+// ---------------------------------------------------------------------------
+
+std::vector<int>
+matrixThreadCounts()
+{
+    unsigned hc = std::thread::hardware_concurrency();
+    std::vector<int> counts{1, 2};
+    int big = static_cast<int>(hc > 2 ? hc : 4);
+    if (std::find(counts.begin(), counts.end(), big) == counts.end())
+        counts.push_back(big);
+    return counts;
+}
+
+TEST(CoSimParallel, VorbisDeterminismMatrixInterpreted)
+{
+    const int frames = 2;
+    std::vector<vorbis::VorbisConfig> configs;
+    for (vorbis::VorbisPartition p : vorbis::allVorbisPartitions())
+        configs.push_back(vorbis::partitionConfig(p));
+    configs.push_back(vorbis::splitVorbisConfig());
+
+    for (size_t ci = 0; ci < configs.size(); ci++) {
+        vorbis::VorbisRunResult ref;
+        bool have_ref = false;
+        for (int threads : matrixThreadCounts()) {
+            CosimConfig cfg;
+            cfg.threads = threads;
+            vorbis::VorbisRunResult r = vorbis::runVorbisConfig(
+                configs[ci], frames, &cfg);
+            if (!have_ref) {
+                ref = r;
+                have_ref = true;
+                EXPECT_FALSE(ref.pcm.empty());
+                continue;
+            }
+            EXPECT_EQ(r.pcm, ref.pcm)
+                << "config " << ci << " threads=" << threads;
+            EXPECT_EQ(r.swRulesFired, ref.swRulesFired)
+                << "config " << ci << " threads=" << threads;
+            EXPECT_EQ(r.hwRuleFires, ref.hwRuleFires)
+                << "config " << ci << " threads=" << threads;
+        }
+    }
+}
+
+TEST(CoSimParallel, VorbisDeterminismMatrixCompiled)
+{
+    if (!CompiledPartition::hostCompilerAvailable())
+        GTEST_SKIP() << "no host compiler";
+    const int frames = 2;
+    std::vector<vorbis::VorbisConfig> configs;
+    for (vorbis::VorbisPartition p : vorbis::allVorbisPartitions())
+        configs.push_back(vorbis::partitionConfig(p));
+    configs.push_back(vorbis::splitVorbisConfig());
+
+    // Interpreted threads=1 is the golden reference for the compiled
+    // backend too (PR 4's differential contract).
+    for (size_t ci = 0; ci < configs.size(); ci++) {
+        CosimConfig ref_cfg;
+        vorbis::VorbisRunResult ref =
+            vorbis::runVorbisConfig(configs[ci], frames, &ref_cfg);
+        for (int threads : matrixThreadCounts()) {
+            CosimConfig cfg;
+            cfg.threads = threads;
+            cfg.swBackend = SwBackend::Compiled;
+            vorbis::VorbisRunResult r = vorbis::runVorbisConfig(
+                configs[ci], frames, &cfg);
+            EXPECT_EQ(r.pcm, ref.pcm)
+                << "config " << ci << " threads=" << threads;
+            EXPECT_EQ(r.swRulesFired, ref.swRulesFired)
+                << "config " << ci << " threads=" << threads;
+        }
+    }
+}
+
+TEST(CoSimParallel, RayDeterminismMatrixInterpreted)
+{
+    const int w = 6, h = 6, prims = 32;
+    std::vector<ray::RayConfig> configs;
+    for (ray::RayPartition p : ray::allRayPartitions())
+        configs.push_back(ray::rayPartitionConfig(p, w, h));
+    configs.push_back(ray::splitRayConfig(w, h));
+
+    for (size_t ci = 0; ci < configs.size(); ci++) {
+        ray::RayRunResult ref;
+        bool have_ref = false;
+        for (int threads : matrixThreadCounts()) {
+            CosimConfig cfg;
+            cfg.threads = threads;
+            ray::RayRunResult r =
+                ray::runRayConfig(configs[ci], prims, &cfg);
+            if (!have_ref) {
+                ref = r;
+                have_ref = true;
+                EXPECT_EQ(ref.pixels.size(),
+                          static_cast<size_t>(w) * h);
+                continue;
+            }
+            EXPECT_EQ(r.pixels, ref.pixels)
+                << "config " << ci << " threads=" << threads;
+            EXPECT_EQ(r.hwRuleFires, ref.hwRuleFires)
+                << "config " << ci << " threads=" << threads;
+        }
     }
 }
 

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Unit tests of the bounded SPSC ring the parallel co-simulation
+ * moves channel messages over: FIFO order, capacity bounds, the
+ * consumer-side peek, and a producer/consumer thread stress run that
+ * must transfer every element exactly once, in order (run it under
+ * ThreadSanitizer to check the synchronization, not just the
+ * outcome).
+ */
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/spsc.hpp"
+
+namespace bcl {
+namespace {
+
+TEST(Spsc, CapacityRoundsUpToPowerOfTwo)
+{
+    EXPECT_EQ(SpscQueue<int>(1).capacity(), 2u);
+    EXPECT_EQ(SpscQueue<int>(2).capacity(), 2u);
+    EXPECT_EQ(SpscQueue<int>(3).capacity(), 4u);
+    EXPECT_EQ(SpscQueue<int>(8).capacity(), 8u);
+    EXPECT_EQ(SpscQueue<int>(9).capacity(), 16u);
+}
+
+TEST(Spsc, FifoOrderSingleThreaded)
+{
+    SpscQueue<int> q(4);
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.front(), nullptr);
+    for (int i = 0; i < 4; i++)
+        EXPECT_TRUE(q.push(i));
+    EXPECT_FALSE(q.push(99)) << "push past capacity must fail";
+    EXPECT_EQ(q.size(), 4u);
+    for (int i = 0; i < 4; i++) {
+        ASSERT_NE(q.front(), nullptr);
+        EXPECT_EQ(*q.front(), i);
+        q.pop();
+    }
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.front(), nullptr);
+}
+
+TEST(Spsc, WrapsAroundManyTimes)
+{
+    SpscQueue<int> q(2);
+    for (int i = 0; i < 1000; i++) {
+        ASSERT_TRUE(q.push(i));
+        ASSERT_NE(q.front(), nullptr);
+        EXPECT_EQ(*q.front(), i);
+        q.pop();
+    }
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(Spsc, RejectedPushCommitsNothing)
+{
+    SpscQueue<int> q(2);
+    ASSERT_TRUE(q.push(1));
+    ASSERT_TRUE(q.push(2));
+    ASSERT_FALSE(q.push(3));
+    EXPECT_EQ(q.size(), 2u);
+    EXPECT_EQ(*q.front(), 1);
+    q.pop();
+    // The slot freed by pop is usable again.
+    EXPECT_TRUE(q.push(4));
+    EXPECT_EQ(*q.front(), 2);
+}
+
+TEST(Spsc, MovesNonTrivialPayloads)
+{
+    SpscQueue<std::vector<int>> q(2);
+    std::vector<int> v{1, 2, 3};
+    ASSERT_TRUE(q.push(std::move(v)));
+    ASSERT_NE(q.front(), nullptr);
+    std::vector<int> out = std::move(*q.front());
+    q.pop();
+    EXPECT_EQ(out, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Spsc, TwoThreadStressTransfersEverythingInOrder)
+{
+    constexpr std::uint64_t kCount = 50000;
+    SpscQueue<std::uint64_t> q(8);
+
+    std::vector<std::uint64_t> got;
+    got.reserve(kCount);
+    std::thread consumer([&] {
+        while (got.size() < kCount) {
+            std::uint64_t *f = q.front();
+            if (!f) {
+                std::this_thread::yield();
+                continue;
+            }
+            got.push_back(*f);
+            q.pop();
+        }
+    });
+
+    for (std::uint64_t i = 0; i < kCount; i++) {
+        while (!q.push(i))
+            std::this_thread::yield();
+    }
+    consumer.join();
+
+    ASSERT_EQ(got.size(), kCount);
+    for (std::uint64_t i = 0; i < kCount; i++)
+        ASSERT_EQ(got[i], i) << "order violated at " << i;
+}
+
+} // namespace
+} // namespace bcl
