@@ -109,6 +109,40 @@ def run_cosim_parallel(build_dir, frames):
         os.unlink(tmp_path)
 
 
+def run_serving(build_dir, sessions, frames):
+    """Serving-layer sweep: streams/sec and p50/p99 frame latency at
+    each concurrent-session count (default 100/1k/10k), all streams
+    spot-verified byte-identical to their solo serial runs. On a
+    single-core runner streams/sec is per-stream cost + scheduling
+    overhead, not parallel scaling — read it against the recorded
+    workers/hardware_concurrency."""
+    exe = os.path.join(build_dir, "serving")
+    if not os.path.exists(exe):
+        return None
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        tmp_path = tmp.name
+    try:
+        try:
+            subprocess.run(
+                [
+                    exe,
+                    "--sessions", sessions,
+                    "--frames", str(frames),
+                    "--json", tmp_path,
+                ],
+                check=True,
+                stdout=subprocess.DEVNULL,
+            )
+        except subprocess.CalledProcessError as err:
+            print(f"warning: {exe} failed ({err}); omitting serving",
+                  file=sys.stderr)
+            return None
+        with open(tmp_path) as f:
+            return json.load(f)
+    finally:
+        os.unlink(tmp_path)
+
+
 def run_sw_runtime_opts(build_dir):
     """Optional ablation benchmarks; absent when Google Benchmark is
     not installed."""
@@ -160,6 +194,18 @@ def main():
     ap.add_argument("--build-dir", default="build")
     ap.add_argument("--out", default="BENCH_runtime.json")
     ap.add_argument("--frames", type=int, default=128)
+    ap.add_argument(
+        "--serving-sessions",
+        default="100,1000,10000",
+        help="comma-separated concurrent-session counts for the "
+        "serving sweep",
+    )
+    ap.add_argument(
+        "--serving-frames",
+        type=int,
+        default=4,
+        help="frames decoded per serving session",
+    )
     args = ap.parse_args()
 
     report = {
@@ -174,6 +220,10 @@ def main():
                                  min(args.frames, 16))
     if scaling is not None:
         report["cosim_parallel"] = scaling
+    serving = run_serving(args.build_dir, args.serving_sessions,
+                          args.serving_frames)
+    if serving is not None:
+        report["serving"] = serving
     ablations = run_sw_runtime_opts(args.build_dir)
     if ablations is not None:
         report["sw_runtime_opts"] = ablations
@@ -195,6 +245,16 @@ def main():
             for name, s in ladder["strategies"].items()
         )
         print(f"compiled ladder (vs interp): {steps}")
+    if serving is not None:
+        line = ", ".join(
+            f"{p['sessions']}: {p['streams_per_sec']:.0f} str/s "
+            f"p99 {p['frame_ms_p99']:.2f} ms"
+            for p in serving["points"]
+        )
+        print(
+            f"serving ({serving['backend']}, "
+            f"workers={serving['workers']}): {line}"
+        )
     if scaling is not None:
         splits = {
             w["name"]: w["best_speedup"]

@@ -96,8 +96,21 @@ CoSim::CoSim(const PartitionResult &parts, CosimConfig config)
             if (cfg.swBackend == SwBackend::Compiled) {
                 GenccOptions opts;
                 opts.mode = cfg.swGenMode;
-                p.compiled = std::make_unique<CompiledPartition>(
-                    part.prog, opts);
+                if (cfg.swArtifact) {
+                    if (!swProcs.empty())
+                        fatal("CosimConfig::swArtifact is "
+                              "per-partition; this PartitionResult "
+                              "has multiple software domains — use "
+                              "compileProvider instead");
+                    p.compiled = std::make_unique<CompiledPartition>(
+                        cfg.swArtifact);
+                } else if (cfg.compileProvider) {
+                    p.compiled = std::make_unique<CompiledPartition>(
+                        cfg.compileProvider(part.prog, opts));
+                } else {
+                    p.compiled = std::make_unique<CompiledPartition>(
+                        part.prog, opts);
+                }
             }
             swProcs.push_back(std::move(p));
         } else {
@@ -176,6 +189,15 @@ CoSim::hwStats(const std::string &domain) const
             return &p.sim->stats();
     }
     return nullptr;
+}
+
+void
+CoSim::rebindCompiledThreads()
+{
+    for (auto &p : swProcs) {
+        if (p.compiled)
+            p.compiled->rebindThread();
+    }
 }
 
 std::uint64_t

@@ -106,6 +106,33 @@ struct CosimConfig
     CppGenMode swGenMode = CppGenMode::Lifted;
 
     /**
+     * Artifact source for Compiled software domains. Unset, every
+     * CoSim compiles its own shared object per software partition
+     * (the historical behavior). The serving layer sets this to its
+     * CompileCache so a thousand sessions of the same partition
+     * share one compile/dlopen and differ only in their
+     * bcl_gen_create instances.
+     */
+    std::function<std::shared_ptr<const CompiledArtifact>(
+        const ElabProgram &, const GenccOptions &)>
+        compileProvider;
+
+    /**
+     * Pre-resolved artifact for the software domain, taking
+     * precedence over compileProvider. compileProvider keys on a
+     * hash of the generated source, so every lookup re-runs codegen
+     * (~tens of ms for Vorbis); a caller stamping out thousands of
+     * sessions of ONE partitioning resolves the artifact once
+     * (CompileCache::get) and passes it here, making instantiation
+     * pure bcl_gen_create. The caller asserts the artifact was built
+     * from this partition's program under swGenMode — the layout
+     * cross-check at load time does not re-run per instance. Only
+     * valid when the partition has exactly one software domain
+     * (fatal otherwise: the artifact is per-partition).
+     */
+    std::shared_ptr<const CompiledArtifact> swArtifact;
+
+    /**
      * Virtual-time charge (CPU cycles) per rule firing of a compiled
      * software domain. Compiled execution does not model work — it IS
      * the generated code running natively — so virtual time is
@@ -246,6 +273,16 @@ class CoSim
     {
         return transports;
     }
+
+    /**
+     * Release compiled-partition thread ownership for every software
+     * domain (rebindThread on each instance). The serving layer calls
+     * this when a session yields its frame quantum so the next worker
+     * that claims the session may drive it; the pool's ready queue is
+     * the required synchronization point. The parallel engine already
+     * does the equivalent at shutdown.
+     */
+    void rebindCompiledThreads();
 
     /** Current virtual time (max over processes), FPGA cycles. */
     std::uint64_t now() const;

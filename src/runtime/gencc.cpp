@@ -46,6 +46,22 @@ makeWorkDir()
     return std::string(buf.data());
 }
 
+/**
+ * Unique per-artifact file stem: pid + process-wide counter. Two
+ * concurrent compiles of different partitions may legitimately share
+ * a caller-provided workDir (the CompileCache does exactly that), so
+ * emitted names must never collide — neither within this process
+ * (counter) nor across processes pointed at the same directory
+ * (pid).
+ */
+std::string
+uniqueStem()
+{
+    static std::atomic<std::uint64_t> counter{0};
+    return "partition_" + std::to_string(::getpid()) + "_" +
+           std::to_string(counter.fetch_add(1));
+}
+
 std::string
 readAll(const std::string &path, size_t limit = 4000)
 {
@@ -61,8 +77,12 @@ readAll(const std::string &path, size_t limit = 4000)
 
 } // namespace
 
+// ---------------------------------------------------------------------------
+// CompiledArtifact — the compile/dlopen half, shared across instances
+// ---------------------------------------------------------------------------
+
 bool
-CompiledPartition::hostCompilerAvailable()
+CompiledArtifact::hostCompilerAvailable()
 {
     static const bool available = [] {
         std::string cmd =
@@ -72,64 +92,91 @@ CompiledPartition::hostCompilerAvailable()
     return available;
 }
 
-CompiledPartition::CompiledPartition(const ElabProgram &prog,
-                                     GenccOptions opts)
+CompiledArtifact::CompiledArtifact(const ElabProgram &prog,
+                                   GenccOptions opts)
     : prog_(prog), opts_(std::move(opts))
 {
-    if (!hostCompilerAvailable())
+    const bool reuse = !opts_.reuseSoPath.empty();
+    if (!reuse && !hostCompilerAvailable())
         fatal("gencc: no host C++ compiler ('" + compilerCommand() +
               "') — guard call sites with hostCompilerAvailable()");
-    std::string inc = opts_.includeDir.empty() ? defaultIncludeDir()
-                                               : opts_.includeDir;
-    if (inc.empty())
-        fatal("gencc: include directory for runtime/gen_support.hpp "
-              "unknown; set GenccOptions::includeDir");
-    // The compile line runs through the shell; double quotes handle
-    // spaces, but quote/expansion metacharacters in a path would
-    // still break out — refuse them rather than misparse.
-    auto rejectMeta = [](const std::string &what,
-                         const std::string &s) {
-        if (s.find_first_of("\"$`\\") != std::string::npos)
-            fatal("gencc: " + what +
-                  " contains shell metacharacters: " + s);
-    };
-    rejectMeta("include directory", inc);
 
-    source_ = generateCpp(prog_, "BclGenPartition", opts_.mode);
-    dir_ = opts_.workDir.empty() ? makeWorkDir() : opts_.workDir;
-    rejectMeta("scratch directory", dir_);  // covers $TMPDIR too
-    std::filesystem::create_directories(dir_);
+    if (reuse) {
+        // Adopt an existing shared object (CompileCache disk hit).
+        // No files are emitted, so destruction removes nothing.
+        dir_ = std::filesystem::path(opts_.reuseSoPath)
+                   .parent_path()
+                   .string();
+        load(opts_.reuseSoPath);
+    } else {
+        std::string inc = opts_.includeDir.empty()
+                              ? defaultIncludeDir()
+                              : opts_.includeDir;
+        if (inc.empty())
+            fatal("gencc: include directory for "
+                  "runtime/gen_support.hpp unknown; set "
+                  "GenccOptions::includeDir");
+        // The compile line runs through the shell; double quotes
+        // handle spaces, but quote/expansion metacharacters in a path
+        // would still break out — refuse them rather than misparse.
+        auto rejectMeta = [](const std::string &what,
+                             const std::string &s) {
+            if (s.find_first_of("\"$`\\") != std::string::npos)
+                fatal("gencc: " + what +
+                      " contains shell metacharacters: " + s);
+        };
+        rejectMeta("include directory", inc);
 
-    std::string cpp = dir_ + "/partition.cpp";
-    std::string so = dir_ + "/partition.so";
-    std::string log = dir_ + "/compile.log";
-    {
-        std::ofstream out(cpp);
-        out << source_;
-        if (!out)
-            fatal("gencc: cannot write " + cpp);
+        source_ = generateCpp(prog_, "BclGenPartition", opts_.mode);
+        ownDir_ = opts_.workDir.empty();
+        dir_ = ownDir_ ? makeWorkDir() : opts_.workDir;
+        rejectMeta("scratch directory", dir_);  // covers $TMPDIR too
+        std::filesystem::create_directories(dir_);
+
+        const std::string stem =
+            dir_ + "/" +
+            (opts_.fileStem.empty() ? uniqueStem() : opts_.fileStem);
+        std::string cpp = stem + ".cpp";
+        std::string so = stem + ".so";
+        std::string log = stem + ".log";
+        files_ = {cpp, so, log};
+        {
+            std::ofstream out(cpp);
+            out << source_;
+            if (!out)
+                fatal("gencc: cannot write " + cpp);
+        }
+
+        // -O2: the whole point is native-speed execution; the §6.3
+        // strategies differ in what they make the optimizer's job
+        // easy on. Paths are quoted — source trees and TMPDIRs with
+        // spaces must not split the shell command.
+        std::string cmd =
+            compilerCommand() + " -std=c++20 -O2 -fPIC -shared -I\"" +
+            inc + "\" " +
+            (opts_.extraFlags.empty() ? "" : opts_.extraFlags + " ") +
+            "\"" + cpp + "\" -o \"" + so + "\" 2> \"" + log + "\"";
+        if (std::system(cmd.c_str()) != 0) {
+            fatal("gencc: generated partition failed to compile:\n" +
+                  readAll(log) + "\n(command: " + cmd + ")");
+        }
+        load(so);
     }
+}
 
-    // -O2: the whole point is native-speed execution; the §6.3
-    // strategies differ in what they make the optimizer's job easy on.
-    // Paths are quoted — source trees and TMPDIRs with spaces must
-    // not split the shell command.
-    std::string cmd = compilerCommand() +
-                      " -std=c++20 -O2 -fPIC -shared -I\"" + inc +
-                      "\" " +
-                      (opts_.extraFlags.empty() ? ""
-                                                : opts_.extraFlags + " ") +
-                      "\"" + cpp + "\" -o \"" + so + "\" 2> \"" + log +
-                      "\"";
-    if (std::system(cmd.c_str()) != 0) {
-        fatal("gencc: generated partition failed to compile:\n" +
-              readAll(log) + "\n(command: " + cmd + ")");
-    }
-
-    dl_ = dlopen(so.c_str(), RTLD_NOW | RTLD_LOCAL);
+void
+CompiledArtifact::load(const std::string &so_path)
+{
+    so_ = so_path;
+    dl_ = dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
     if (!dl_)
         fatal(std::string("gencc: dlopen failed: ") + dlerror());
+    resolveAbi();
+}
 
+void
+CompiledArtifact::resolveAbi()
+{
     auto resolve = [&](const char *name) -> void * {
         void *sym = dlsym(dl_, name);
         if (!sym)
@@ -144,7 +191,7 @@ CompiledPartition::CompiledPartition(const ElabProgram &prog,
               std::to_string(kCppGenAbiVersion) + ", generated " +
               std::to_string(fnAbi()));
     }
-    auto *fnCreate =
+    fnCreate_ =
         reinterpret_cast<void *(*)()>(resolve("bcl_gen_create"));
     fnDestroy_ = reinterpret_cast<void (*)(void *)>(
         resolve("bcl_gen_destroy"));
@@ -170,7 +217,9 @@ CompiledPartition::CompiledPartition(const ElabProgram &prog,
     // Layout cross-check: the word count the generated side derived
     // for every ABI-visible primitive must match the host's own
     // derivation from the same Type — any drift here would corrupt
-    // every message silently.
+    // every message silently. On a reused .so this doubles as the
+    // cache-integrity check: a stale object for a different program
+    // fatals here instead of aliasing.
     for (const auto &prim : prog_.prims) {
         int host_words = -1;
         if (prim.kind == "Fifo" || prim.kind == "Sync" ||
@@ -191,22 +240,53 @@ CompiledPartition::CompiledPartition(const ElabProgram &prog,
                   std::to_string(host_words));
         }
     }
+}
 
-    inst_ = fnCreate();
+CompiledArtifact::~CompiledArtifact()
+{
+    if (dl_)
+        dlclose(dl_);
+    if (opts_.keepArtifacts)
+        return;
+    std::error_code ec;
+    if (ownDir_) {
+        if (!dir_.empty())
+            std::filesystem::remove_all(dir_, ec);
+    } else {
+        // Caller-provided (possibly shared) directory: remove only
+        // the files this artifact emitted, never the directory or a
+        // sibling compile's output.
+        for (const std::string &f : files_)
+            std::filesystem::remove(f, ec);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CompiledPartition — one live instance, thread-confined
+// ---------------------------------------------------------------------------
+
+CompiledPartition::CompiledPartition(const ElabProgram &prog,
+                                     GenccOptions opts)
+    : CompiledPartition(std::make_shared<const CompiledArtifact>(
+          prog, std::move(opts)))
+{
+}
+
+CompiledPartition::CompiledPartition(
+    std::shared_ptr<const CompiledArtifact> artifact)
+    : artifact_(std::move(artifact))
+{
+    if (!artifact_)
+        fatal("gencc: CompiledPartition needs a non-null artifact");
+    inst_ = artifact_->fnCreate_();
     if (!inst_)
         fatal("gencc: bcl_gen_create returned null");
 }
 
 CompiledPartition::~CompiledPartition()
 {
-    if (inst_ && fnDestroy_)
-        fnDestroy_(inst_);
-    if (dl_)
-        dlclose(dl_);
-    if (!opts_.keepArtifacts && !dir_.empty()) {
-        std::error_code ec;
-        std::filesystem::remove_all(dir_, ec);
-    }
+    if (inst_)
+        artifact_->fnDestroy_(inst_);
 }
 
 void
@@ -222,8 +302,8 @@ CompiledPartition::checkThread(const char *op)
         return;
     if (expect != cur) {
         panic(std::string("gencc: ") + op +
-              " called from a second thread while the partition is "
-              "bound to another (compiled partitions are "
+              " called from a second thread while the partition "
+              "instance is bound to another (compiled instances are "
               "thread-confined; rebindThread() moves ownership at a "
               "synchronization point)");
     }
@@ -239,19 +319,19 @@ std::uint64_t
 CompiledPartition::runToQuiescence()
 {
     checkThread("runToQuiescence");
-    return fnRun_(inst_);
+    return artifact_->fnRun_(inst_);
 }
 
 std::uint64_t
 CompiledPartition::rulesFired() const
 {
-    return fnStat_(inst_, 0);
+    return artifact_->fnStat_(inst_, 0);
 }
 
 std::uint64_t
 CompiledPartition::rulesAttempted() const
 {
-    return fnStat_(inst_, 1);
+    return artifact_->fnStat_(inst_, 1);
 }
 
 bool
@@ -261,8 +341,8 @@ CompiledPartition::pushPrim(int prim_id, const Value &v)
     BitSink sink;
     v.packWords(sink);
     std::vector<std::uint32_t> words = sink.takeWords();
-    int rc = fnPush_(inst_, prim_id, words.data(),
-                     static_cast<int>(words.size()));
+    int rc = artifact_->fnPush_(inst_, prim_id, words.data(),
+                                static_cast<int>(words.size()));
     if (rc < 0) {
         panic("gencc: prim_push(" + std::to_string(prim_id) +
               ") rejected with " + std::to_string(rc) +
@@ -278,8 +358,10 @@ CompiledPartition::popValue(int prim_id, const TypePtr &type,
     int nwords = (type->flatWidth() + 31) / 32;
     std::vector<std::uint32_t> words(
         static_cast<size_t>(nwords > 0 ? nwords : 1));
-    int rc = device ? fnDevPop_(inst_, prim_id, words.data(), nwords)
-                    : fnPop_(inst_, prim_id, words.data(), nwords);
+    int rc = device ? artifact_->fnDevPop_(inst_, prim_id,
+                                           words.data(), nwords)
+                    : artifact_->fnPop_(inst_, prim_id, words.data(),
+                                        nwords);
     if (rc < 0) {
         panic("gencc: pop(" + std::to_string(prim_id) +
               ") rejected with " + std::to_string(rc) +
@@ -296,7 +378,8 @@ bool
 CompiledPartition::popPrim(int prim_id, Value &out)
 {
     checkThread("popPrim");
-    const ElabPrim &p = prog_.prims[static_cast<size_t>(prim_id)];
+    const ElabProgram &prog = artifact_->program();
+    const ElabPrim &p = prog.prims[static_cast<size_t>(prim_id)];
     bool ok = false;
     out = popValue(prim_id, p.type, false, ok);
     return ok;
@@ -306,8 +389,8 @@ bool
 CompiledPartition::popDevice(int prim_id, Value &out)
 {
     checkThread("popDevice");
-    auto it = deviceTypes_.find(prim_id);
-    if (it == deviceTypes_.end())
+    auto it = artifact_->deviceTypes_.find(prim_id);
+    if (it == artifact_->deviceTypes_.end())
         panic("gencc: popDevice on non-device prim " +
               std::to_string(prim_id));
     bool ok = false;
@@ -329,8 +412,8 @@ CompiledPartition::callActionMethod(int meth_id,
         std::vector<std::uint32_t> part = sink.takeWords();
         words.insert(words.end(), part.begin(), part.end());
     }
-    int rc = fnCall_(inst_, meth_id, words.data(),
-                     static_cast<int>(words.size()));
+    int rc = artifact_->fnCall_(inst_, meth_id, words.data(),
+                                static_cast<int>(words.size()));
     if (rc < 0) {
         panic("gencc: call_action(" + std::to_string(meth_id) +
               ") rejected with " + std::to_string(rc) +

@@ -19,30 +19,45 @@
  * types — the same single-source-of-truth answer the paper gives to
  * the section 2.3 data-format problem.
  *
- * Contract: the ElabProgram must outlive the CompiledPartition and
- * must be a valid generateCpp() input (single-domain, typechecked).
+ * The backend is split along the paper's own artifact/instance line:
+ *
+ *   CompiledArtifact  - generate + compile + dlopen, ONCE per distinct
+ *                       generated source. Immutable after
+ *                       construction and safe to share across threads;
+ *                       it owns the dl handle, the resolved ABI entry
+ *                       points and a private copy of the ElabProgram
+ *                       (so its lifetime is self-contained). The
+ *                       serving layer's CompileCache hands the same
+ *                       artifact to thousands of sessions.
+ *   CompiledPartition - ONE live instance of the generated class
+ *                       (`bcl_gen_create`), holding a shared_ptr to
+ *                       its artifact. Cheap to construct: no compile,
+ *                       no dlopen — just an instance allocation
+ *                       inside the already-loaded object.
+ *
  * Construction fatals when no host compiler is available — callers
  * that want to degrade gracefully check hostCompilerAvailable()
- * first. One CompiledPartition owns one live instance of the
- * generated class.
+ * first.
  *
- * Thread confinement: the generated object is single-threaded state;
- * every mutating ABI call (runToQuiescence / pushPrim / popPrim /
- * popDevice / callActionMethod) must come from one thread at a time.
- * The partition *enforces* this — the first mutating call binds the
- * owning thread and a call from any other thread panics — so a
- * parallel co-simulation that accidentally shared a compiled domain
- * across workers fails loudly instead of corrupting the shadow
- * state. Ownership may move between threads only through an explicit
- * rebindThread() at a synchronization point (the co-simulation calls
- * it at epoch-barrier boundaries, e.g. so the caller thread can read
- * results after a parallel run). Counter reads (rulesFired /
- * rulesAttempted) do not bind ownership, but they read plain
- * (non-atomic) counters inside the shared object — reading them
- * while another thread is actively driving the partition is a data
- * race; read them from the owning thread, or from anywhere only
- * across a synchronization point with the owner quiesced (join,
- * barrier).
+ * Thread confinement: a generated *instance* is single-threaded
+ * state; every mutating ABI call (runToQuiescence / pushPrim /
+ * popPrim / popDevice / callActionMethod) must come from one thread
+ * at a time. The partition *enforces* this per instance — the first
+ * mutating call binds the owning thread and a call from any other
+ * thread panics — so a parallel co-simulation (or serving pool) that
+ * accidentally shared an instance across workers fails loudly
+ * instead of corrupting the shadow state. Two instances of the same
+ * artifact are independent and may be driven from two threads
+ * concurrently. Ownership of one instance moves between threads only
+ * through an explicit rebindThread() at a synchronization point (the
+ * co-simulation calls it at epoch-barrier boundaries; the serving
+ * pool calls it when a session is requeued so the next worker can
+ * claim it). Counter reads (rulesFired / rulesAttempted) do not bind
+ * ownership, but they read plain (non-atomic) counters inside the
+ * shared object — reading them while another thread is actively
+ * driving the instance is a data race; read them from the owning
+ * thread, or from anywhere only across a synchronization point with
+ * the owner quiesced (join, barrier, pool drain).
  */
 #ifndef BCL_RUNTIME_GENCC_HPP
 #define BCL_RUNTIME_GENCC_HPP
@@ -50,6 +65,7 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -65,7 +81,11 @@ struct GenccOptions
     /** Generation strategy (the §6.3 cost ladder). */
     CppGenMode mode = CppGenMode::Lifted;
 
-    /** Scratch directory; "" creates a unique one under TMPDIR. */
+    /** Scratch directory; "" creates a unique one under TMPDIR. A
+     *  caller-provided directory may be shared by concurrent
+     *  compiles: emitted file names are unique per artifact
+     *  (pid + process-wide counter), and destruction removes only
+     *  this artifact's files, never the directory. */
     std::string workDir;
 
     /** Keep the generated .cpp/.so/compile log on destruction. */
@@ -79,23 +99,121 @@ struct GenccOptions
 
     /** Extra flags appended to the compile command (e.g. "-O0 -g"). */
     std::string extraFlags;
+
+    /**
+     * File stem for the emitted .cpp/.so/.log inside workDir; ""
+     * picks a unique pid+counter stem. A caller that sets this owns
+     * the uniqueness guarantee (the CompileCache uses the source
+     * hash and serializes compiles per key, so its stems never
+     * collide).
+     */
+    std::string fileStem;
+
+    /**
+     * Reuse a pre-existing shared object instead of compiling: when
+     * non-empty, skip the generate/compile steps and dlopen this
+     * path directly. The ABI-version and marshaled-layout checks
+     * still run, so a stale or corrupted object fatals (the
+     * CompileCache catches that and falls back to a fresh compile).
+     */
+    std::string reuseSoPath;
 };
 
 /**
- * One software partition compiled to native code and loaded into the
- * process. Mirrors the engine surface exec.hpp exposes (run to
- * quiescence, external pokes arrive as pushPrim calls) plus the
- * host-driver entry points CoSim needs.
+ * One generated software partition compiled to a shared object and
+ * loaded into the process — the share-everything half of the
+ * backend. Immutable after construction; any number of
+ * CompiledPartition instances (and threads) may use it concurrently.
  */
-class CompiledPartition
+class CompiledArtifact
 {
   public:
     /** True when a host C++ compiler responds on this machine
      *  (cached after the first call). */
     static bool hostCompilerAvailable();
 
+    /** Generate, compile and dlopen (or reuse, see
+     *  GenccOptions::reuseSoPath) the partition for @p prog. */
+    CompiledArtifact(const ElabProgram &prog, GenccOptions opts = {});
+    ~CompiledArtifact();
+
+    CompiledArtifact(const CompiledArtifact &) = delete;
+    CompiledArtifact &operator=(const CompiledArtifact &) = delete;
+
+    /** The artifact's private copy of the partition program (valid
+     *  for the artifact's whole lifetime). */
+    const ElabProgram &program() const { return prog_; }
+
+    /** The generated translation unit (for tests/diagnostics; empty
+     *  when the artifact was loaded via reuseSoPath). */
+    const std::string &source() const { return source_; }
+
+    /** Where the .cpp/.so/compile log live. */
+    const std::string &artifactDir() const { return dir_; }
+
+    /** Path of the loaded shared object. */
+    const std::string &soPath() const { return so_; }
+
+    const GenccOptions &options() const { return opts_; }
+
+  private:
+    friend class CompiledPartition;
+
+    void load(const std::string &so_path);
+    void resolveAbi();
+
+    ElabProgram prog_;  ///< private copy: lifetime self-contained
+    GenccOptions opts_;
+    /** Device payload types, resolved once at load (deriving one is
+     *  a whole-program scan — see devicePayloadType). */
+    std::map<int, TypePtr> deviceTypes_;
+    std::string source_;
+    std::string dir_;
+    std::string so_;
+    bool ownDir_ = false;  ///< we created dir_ (vs caller-provided)
+    std::vector<std::string> files_;  ///< files we emitted into dir_
+    void *dl_ = nullptr;
+
+    // Resolved ABI entry points (immutable after construction).
+    void *(*fnCreate_)() = nullptr;
+    void (*fnDestroy_)(void *) = nullptr;
+    std::uint64_t (*fnRun_)(void *) = nullptr;
+    std::uint64_t (*fnStat_)(void *, int) = nullptr;
+    int (*fnPush_)(void *, int, const std::uint32_t *, int) = nullptr;
+    int (*fnPop_)(void *, int, std::uint32_t *, int) = nullptr;
+    int (*fnDevPop_)(void *, int, std::uint32_t *, int) = nullptr;
+    int (*fnCall_)(void *, int, const std::uint32_t *, int) = nullptr;
+    int (*fnWords_)(int) = nullptr;
+};
+
+/**
+ * One live instance of a compiled partition — the isolate-everything
+ * half. Mirrors the engine surface exec.hpp exposes (run to
+ * quiescence, external pokes arrive as pushPrim calls) plus the
+ * host-driver entry points CoSim needs. Thread-confined; see the
+ * file comment.
+ */
+class CompiledPartition
+{
+  public:
+    /** True when a host C++ compiler responds on this machine. */
+    static bool hostCompilerAvailable()
+    {
+        return CompiledArtifact::hostCompilerAvailable();
+    }
+
+    /** Compile privately (one artifact, one instance — the
+     *  historical constructor). @p prog must be a valid
+     *  generateCpp() input (single-domain, typechecked). */
     CompiledPartition(const ElabProgram &prog,
                       GenccOptions opts = {});
+
+    /** New instance of an already-compiled artifact (the serving
+     *  path: the .so compiled once, dlopened once, instantiated N
+     *  times). */
+    explicit CompiledPartition(
+        std::shared_ptr<const CompiledArtifact> artifact);
+
     ~CompiledPartition();
 
     CompiledPartition(const CompiledPartition &) = delete;
@@ -140,50 +258,45 @@ class CompiledPartition
      */
     void rebindThread();
 
-    /** Cumulative rule firings inside the shared object. */
+    /** Cumulative rule firings inside this instance. */
     std::uint64_t rulesFired() const;
 
     /** Cumulative rule attempts (schedule slots tried). */
     std::uint64_t rulesAttempted() const;
 
-    const ElabProgram &program() const { return prog_; }
+    const ElabProgram &program() const
+    {
+        return artifact_->program();
+    }
 
     /** The generated translation unit (for tests/diagnostics). */
-    const std::string &source() const { return source_; }
+    const std::string &source() const { return artifact_->source(); }
 
     /** Where the .cpp/.so/compile log live. */
-    const std::string &artifactDir() const { return dir_; }
+    const std::string &artifactDir() const
+    {
+        return artifact_->artifactDir();
+    }
+
+    /** The shared compile/dlopen half behind this instance. */
+    const std::shared_ptr<const CompiledArtifact> &artifact() const
+    {
+        return artifact_;
+    }
 
   private:
     Value popValue(int prim_id, const TypePtr &type, bool device,
                    bool &ok);
 
-    /** Bind-or-verify the owning thread (see class comment). */
+    /** Bind-or-verify the owning thread (see file comment). */
     void checkThread(const char *op);
 
     /** Owning thread of the mutating ABI; default-constructed id =
      *  unbound. */
     std::atomic<std::thread::id> owner_{};
 
-    const ElabProgram &prog_;
-    GenccOptions opts_;
-    /** Device payload types, resolved once at load (deriving one is
-     *  a whole-program scan — see devicePayloadType). */
-    std::map<int, TypePtr> deviceTypes_;
-    std::string source_;
-    std::string dir_;
-    void *dl_ = nullptr;
+    std::shared_ptr<const CompiledArtifact> artifact_;
     void *inst_ = nullptr;
-
-    // Resolved ABI entry points.
-    std::uint64_t (*fnRun_)(void *) = nullptr;
-    std::uint64_t (*fnStat_)(void *, int) = nullptr;
-    int (*fnPush_)(void *, int, const std::uint32_t *, int) = nullptr;
-    int (*fnPop_)(void *, int, std::uint32_t *, int) = nullptr;
-    int (*fnDevPop_)(void *, int, std::uint32_t *, int) = nullptr;
-    int (*fnCall_)(void *, int, const std::uint32_t *, int) = nullptr;
-    int (*fnWords_)(int) = nullptr;
-    void (*fnDestroy_)(void *) = nullptr;
 };
 
 } // namespace bcl

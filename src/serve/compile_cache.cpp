@@ -1,0 +1,162 @@
+#include "serve/compile_cache.hpp"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/logging.hpp"
+
+namespace bcl {
+namespace serve {
+
+namespace {
+
+/** FNV-1a over the bytes of @p s, folded into the running @p h. */
+std::uint64_t
+fnv1a(std::uint64_t h, const std::string &s)
+{
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    // Separator: "ab"+"c" and "a"+"bc" must not collide.
+    h ^= 0xff;
+    h *= 1099511628211ull;
+    return h;
+}
+
+std::string
+hex64(std::uint64_t h)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(h));
+    return buf;
+}
+
+const char *
+modeName(CppGenMode m)
+{
+    switch (m) {
+      case CppGenMode::Naive: return "naive";
+      case CppGenMode::Inlined: return "inlined";
+      case CppGenMode::Lifted: return "lifted";
+    }
+    return "?";
+}
+
+} // namespace
+
+std::string
+compileCacheKey(const ElabProgram &prog, const GenccOptions &opts)
+{
+    // The generated source is the ground truth the .so was built
+    // from; mode is folded in twice (it changes the source anyway,
+    // but belt and braces), and the flag/include knobs change the
+    // binary without changing the source.
+    std::uint64_t h = 1469598103934665603ull;
+    h = fnv1a(h, generateCpp(prog, "BclGenPartition", opts.mode));
+    h = fnv1a(h, modeName(opts.mode));
+    h = fnv1a(h, opts.extraFlags);
+    h = fnv1a(h, opts.includeDir);
+    return hex64(h);
+}
+
+CompileCache::CompileCache(CompileCacheOptions opts)
+    : opts_(std::move(opts))
+{
+    if (!opts_.dir.empty())
+        std::filesystem::create_directories(opts_.dir);
+}
+
+std::shared_ptr<const CompiledArtifact>
+CompileCache::build(const ElabProgram &prog, GenccOptions opts,
+                    const std::string &key)
+{
+    if (!opts_.dir.empty()) {
+        // Disk layer: deterministic stem inside the cache dir, files
+        // persisted past the artifact (keepArtifacts) so a later
+        // cache instance gets a disk hit.
+        opts.workDir = opts_.dir;
+        opts.fileStem = key;
+        opts.keepArtifacts = true;
+        std::string so = opts_.dir + "/" + key + ".so";
+        if (std::filesystem::exists(so)) {
+            GenccOptions reuse = opts;
+            reuse.reuseSoPath = so;
+            try {
+                auto art = std::make_shared<const CompiledArtifact>(
+                    prog, std::move(reuse));
+                std::lock_guard<std::mutex> lock(mu_);
+                stats_.diskHits++;
+                return art;
+            } catch (const Error &err) {
+                // Corrupted / stale / truncated entry: drop it and
+                // recompile. Validation is dlopen + ABI version +
+                // marshaled-layout cross-check (gencc.cpp).
+                warn("compile cache: persisted entry " + so +
+                     " failed validation (" + err.what() +
+                     "); recompiling");
+                std::error_code ec;
+                std::filesystem::remove(so, ec);
+                std::lock_guard<std::mutex> lock(mu_);
+                stats_.corruptFallbacks++;
+            }
+        }
+    } else {
+        opts.workDir.clear();
+        opts.fileStem.clear();
+        opts.keepArtifacts = false;
+    }
+    opts.reuseSoPath.clear();
+    auto art =
+        std::make_shared<const CompiledArtifact>(prog, std::move(opts));
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.compiles++;
+    return art;
+}
+
+std::shared_ptr<const CompiledArtifact>
+CompileCache::get(const ElabProgram &prog, const GenccOptions &opts)
+{
+    const std::string key = compileCacheKey(prog, opts);
+
+    std::promise<std::shared_ptr<const CompiledArtifact>> promise;
+    ArtifactFuture future;
+    bool builder = false;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = entries_.find(key);
+        if (it == entries_.end()) {
+            future = promise.get_future().share();
+            entries_.emplace(key, future);
+            builder = true;
+        } else {
+            future = it->second;
+            stats_.hits++;
+        }
+    }
+
+    if (builder) {
+        try {
+            promise.set_value(build(prog, opts, key));
+        } catch (...) {
+            // Propagate to every waiter, then clear the key so a
+            // later call can retry (e.g. compiler installed, disk
+            // freed).
+            promise.set_exception(std::current_exception());
+            std::lock_guard<std::mutex> lock(mu_);
+            entries_.erase(key);
+        }
+    }
+    return future.get();
+}
+
+CompileCacheStats
+CompileCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+} // namespace serve
+} // namespace bcl

@@ -91,6 +91,67 @@ splitVorbisConfig()
     return cfg;
 }
 
+VorbisServeSetup
+makeVorbisServeSetup(const VorbisConfig &vcfg)
+{
+    VorbisServeSetup setup;
+    Program prog = makeVorbisProgram(vcfg);
+    setup.elab = elaborate(prog);
+    DomainAssignment doms = inferDomains(setup.elab);
+    setup.parts = partitionProgram(setup.elab, doms);
+    const PartitionPart &sw = setup.parts.part("SW");
+    setup.pushMethod = sw.prog.rootMethod("input");
+    setup.audioPrim = sw.prog.primByPath("audio");
+    return setup;
+}
+
+std::shared_ptr<VorbisStreamState>
+makeVorbisStreamState(int frames, std::uint64_t seed)
+{
+    auto state = std::make_shared<VorbisStreamState>();
+    state->inputs = makeFrames(frames, seed);
+    return state;
+}
+
+SwDriver
+makeVorbisStreamDriver(std::shared_ptr<VorbisStreamState> state,
+                       int push_method)
+{
+    SwDriver driver;
+    driver.step = [state, push_method](SwPort &port) -> std::uint64_t {
+        if (state->fed >= state->inputs.size())
+            return 0;
+        std::vector<Value> elems;
+        elems.reserve(kFrameIn);
+        for (Fix32 s : state->inputs[state->fed])
+            elems.push_back(fixValue(s));
+        std::uint64_t before = port.work();
+        if (port.callActionMethod(
+                push_method, {Value::makeVec(std::move(elems))})) {
+            state->fed++;
+            // Same framing-cost accounting as runVorbisConfig's
+            // driver: method-call work plus loop bookkeeping.
+            return port.work() - before + kFrameIn;
+        }
+        return 0;
+    };
+    driver.done = [state] {
+        return state->fed >= state->inputs.size();
+    };
+    return driver;
+}
+
+std::vector<std::int32_t>
+extractPcm(CoSim &cs, int audio_prim)
+{
+    std::vector<std::int32_t> pcm;
+    for (const auto &v : cs.storeOf("SW").at(audio_prim).queue) {
+        for (const auto &s : v.elems())
+            pcm.push_back(static_cast<std::int32_t>(s.asInt()));
+    }
+    return pcm;
+}
+
 VorbisRunResult
 runVorbisConfig(const VorbisConfig &vcfg, int frames,
                 const CosimConfig *cfg_override, std::uint64_t seed)

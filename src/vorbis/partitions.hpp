@@ -18,6 +18,7 @@
 #define BCL_VORBIS_PARTITIONS_HPP
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -84,6 +85,54 @@ VorbisRunResult runVorbisConfig(const VorbisConfig &vcfg, int frames,
  *  hardware domain (4 domains incl. SW — the parallel-scaling
  *  workload). */
 VorbisConfig splitVorbisConfig();
+
+// ---------------------------------------------------------------------------
+// Serving-layer helpers (src/serve/): many concurrent Vorbis streams
+// over ONE shared program/partitioning.
+// ---------------------------------------------------------------------------
+
+/**
+ * The immutable artifacts every serving session of one VorbisConfig
+ * shares: the elaborated program, its partitioning, and the resolved
+ * SW-side entry points. Build once, then back any number of
+ * concurrent sessions — sessions only read it (their mutable state
+ * lives in their own Stores).
+ */
+struct VorbisServeSetup
+{
+    ElabProgram elab;
+    PartitionResult parts;
+    int pushMethod = -1;  ///< root `input` method in the SW part
+    int audioPrim = -1;   ///< AudioDev prim in the SW part
+};
+
+VorbisServeSetup makeVorbisServeSetup(const VorbisConfig &vcfg = {});
+
+/**
+ * Per-stream input state captured by the driver closure. One per
+ * session; the shared_ptr keeps it alive inside the SwDriver.
+ */
+struct VorbisStreamState
+{
+    std::vector<std::vector<Fix32>> inputs;
+    size_t fed = 0;
+};
+
+/**
+ * Driver feeding @p state's frames through the `input` root method —
+ * the per-session twin of the driver runVorbisConfig wires up.
+ * @p seed picks the stream's synthetic audio (same seed => same PCM
+ * as a solo serial run; the serving determinism tests rely on it).
+ */
+SwDriver makeVorbisStreamDriver(
+    std::shared_ptr<VorbisStreamState> state, int push_method);
+
+/** Fresh per-stream input state (@p frames frames from @p seed). */
+std::shared_ptr<VorbisStreamState> makeVorbisStreamState(
+    int frames, std::uint64_t seed);
+
+/** Decoded PCM currently on @p audio_prim of @p cs ("SW" store). */
+std::vector<std::int32_t> extractPcm(CoSim &cs, int audio_prim);
 
 } // namespace vorbis
 } // namespace bcl

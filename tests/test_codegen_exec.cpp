@@ -28,6 +28,7 @@
 #include "platform/cosim.hpp"
 #include "runtime/exec.hpp"
 #include "runtime/gencc.hpp"
+#include "serve/compile_cache.hpp"
 #include "vorbis/backend_bcl.hpp"
 #include "vorbis/partitions.hpp"
 
@@ -415,6 +416,131 @@ TEST(CodegenExecConfinement, SecondThreadPanicsUntilRebound)
     // ...and the original thread is now the intruder.
     cp.rebindThread();
     cp.runToQuiescence();
+}
+
+/** runToQuiescence/drain rounds against the counter SW partition's
+ *  SyncTx half; returns the message stream and the firing count. */
+std::pair<std::vector<Value>, std::uint64_t>
+drainRounds(CompiledPartition &cp, int tx, int rounds)
+{
+    std::vector<Value> got;
+    for (int r = 0; r < rounds; r++) {
+        cp.runToQuiescence();
+        Value v;
+        while (cp.popPrim(tx, v))
+            got.push_back(v);
+    }
+    return {got, cp.rulesFired()};
+}
+
+/**
+ * The share-the-artifact / isolate-the-instance split: two
+ * CompiledPartition instances over ONE cached shared object, driven
+ * from two threads at the same time, must each produce the complete
+ * solo message stream — per-instance state lives in bcl_gen_create's
+ * object, and nothing in the .so (or the dlopen handle both
+ * instances share) is mutable per-run.
+ */
+TEST(CodegenExecSharedArtifact, TwoInstancesOnTwoThreadsDontInterfere)
+{
+    REQUIRE_HOST_COMPILER();
+    PartitionResult parts = counterParts();
+    const ElabProgram &sw = parts.part("SW").prog;
+    int tx = sw.primByPath("toHw");
+
+    serve::CompileCache cache;
+    auto artifact = cache.get(sw);
+    ASSERT_EQ(cache.stats().compiles, 1u);
+
+    // Solo reference from a third instance of the same artifact.
+    CompiledPartition solo(artifact);
+    auto expect = drainRounds(solo, tx, 6);
+    ASSERT_FALSE(expect.first.empty());
+
+    CompiledPartition a(artifact);
+    CompiledPartition b(artifact);
+    std::pair<std::vector<Value>, std::uint64_t> ra, rb;
+    std::thread ta([&] { ra = drainRounds(a, tx, 6); });
+    std::thread tb([&] { rb = drainRounds(b, tx, 6); });
+    ta.join();
+    tb.join();
+
+    EXPECT_EQ(ra.first, expect.first);
+    EXPECT_EQ(ra.second, expect.second);
+    EXPECT_EQ(rb.first, expect.first);
+    EXPECT_EQ(rb.second, expect.second);
+    EXPECT_EQ(cache.stats().compiles, 1u);
+}
+
+/** Confinement survives the artifact refactor: an instance from a
+ *  shared artifact still binds its first mutating caller and panics
+ *  on wrong-thread mutation. */
+TEST(CodegenExecSharedArtifact, WrongThreadMutationStillPanics)
+{
+    REQUIRE_HOST_COMPILER();
+    PartitionResult parts = counterParts();
+    const ElabProgram &sw = parts.part("SW").prog;
+    auto artifact =
+        std::make_shared<const CompiledArtifact>(sw, GenccOptions{});
+
+    CompiledPartition cp(artifact);
+    cp.runToQuiescence();  // bind to this thread
+
+    bool panicked = false;
+    std::thread intruder([&] {
+        try {
+            cp.runToQuiescence();
+        } catch (const PanicError &) {
+            panicked = true;
+        }
+    });
+    intruder.join();
+    EXPECT_TRUE(panicked);
+
+    // A sibling instance of the same artifact is unaffected by the
+    // first instance's binding: it binds ITS first caller.
+    bool sibling_ok = false;
+    CompiledPartition sibling(artifact);
+    std::thread other([&] {
+        sibling.runToQuiescence();
+        sibling_ok = true;
+    });
+    other.join();
+    EXPECT_TRUE(sibling_ok);
+}
+
+/**
+ * rebindThread() migrates an instance between threads mid-run (the
+ * serving pool does this on every frame quantum): half the rounds on
+ * one thread, rebind at the join synchronization point, the rest on
+ * another — the concatenated stream and final firing count must be
+ * identical to an uninterrupted single-threaded run.
+ */
+TEST(CodegenExecSharedArtifact, RebindThreadMigratesMidRun)
+{
+    REQUIRE_HOST_COMPILER();
+    PartitionResult parts = counterParts();
+    const ElabProgram &sw = parts.part("SW").prog;
+    int tx = sw.primByPath("toHw");
+    auto artifact =
+        std::make_shared<const CompiledArtifact>(sw, GenccOptions{});
+
+    CompiledPartition solo(artifact);
+    auto expect = drainRounds(solo, tx, 6);
+
+    CompiledPartition cp(artifact);
+    std::pair<std::vector<Value>, std::uint64_t> first, second;
+    std::thread early([&] { first = drainRounds(cp, tx, 3); });
+    early.join();
+    cp.rebindThread();  // join above is the required sync point
+    std::thread late([&] { second = drainRounds(cp, tx, 3); });
+    late.join();
+
+    std::vector<Value> all = first.first;
+    all.insert(all.end(), second.first.begin(), second.first.end());
+    EXPECT_EQ(all, expect.first);
+    EXPECT_EQ(second.second, expect.second)
+        << "cumulative firing count after migration";
 }
 
 TEST(CodegenExecCosim, VorbisPartitionDCompiledMatchesInterpreted)
