@@ -18,8 +18,14 @@
  * hardware_concurrency says which regime produced the numbers).
  *
  * Usage: cosim_parallel [--frames N] [--ray-size W] [--json FILE]
+ *                       [--trace FILE]
  * --json emits the sweep for scripts/bench_report.py to fold into
- * BENCH_runtime.json.
+ * BENCH_runtime.json; each workload entry carries a "metrics" object
+ * (per-channel traffic of its threads=1 run under the stable
+ * cosim.channel.* names). --trace records the whole sweep as a
+ * Chrome trace_event timeline (epoch spans, per-domain worker
+ * slices, channel flow arrows; use small --frames/--ray-size — every
+ * message becomes two events).
  */
 #include <algorithm>
 #include <chrono>
@@ -33,6 +39,8 @@
 
 #include "common/stats.hpp"
 #include "core/domains.hpp"
+#include "obs/trace.hpp"
+#include "platform/channel.hpp"
 #include "ray/partitions.hpp"
 #include "vorbis/partitions.hpp"
 
@@ -53,6 +61,9 @@ struct WorkloadResult
     std::string name;
     int domains = 0;
     std::vector<RunPoint> runs;
+    /** Per-channel traffic of the threads=1 run (the baseline every
+     *  other run must match bit-for-bit anyway). */
+    std::vector<std::pair<std::string, ChannelStats>> channelStats;
 
     double
     speedupAt(int threads) const
@@ -138,6 +149,7 @@ sweepWorkload(const std::string &name, int domains, RunFn run,
         pt.fpgaCycles = r.fpgaCycles;
         if (!have_ref) {
             ref = output_of(r);
+            res.channelStats = r.channelStats;
             have_ref = true;
         } else {
             pt.outputsMatch = output_of(r) == ref;
@@ -167,7 +179,15 @@ writeJson(const std::string &path,
                 << ", \"outputs_match\": "
                 << (r.outputsMatch ? "true" : "false") << "}";
         }
-        out << "], \"best_speedup\": " << w.bestSpeedup() << "}"
+        // Per-channel traffic under the stable names, via a private
+        // registry so one workload's channels never bleed into
+        // another's snapshot.
+        obs::MetricsRegistry reg;
+        reg.enable(true);
+        for (const auto &[chan, st] : w.channelStats)
+            snapshotChannelStats(reg, "cosim.channel." + chan, st);
+        out << "], \"metrics\": " << reg.toJson()
+            << ", \"best_speedup\": " << w.bestSpeedup() << "}"
             << (i + 1 < results.size() ? "," : "") << "\n";
     }
     out << "  ]\n}\n";
@@ -182,6 +202,7 @@ main(int argc, char **argv)
     int ray_size = 10;
     int ray_prims = 64;
     std::string json_path;
+    std::string trace_path;
     for (int i = 1; i < argc; i++) {
         if (std::strcmp(argv[i], "--frames") == 0 && i + 1 < argc)
             frames = std::atoi(argv[++i]);
@@ -193,6 +214,13 @@ main(int argc, char **argv)
             ray_prims = std::atoi(argv[++i]);
         else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
             json_path = argv[++i];
+        else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc)
+            trace_path = argv[++i];
+    }
+
+    if (!trace_path.empty()) {
+        obs::trace().enable(true);
+        obs::metrics().enable(true);  // epoch wall-time histogram
     }
 
     std::printf("== Parallel co-simulation scaling sweep ==\n");
@@ -266,5 +294,13 @@ main(int argc, char **argv)
 
     if (!json_path.empty())
         writeJson(json_path, results);
+    if (!trace_path.empty()) {
+        obs::trace().writeJson(trace_path);
+        std::printf("trace (%llu events) written to %s — load in "
+                    "Perfetto or chrome://tracing\n",
+                    static_cast<unsigned long long>(
+                        obs::trace().eventCount()),
+                    trace_path.c_str());
+    }
     return all_match ? 0 : 1;
 }

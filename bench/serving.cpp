@@ -22,9 +22,22 @@
  *
  * Usage: serving [--sessions 100,1000,10000] [--frames N]
  *                [--workers W] [--backend compiled|interpreted]
- *                [--verify M] [--json FILE]
+ *                [--verify M] [--json FILE] [--trace FILE]
+ *                [--partition F|A|B|C|D|E]
  * --json emits the sweep for scripts/bench_report.py to fold into
- * BENCH_runtime.json (the "serving" section).
+ * BENCH_runtime.json (the "serving" section), now including a
+ * "metrics" object (the registry snapshot: pool/cache/sample-session
+ * metrics). --trace writes a Chrome trace_event timeline (load in
+ * Perfetto or chrome://tracing) of the LAST sweep point: session
+ * lifecycle instants, per-worker session.advance slices, and — when
+ * the partition has channels — pickup->deliver flow arrows. Because
+ * the default partition F is full-software (zero channels), --trace
+ * without an explicit --partition switches to partition B so the
+ * timeline actually shows channel traffic.
+ *
+ * Frame p50/p99 now come from the registry's serve.session.frame_ms
+ * histogram (reset per point) instead of hand-rolled percentile
+ * math; the per-session latency vectors remain for the tests.
  */
 #include <algorithm>
 #include <chrono>
@@ -37,6 +50,7 @@
 #include <vector>
 
 #include "common/stats.hpp"
+#include "obs/trace.hpp"
 #include "serve/pool.hpp"
 #include "vorbis/partitions.hpp"
 
@@ -56,17 +70,6 @@ struct Point
     int verified = 0;
     bool outputsMatch = true;
 };
-
-double
-percentile(std::vector<double> &xs, double p)
-{
-    if (xs.empty())
-        return 0;
-    size_t idx = static_cast<size_t>(
-        p * static_cast<double>(xs.size() - 1) + 0.5);
-    std::nth_element(xs.begin(), xs.begin() + idx, xs.end());
-    return xs[idx];
-}
 
 std::vector<int>
 parseSessionList(const char *arg)
@@ -95,6 +98,8 @@ main(int argc, char **argv)
     int verify = 16;
     std::string backend = "compiled";
     std::string json_path;
+    std::string trace_path;
+    std::string partition;
     for (int i = 1; i < argc; i++) {
         if (std::strcmp(argv[i], "--sessions") == 0 && i + 1 < argc)
             sweeps = parseSessionList(argv[++i]);
@@ -108,7 +113,19 @@ main(int argc, char **argv)
             backend = argv[++i];
         else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
             json_path = argv[++i];
+        else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc)
+            trace_path = argv[++i];
+        else if (std::strcmp(argv[i], "--partition") == 0 &&
+                 i + 1 < argc)
+            partition = argv[++i];
     }
+
+    // The frame-latency percentiles come from the registry histogram,
+    // so metrics are always on here; the trace recorder only when a
+    // timeline was asked for.
+    obs::metrics().enable(true);
+    if (!trace_path.empty())
+        obs::trace().enable(true);
 
     SwBackend sw_backend = SwBackend::Compiled;
     if (backend == "interpreted") {
@@ -120,15 +137,33 @@ main(int argc, char **argv)
         sw_backend = SwBackend::Interpreted;
     }
 
-    const vorbis::VorbisConfig vcfg;  // full-SW: the serving shape
+    // F (full software) is the serving shape; --trace defaults to B
+    // so the timeline has channel traffic to draw flow arrows for.
+    if (partition.empty())
+        partition = trace_path.empty() ? "F" : "B";
+    vorbis::VorbisPartition part = vorbis::VorbisPartition::F;
+    switch (partition[0]) {
+      case 'F': part = vorbis::VorbisPartition::F; break;
+      case 'A': part = vorbis::VorbisPartition::A; break;
+      case 'B': part = vorbis::VorbisPartition::B; break;
+      case 'C': part = vorbis::VorbisPartition::C; break;
+      case 'D': part = vorbis::VorbisPartition::D; break;
+      case 'E': part = vorbis::VorbisPartition::E; break;
+      default:
+        std::fprintf(stderr, "unknown partition '%s'\n",
+                     partition.c_str());
+        return 2;
+    }
+    const vorbis::VorbisConfig vcfg = vorbis::partitionConfig(part);
     vorbis::VorbisServeSetup setup =
         vorbis::makeVorbisServeSetup(vcfg);
 
     std::printf("== Serving-layer sweep: concurrent Vorbis streams "
                 "==\n");
-    std::printf("backend: %s; frames/stream: %d; workers: %d "
-                "(hc=%u)\n\n",
-                backend.c_str(), frames,
+    std::printf("partition: %c; backend: %s; frames/stream: %d; "
+                "workers: %d (hc=%u)\n\n",
+                vorbis::partitionName(part)[0], backend.c_str(),
+                frames,
                 workers ? workers
                         : static_cast<int>(
                               std::thread::hardware_concurrency()),
@@ -140,8 +175,17 @@ main(int argc, char **argv)
     bool all_match = true;
 
     for (int n : sweeps) {
+        // Keep only the last point's timeline: all pool/session
+        // threads from the previous point are joined here, so the
+        // recorder is quiescent and clear() is safe.
+        if (!trace_path.empty())
+            obs::trace().clear();
+
         SessionManager mgr({workers, {}});
         effective_workers = mgr.pool().workers();
+        obs::Histogram &frame_hist =
+            obs::metrics().histogram("serve.session.frame_ms");
+        frame_hist.reset();
 
         CosimConfig cfg;
         cfg.swBackend = sw_backend;
@@ -195,13 +239,8 @@ main(int argc, char **argv)
         pt.streamsPerSec =
             static_cast<double>(n) / (pt.wallMs / 1000.0);
         pt.framesPerSec = pt.streamsPerSec * frames;
-        std::vector<double> lat;
-        for (auto &s : sessions) {
-            for (double ms : s->frameLatenciesMs())
-                lat.push_back(ms);
-        }
-        pt.frameP50Ms = percentile(lat, 0.50);
-        pt.frameP99Ms = percentile(lat, 0.99);
+        pt.frameP50Ms = frame_hist.percentile(0.50);
+        pt.frameP99Ms = frame_hist.percentile(0.99);
 
         // Spot-verify against solo serial runs (independent oracle:
         // runVorbisConfig builds its own program and cosim).
@@ -249,6 +288,13 @@ main(int argc, char **argv)
         points.push_back(pt);
 
         cacheStats = mgr.cache().stats();
+        // Publish this point's pool/cache/sample-session state under
+        // the stable metric names; the JSON below embeds the registry
+        // as it stands after the final point.
+        mgr.pool().snapshotMetrics(obs::metrics());
+        mgr.cache().snapshotMetrics(obs::metrics());
+        if (!sessions.empty())
+            sessions.front()->cosim().snapshotMetrics(obs::metrics());
     }
 
     TextTable table;
@@ -272,6 +318,8 @@ main(int argc, char **argv)
     if (!json_path.empty()) {
         std::ofstream out(json_path);
         out << "{\n  \"backend\": \"" << backend << "\",\n"
+            << "  \"partition\": \""
+            << vorbis::partitionName(part) << "\",\n"
             << "  \"workers\": " << effective_workers << ",\n"
             << "  \"hardware_concurrency\": "
             << std::thread::hardware_concurrency() << ",\n"
@@ -280,7 +328,10 @@ main(int argc, char **argv)
             << cacheStats.compiles << ", \"hits\": " << cacheStats.hits
             << ", \"disk_hits\": " << cacheStats.diskHits
             << ", \"corrupt_fallbacks\": "
-            << cacheStats.corruptFallbacks << "},\n"
+            << cacheStats.corruptFallbacks << ", \"hit_ratio\": "
+            << obs::metrics().gauge("serve.cache.hit_ratio").value()
+            << "},\n"
+            << "  \"metrics\": " << obs::metrics().toJson() << ",\n"
             << "  \"points\": [\n";
         for (size_t i = 0; i < points.size(); i++) {
             const Point &pt = points[i];
@@ -296,6 +347,14 @@ main(int argc, char **argv)
                 << (i + 1 < points.size() ? "," : "") << "\n";
         }
         out << "  ]\n}\n";
+    }
+    if (!trace_path.empty()) {
+        obs::trace().writeJson(trace_path);
+        std::printf("trace (last sweep point, %llu events) written "
+                    "to %s — load in Perfetto or chrome://tracing\n",
+                    static_cast<unsigned long long>(
+                        obs::trace().eventCount()),
+                    trace_path.c_str());
     }
     return all_match ? 0 : 1;
 }

@@ -18,6 +18,12 @@ Runs the built benchmarks and merges their machine-readable output:
   - sw_runtime_opts (Google Benchmark, optional): scheduling/lifting/
     sequentialization ablations with wall-clock per run.
 
+The assembled report also carries a top-level "metrics_snapshot"
+section: the src/obs/ typed-registry dumps from the serving sweep
+(pool/cache/session metrics) and the per-channel traffic of each
+cosim_parallel workload, under the stable metric names documented in
+docs/ARCHITECTURE.md ("Observability").
+
 Usage:
   scripts/bench_report.py --build-dir build [--out BENCH_runtime.json]
                           [--frames 128]
@@ -189,6 +195,26 @@ def run_sw_runtime_opts(build_dir):
         os.unlink(tmp_path)
 
 
+def metrics_snapshot(serving, scaling):
+    """Fold the benches' typed-registry snapshots (src/obs/, stable
+    names documented in ARCHITECTURE.md "Observability") into one
+    top-level section, so a reader of BENCH_runtime.json gets the
+    serving pool/cache/session counters and the per-channel cosim
+    traffic without digging through each bench's native layout."""
+    snap = {}
+    if serving is not None and "metrics" in serving:
+        snap["serving"] = serving["metrics"]
+    if scaling is not None:
+        chans = {
+            w["name"]: w["metrics"]
+            for w in scaling.get("workloads", [])
+            if w.get("metrics")
+        }
+        if chans:
+            snap["cosim_channels"] = chans
+    return snap
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--build-dir", default="build")
@@ -227,6 +253,10 @@ def main():
     ablations = run_sw_runtime_opts(args.build_dir)
     if ablations is not None:
         report["sw_runtime_opts"] = ablations
+
+    snapshot = metrics_snapshot(serving, scaling)
+    if snapshot:
+        report["metrics_snapshot"] = snapshot
 
     with open(args.out, "w") as f:
         json.dump(report, f, indent=2)

@@ -1,11 +1,57 @@
 #include "common/logging.hpp"
 
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
 
 namespace bcl {
 
 namespace {
-bool verboseEnabled = false;
+
+/** BCL_LOG spelling -> level; unknown values keep the default. */
+int
+levelFromEnv()
+{
+    const char *env = std::getenv("BCL_LOG");
+    if (!env || !*env)
+        return static_cast<int>(LogLevel::Warn);
+    if (std::strcmp(env, "silent") == 0 || std::strcmp(env, "0") == 0)
+        return static_cast<int>(LogLevel::Silent);
+    if (std::strcmp(env, "warn") == 0 || std::strcmp(env, "1") == 0)
+        return static_cast<int>(LogLevel::Warn);
+    if (std::strcmp(env, "info") == 0 || std::strcmp(env, "2") == 0)
+        return static_cast<int>(LogLevel::Info);
+    if (std::strcmp(env, "debug") == 0 || std::strcmp(env, "3") == 0)
+        return static_cast<int>(LogLevel::Debug);
+    return static_cast<int>(LogLevel::Warn);
+}
+
+std::atomic<int> &
+levelCell()
+{
+    static std::atomic<int> level{levelFromEnv()};
+    return level;
+}
+
+/**
+ * The one sink every status line goes through: the line is formatted
+ * first, then written with a single serialized fputs, so concurrent
+ * worker-thread diagnostics never interleave mid-line.
+ */
+void
+sink(const char *tag, const std::string &msg)
+{
+    static std::mutex mu;
+    std::string line(tag);
+    line += ": ";
+    line += msg;
+    line += "\n";
+    std::lock_guard<std::mutex> lock(mu);
+    std::fputs(line.c_str(), stderr);
+}
+
 } // namespace
 
 namespace detail {
@@ -20,6 +66,20 @@ formatDiag(const char *kind, const std::string &msg)
 }
 
 } // namespace detail
+
+LogLevel
+logLevel()
+{
+    return static_cast<LogLevel>(
+        levelCell().load(std::memory_order_relaxed));
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    levelCell().store(static_cast<int>(level),
+                      std::memory_order_relaxed);
+}
 
 void
 panic(const std::string &msg)
@@ -36,20 +96,28 @@ fatal(const std::string &msg)
 void
 warn(const std::string &msg)
 {
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    if (logLevel() >= LogLevel::Warn)
+        sink("warn", msg);
 }
 
 void
 inform(const std::string &msg)
 {
-    if (verboseEnabled)
-        std::fprintf(stderr, "info: %s\n", msg.c_str());
+    if (logLevel() >= LogLevel::Info)
+        sink("info", msg);
+}
+
+void
+debugLog(const std::string &msg)
+{
+    if (logLevel() >= LogLevel::Debug)
+        sink("debug", msg);
 }
 
 void
 setVerbose(bool on)
 {
-    verboseEnabled = on;
+    setLogLevel(on ? LogLevel::Info : LogLevel::Warn);
 }
 
 } // namespace bcl

@@ -1,0 +1,250 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace bcl {
+namespace obs {
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+Histogram::Histogram(const std::atomic<bool> &gate,
+                     std::vector<double> bounds)
+    : gate_(gate), bounds_(std::move(bounds)),
+      counts_(bounds_.size() + 1)
+{
+    if (bounds_.empty())
+        throw std::invalid_argument("Histogram: no bucket bounds");
+    if (!std::is_sorted(bounds_.begin(), bounds_.end()))
+        throw std::invalid_argument(
+            "Histogram: bounds must ascend");
+}
+
+void
+Histogram::record(double v)
+{
+    // Branchless-ish bucket pick: first bound >= v, else overflow.
+    size_t i = static_cast<size_t>(
+        std::lower_bound(bounds_.begin(), bounds_.end(), v) -
+        bounds_.begin());
+    counts_[i].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    // fetch_add on atomic<double> (C++20) — a CAS loop on most
+    // targets; fine for a per-observation cost.
+    double cur = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(cur, cur + v,
+                                       std::memory_order_relaxed)) {
+    }
+}
+
+std::uint64_t
+Histogram::count() const
+{
+    return count_.load(std::memory_order_relaxed);
+}
+
+double
+Histogram::sum() const
+{
+    return sum_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+Histogram::bucketCount(size_t i) const
+{
+    return counts_[i].load(std::memory_order_relaxed);
+}
+
+double
+Histogram::percentile(double q) const
+{
+    const std::uint64_t n = count();
+    if (n == 0)
+        return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    // Rank of the target observation (1-based), then walk buckets.
+    const double rank = q * static_cast<double>(n);
+    double seen = 0;
+    for (size_t i = 0; i < counts_.size(); i++) {
+        const double c =
+            static_cast<double>(counts_[i].load(
+                std::memory_order_relaxed));
+        if (c == 0)
+            continue;
+        if (seen + c >= rank) {
+            const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+            if (i == bounds_.size())
+                return lo;  // overflow: report the lower edge
+            const double hi = bounds_[i];
+            const double frac = std::clamp(
+                (rank - seen) / c, 0.0, 1.0);
+            return lo + (hi - lo) * frac;
+        }
+        seen += c;
+    }
+    return bounds_.back();
+}
+
+void
+Histogram::reset()
+{
+    for (auto &c : counts_)
+        c.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<double>
+Histogram::exponentialBounds(double first, double factor, int n)
+{
+    std::vector<double> b;
+    b.reserve(static_cast<size_t>(n));
+    double v = first;
+    for (int i = 0; i < n; i++) {
+        b.push_back(v);
+        v *= factor;
+    }
+    return b;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+MetricsRegistry &
+MetricsRegistry::instance()
+{
+    static MetricsRegistry reg;
+    return reg;
+}
+
+MetricsRegistry &
+metrics()
+{
+    return MetricsRegistry::instance();
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    Entry &e = entries_[name];
+    if (e.gauge || e.histogram)
+        throw std::logic_error("metric '" + name +
+                               "' already registered with another "
+                               "type");
+    if (!e.counter)
+        e.counter = std::make_unique<Counter>(enabled_);
+    return *e.counter;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    Entry &e = entries_[name];
+    if (e.counter || e.histogram)
+        throw std::logic_error("metric '" + name +
+                               "' already registered with another "
+                               "type");
+    if (!e.gauge)
+        e.gauge = std::make_unique<Gauge>(enabled_);
+    return *e.gauge;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name,
+                           std::vector<double> bounds)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    Entry &e = entries_[name];
+    if (e.counter || e.gauge)
+        throw std::logic_error("metric '" + name +
+                               "' already registered with another "
+                               "type");
+    if (!e.histogram) {
+        if (bounds.empty()) {
+            // Default latency-style spacing: 1e-3 .. ~1.7e4 (ms
+            // figures span sub-us event sites to multi-second
+            // stalls), 25 buckets at 2x.
+            bounds = Histogram::exponentialBounds(1e-3, 2.0, 25);
+        }
+        e.histogram =
+            std::make_unique<Histogram>(enabled_, std::move(bounds));
+    }
+    return *e.histogram;
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto &[name, e] : entries_) {
+        if (e.counter)
+            e.counter->reset();
+        if (e.gauge)
+            e.gauge->reset();
+        if (e.histogram)
+            e.histogram->reset();
+    }
+}
+
+namespace {
+
+std::string
+jsonDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    return buf;
+}
+
+} // namespace
+
+std::string
+MetricsRegistry::toJson() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::string out = "{";
+    bool first = true;
+    for (const auto &[name, e] : entries_) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += "\n    \"" + name + "\": ";
+        if (e.counter) {
+            out += "{\"type\": \"counter\", \"value\": " +
+                   std::to_string(e.counter->value()) + "}";
+        } else if (e.gauge) {
+            out += "{\"type\": \"gauge\", \"value\": " +
+                   jsonDouble(e.gauge->value()) + "}";
+        } else if (e.histogram) {
+            const Histogram &h = *e.histogram;
+            out += "{\"type\": \"histogram\", \"count\": " +
+                   std::to_string(h.count()) +
+                   ", \"sum\": " + jsonDouble(h.sum()) +
+                   ", \"p50\": " + jsonDouble(h.percentile(0.50)) +
+                   ", \"p90\": " + jsonDouble(h.percentile(0.90)) +
+                   ", \"p99\": " + jsonDouble(h.percentile(0.99)) +
+                   ", \"buckets\": [";
+            for (size_t i = 0; i < h.bounds().size(); i++) {
+                if (i)
+                    out += ", ";
+                out += "{\"le\": " + jsonDouble(h.bounds()[i]) +
+                       ", \"count\": " +
+                       std::to_string(h.bucketCount(i)) + "}";
+            }
+            out += "], \"overflow\": " +
+                   std::to_string(h.bucketCount(h.bounds().size())) +
+                   "}";
+        }
+    }
+    out += first ? "}" : "\n  }";
+    return out;
+}
+
+} // namespace obs
+} // namespace bcl

@@ -1,0 +1,253 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace bcl {
+namespace obs {
+
+TraceRecorder::TraceRecorder()
+    : epoch_(std::chrono::steady_clock::now())
+{
+}
+
+TraceRecorder &
+TraceRecorder::instance()
+{
+    static TraceRecorder rec;
+    return rec;
+}
+
+TraceRecorder &
+trace()
+{
+    return TraceRecorder::instance();
+}
+
+std::uint64_t
+TraceRecorder::nextFlowBase()
+{
+    static std::atomic<std::uint64_t> next{1};
+    return next.fetch_add(1, std::memory_order_relaxed) << 32;
+}
+
+TraceRecorder::ThreadBuffer &
+TraceRecorder::threadBuffer()
+{
+    // One buffer per (recorder, thread). The pointer is cached
+    // thread-locally; buffers are owned by the recorder and live
+    // until process exit (clear() drops events, not buffers), so the
+    // cache can never dangle.
+    thread_local ThreadBuffer *buf = nullptr;
+    thread_local TraceRecorder *owner = nullptr;
+    if (buf && owner == this)
+        return *buf;
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers_.push_back(std::make_unique<ThreadBuffer>());
+    ThreadBuffer &b = *buffers_.back();
+    b.tid = nextTid_++;
+    buf = &b;
+    owner = this;
+    return b;
+}
+
+TraceEvent *
+TraceRecorder::slot(ThreadBuffer &buf)
+{
+    Chunk *c = buf.cur;
+    if (!c || c->used.load(std::memory_order_relaxed) >=
+                  Chunk::kChunkEvents) {
+        auto fresh = std::make_unique<Chunk>();
+        Chunk *raw = fresh.get();
+        std::lock_guard<std::mutex> lock(buf.mu);
+        buf.chunks.push_back(std::move(fresh));
+        buf.cur = raw;
+        c = raw;
+    }
+    return &c->slots[c->used.load(std::memory_order_relaxed)];
+}
+
+void
+TraceRecorder::emit(char phase, const char *name, const char *cat,
+                    const char *arg_name, std::int64_t arg_value,
+                    std::uint64_t id)
+{
+    ThreadBuffer &buf = threadBuffer();
+    TraceEvent *e = slot(buf);
+    std::snprintf(e->name, TraceEvent::kNameBytes, "%s",
+                  name ? name : "");
+    e->cat = cat ? cat : "";
+    e->argName = arg_name;
+    e->argValue = arg_value;
+    e->ts = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+    e->id = id;
+    e->phase = phase;
+    // Publish: slot writes above happen-before any flush that
+    // observes the bumped count.
+    buf.cur->used.fetch_add(1, std::memory_order_release);
+}
+
+void
+TraceRecorder::begin(const char *name, const char *cat,
+                     const char *arg_name, std::int64_t arg_value)
+{
+    if (!enabled())
+        return;
+    emit('B', name, cat, arg_name, arg_value, 0);
+}
+
+void
+TraceRecorder::end(const char *name, const char *cat)
+{
+    if (!enabled())
+        return;
+    emit('E', name, cat, nullptr, 0, 0);
+}
+
+void
+TraceRecorder::instant(const char *name, const char *cat,
+                       const char *arg_name, std::int64_t arg_value)
+{
+    if (!enabled())
+        return;
+    emit('i', name, cat, arg_name, arg_value, 0);
+}
+
+void
+TraceRecorder::flowStart(const char *name, const char *cat,
+                         std::uint64_t id)
+{
+    if (!enabled())
+        return;
+    emit('s', name, cat, nullptr, 0, id);
+}
+
+void
+TraceRecorder::flowEnd(const char *name, const char *cat,
+                       std::uint64_t id)
+{
+    if (!enabled())
+        return;
+    emit('f', name, cat, nullptr, 0, id);
+}
+
+void
+TraceRecorder::setThreadName(const std::string &name)
+{
+    ThreadBuffer &buf = threadBuffer();
+    std::lock_guard<std::mutex> lock(buf.mu);
+    buf.name = name;
+}
+
+std::uint64_t
+TraceRecorder::eventCount() const
+{
+    std::uint64_t n = 0;
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto &buf : buffers_) {
+        std::lock_guard<std::mutex> bl(buf->mu);
+        for (const auto &c : buf->chunks)
+            n += c->used.load(std::memory_order_acquire);
+    }
+    return n;
+}
+
+void
+TraceRecorder::writeJson(std::ostream &out) const
+{
+    // Chrome trace_event JSON object format. ts/dur are in
+    // microseconds; we record ns and emit fractional us.
+    out << "{\"traceEvents\": [\n";
+    bool first = true;
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto &buf : buffers_) {
+        std::vector<Chunk *> chunks;
+        std::string tname;
+        int tid;
+        {
+            std::lock_guard<std::mutex> bl(buf->mu);
+            for (const auto &c : buf->chunks)
+                chunks.push_back(c.get());
+            tname = buf->name;
+            tid = buf->tid;
+        }
+        if (!tname.empty()) {
+            out << (first ? "" : ",\n")
+                << "  {\"ph\": \"M\", \"name\": \"thread_name\", "
+                   "\"pid\": 1, \"tid\": "
+                << tid << ", \"args\": {\"name\": \"" << tname
+                << "\"}}";
+            first = false;
+        }
+        for (Chunk *c : chunks) {
+            const size_t used =
+                c->used.load(std::memory_order_acquire);
+            for (size_t i = 0; i < used; i++) {
+                const TraceEvent &e = c->slots[i];
+                char ts[32];
+                std::snprintf(ts, sizeof ts, "%llu.%03llu",
+                              static_cast<unsigned long long>(
+                                  e.ts / 1000),
+                              static_cast<unsigned long long>(
+                                  e.ts % 1000));
+                out << (first ? "" : ",\n") << "  {\"ph\": \""
+                    << e.phase << "\", \"name\": \"" << e.name
+                    << "\", \"cat\": \"" << e.cat
+                    << "\", \"pid\": 1, \"tid\": " << tid
+                    << ", \"ts\": " << ts;
+                if (e.phase == 's' || e.phase == 'f') {
+                    char id[32];
+                    std::snprintf(id, sizeof id, "0x%llx",
+                                  static_cast<unsigned long long>(
+                                      e.id));
+                    out << ", \"id\": \"" << id << "\"";
+                    if (e.phase == 'f')
+                        out << ", \"bp\": \"e\"";
+                }
+                if (e.phase == 'i')
+                    out << ", \"s\": \"t\"";
+                if (e.argName) {
+                    out << ", \"args\": {\"" << e.argName
+                        << "\": " << e.argValue << "}";
+                }
+                out << "}";
+                first = false;
+            }
+        }
+    }
+    out << "\n]}\n";
+}
+
+std::string
+TraceRecorder::toJson() const
+{
+    std::ostringstream out;
+    writeJson(out);
+    return out.str();
+}
+
+void
+TraceRecorder::writeJson(const std::string &path) const
+{
+    std::ofstream out(path);
+    writeJson(out);
+}
+
+void
+TraceRecorder::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto &buf : buffers_) {
+        std::lock_guard<std::mutex> bl(buf->mu);
+        buf->chunks.clear();
+        buf->cur = nullptr;
+    }
+}
+
+} // namespace obs
+} // namespace bcl

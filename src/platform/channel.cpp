@@ -1,22 +1,41 @@
 #include "platform/channel.hpp"
 
 #include "common/logging.hpp"
+#include "obs/trace.hpp"
 
 namespace bcl {
+
+void
+snapshotChannelStats(obs::MetricsRegistry &reg,
+                     const std::string &prefix,
+                     const ChannelStats &stats)
+{
+    reg.counter(prefix + ".messages").set(stats.messages);
+    reg.counter(prefix + ".payload_words").set(stats.payloadWords);
+    reg.counter(prefix + ".stall_cycles").set(stats.stallCycles);
+    reg.counter(prefix + ".stall_events").set(stats.stallEvents);
+}
 
 ChannelTransport::ChannelTransport(const ChannelSpec &spec,
                                    Store &tx_store, Store &rx_store,
                                    LinkArbiter &link_arb,
                                    const BusParams &bus_params,
-                                   bool threaded)
+                                   bool threaded, bool traced)
     : spec_(spec), txStore(tx_store), rxStore(rx_store), link(link_arb),
       bus(bus_params), threaded_(threaded),
       // Credits bound in-flight occupancy by the synchronizer
       // capacity, so the ring can never be asked to hold more.
-      ring_(static_cast<size_t>(spec.capacity > 0 ? spec.capacity : 1))
+      ring_(static_cast<size_t>(spec.capacity > 0 ? spec.capacity : 1)),
+      traced_(traced)
 {
     if (spec_.txPrim < 0 || spec_.rxPrim < 0)
         panic("channel '" + spec_.name + "' endpoints unresolved");
+    if (traced_) {
+        flowBase_ = obs::TraceRecorder::nextFlowBase();
+        occupancy_ = &obs::metrics().histogram(
+            "cosim.channel.occupancy",
+            obs::Histogram::exponentialBounds(1.0, 2.0, 12));
+    }
 }
 
 int
@@ -48,6 +67,11 @@ ChannelTransport::pump(std::uint64_t now)
             if (!stalled_) {
                 stalled_ = true;
                 stats_.stallEvents++;
+                if (traced_) {
+                    obs::trace().instant(
+                        spec_.name.c_str(), "stall", "virtual_time",
+                        static_cast<std::int64_t>(now));
+                }
             } else {
                 stats_.stallCycles += now - stalledSince_;
             }
@@ -90,6 +114,12 @@ ChannelTransport::pump(std::uint64_t now)
         }
         stats_.messages++;
         stats_.payloadWords += static_cast<std::uint64_t>(words);
+        if (traced_) {
+            // Pickup N pairs with delivery N (exactly-once, in
+            // order), so the flow arrow needs no state in the ring.
+            obs::trace().flowStart(spec_.name.c_str(), "channel",
+                                   flowBase_ + stats_.messages);
+        }
     }
 }
 
@@ -122,6 +152,15 @@ ChannelTransport::deliver(std::uint64_t now)
         }
         ring_.pop();
         any = true;
+        if (traced_) {
+            delivered_++;
+            obs::trace().flowEnd(spec_.name.c_str(), "channel",
+                                 flowBase_ + delivered_);
+        }
+    }
+    if (traced_ && any && occupancy_) {
+        occupancy_->observe(
+            static_cast<double>(rx.queue.size()));
     }
     if (threaded_)
         lastRxSize_ = rx.queue.size();

@@ -48,6 +48,7 @@
 
 #include "common/spsc.hpp"
 #include "core/partition.hpp"
+#include "obs/metrics.hpp"
 #include "platform/bus.hpp"
 #include "platform/marshal.hpp"
 #include "runtime/store.hpp"
@@ -71,6 +72,18 @@ struct ChannelStats
     std::uint64_t stallEvents = 0;
 };
 
+/**
+ * Publish one channel's stats under the stable metric names
+ * `<prefix>.messages/payload_words/stall_cycles/stall_events` —
+ * the ONE place the ChannelStats field list is spelled out for the
+ * registry, so benches and bench_report.py consume names instead of
+ * re-listing fields. @p prefix is typically
+ * "cosim.channel.<channel name>".
+ */
+void snapshotChannelStats(obs::MetricsRegistry &reg,
+                          const std::string &prefix,
+                          const ChannelStats &stats);
+
 /** Runtime transport for one logical channel (one direction). */
 class ChannelTransport
 {
@@ -84,10 +97,16 @@ class ChannelTransport
      * @param threaded Producer and consumer run on different worker
      *        threads: credits go through the atomic charge counter
      *        instead of reading the consumer queue directly.
+     * @param traced Emit pickup->deliver flow arrows, stall instants
+     *        and the occupancy histogram when the global recorder /
+     *        registry is enabled (CosimConfig::trace threads this
+     *        through; false makes every observability site inert so
+     *        e.g. only sampled serving sessions trace).
      */
     ChannelTransport(const ChannelSpec &spec, Store &tx_store,
                      Store &rx_store, LinkArbiter &link,
-                     const BusParams &bus, bool threaded = false);
+                     const BusParams &bus, bool threaded = false,
+                     bool traced = true);
 
     /**
      * Producer end. Pick up messages staged in the producer half at
@@ -168,6 +187,18 @@ class ChannelTransport
 
     std::uint64_t lastPumpTime = 0;
     ChannelStats stats_;
+
+    // -- observability (inert unless traced_ AND the global recorder/
+    //    registry are enabled) ---------------------------------------
+    bool traced_;
+    /** Flow-id base unique to this transport; pickup N and delivery
+     *  N share id flowBase_ + N (exactly-once in-order delivery
+     *  makes the pairing exact across threads). */
+    std::uint64_t flowBase_ = 0;
+    /** Consumer-end delivery sequence (consumer thread only). */
+    std::uint64_t delivered_ = 0;
+    /** Rx queue depth observed at delivery time. */
+    obs::Histogram *occupancy_ = nullptr;
 };
 
 } // namespace bcl

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <atomic>
 #include <barrier>
+#include <chrono>
 #include <exception>
 #include <limits>
 #include <thread>
 
 #include "common/logging.hpp"
+#include "obs/trace.hpp"
 
 namespace bcl {
 
@@ -131,7 +133,7 @@ CoSim::CoSim(const PartitionResult &parts, CosimConfig config)
         }
         transports.push_back(std::make_unique<ChannelTransport>(
             chan, storeOf(chan.fromDomain), storeOf(chan.toDomain),
-            *it->second, cfg.bus, parallel_));
+            *it->second, cfg.bus, parallel_, cfg.trace));
     }
 }
 
@@ -218,6 +220,27 @@ CoSim::swWork() const
     for (const auto &p : swProcs)
         w += p.interp->stats().work;
     return w;
+}
+
+void
+CoSim::snapshotMetrics(obs::MetricsRegistry &reg) const
+{
+    reg.gauge("cosim.fpga_cycles")
+        .set(static_cast<double>(now()));
+    reg.gauge("cosim.sw_work").set(static_cast<double>(swWork()));
+    for (const auto &p : swProcs) {
+        reg.gauge("cosim.domain." + p.domain + ".cycles")
+            .set(p.time);
+    }
+    for (const auto &p : hwProcs) {
+        reg.gauge("cosim.domain." + p.domain + ".cycles")
+            .set(static_cast<double>(p.time));
+    }
+    for (const auto &t : transports) {
+        snapshotChannelStats(reg,
+                             "cosim.channel." + t->spec().name,
+                             t->stats());
+    }
 }
 
 void
@@ -491,8 +514,14 @@ CoSim::runSequential(const std::function<bool(CoSim &)> &done)
 
         bool progress = false;
 
-        for (auto &sw : swProcs)
+        // Same per-domain slice spans as the parallel workers emit,
+        // so a serving session's timeline shows which domain each
+        // stretch of cosim time went to.
+        for (auto &sw : swProcs) {
+            obs::TraceSpan span(sw.domain.c_str(), "cosim.slice",
+                                cfg.trace);
             progress |= sliceSoftware(sw);
+        }
 
         // Hardware catches up to the latest software time plus one
         // bus latency (so in-flight messages can land).
@@ -505,8 +534,11 @@ CoSim::runSequential(const std::function<bool(CoSim &)> &done)
         if (chan_next != std::numeric_limits<std::uint64_t>::max())
             horizon = std::max(horizon, chan_next + 1);
 
-        for (auto &hw : hwProcs)
+        for (auto &hw : hwProcs) {
+            obs::TraceSpan span(hw.domain.c_str(), "cosim.slice",
+                                cfg.trace);
             progress |= sliceHardware(hw, horizon);
+        }
 
         if (progress)
             continue;
@@ -640,6 +672,10 @@ CoSim::runParallel(const std::function<bool(CoSim &)> &done)
         static_cast<size_t>(W));
 
     auto worker = [&](int w) {
+        if (cfg.trace && obs::trace().enabled()) {
+            obs::trace().setThreadName("cosim.worker " +
+                                       std::to_string(w));
+        }
         for (;;) {
             startBarrier.arrive_and_wait();
             if (stop.load(std::memory_order_acquire))
@@ -648,6 +684,13 @@ CoSim::runParallel(const std::function<bool(CoSim &)> &done)
                 bool progress = false;
                 for (size_t i = static_cast<size_t>(w);
                      i < procs.size(); i += static_cast<size_t>(W)) {
+                    // Span per partition slice: the trace shows which
+                    // worker ran which domain for how long each epoch.
+                    const std::string &dom = procs[i].sw
+                                                 ? procs[i].sw->domain
+                                                 : procs[i].hw->domain;
+                    obs::TraceSpan span(dom.c_str(), "cosim.slice",
+                                        cfg.trace);
                     if (procs[i].sw)
                         progress |= sliceSoftware(*procs[i].sw);
                     else
@@ -686,6 +729,14 @@ CoSim::runParallel(const std::function<bool(CoSim &)> &done)
         }
     };
 
+    // Epoch wall time feeds the tuning loop: barrier overhead vs.
+    // slice width is exactly what swQuantum trades off.
+    obs::Histogram *epochHist =
+        cfg.trace ? &obs::metrics().histogram(
+                        "cosim.epoch.wall_us",
+                        obs::Histogram::exponentialBounds(1.0, 2.0, 22))
+                  : nullptr;
+
     std::string failure;
     std::exception_ptr workerError;
     try {
@@ -710,9 +761,25 @@ CoSim::runParallel(const std::function<bool(CoSim &)> &done)
                 horizon = std::max(horizon, chan_next + 1);
 
             anyProgress.store(false, std::memory_order_relaxed);
+            const bool obsOn =
+                cfg.trace && (obs::trace().enabled() ||
+                              obs::metrics().enabled());
+            std::chrono::steady_clock::time_point epochT0;
+            if (obsOn) {
+                epochT0 = std::chrono::steady_clock::now();
+                obs::trace().begin("epoch", "cosim", "virtual_time",
+                                   static_cast<std::int64_t>(now()));
+            }
             startBarrier.arrive_and_wait();
             // ... workers run one epoch ...
             endBarrier.arrive_and_wait();
+            if (obsOn) {
+                obs::trace().end("epoch", "cosim");
+                epochHist->observe(
+                    std::chrono::duration<double, std::micro>(
+                        std::chrono::steady_clock::now() - epochT0)
+                        .count());
+            }
 
             for (auto &e : errors) {
                 if (e) {

@@ -166,6 +166,19 @@ struct CosimConfig
     /** Hard stop for the whole co-simulation. */
     std::uint64_t maxFpgaCycles = 1ull << 40;
 
+    /**
+     * Participate in tracing/metrics: when the process-global
+     * TraceRecorder / MetricsRegistry (src/obs/) are enabled, this
+     * cosim emits epoch/slice spans, channel flow arrows, stall
+     * instants and the occupancy/epoch histograms. False makes every
+     * observability site in this cosim inert — the serving bench
+     * uses it to trace a sample of sessions instead of all 10k.
+     * Purely observational either way: functional outputs and cycle
+     * counts are byte-identical with tracing on or off (pinned by
+     * the determinism tests).
+     */
+    bool trace = true;
+
     /** Domain disciplines; domains absent here default to Hardware,
      *  except "SW" which defaults to Software. */
     std::map<std::string, DomainKind> kinds;
@@ -289,6 +302,16 @@ class CoSim
 
     /** Total software work units consumed so far. */
     std::uint64_t swWork() const;
+
+    /**
+     * Publish this cosim's state under the stable metric names
+     * (cosim.fpga_cycles, cosim.sw_work, cosim.domain.<d>.cycles,
+     * cosim.channel.<c>.*). The internal structs stay the source of
+     * truth; call while quiesced (after run(), or at an epoch
+     * barrier) — set() semantics, so the registry reflects THIS
+     * cosim afterwards.
+     */
+    void snapshotMetrics(obs::MetricsRegistry &reg) const;
 
   private:
     struct SwProc

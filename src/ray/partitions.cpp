@@ -127,6 +127,8 @@ runRayConfig(const RayConfig &rcfg, int prim_count,
     for (const auto &chan : cosim.channels()) {
         res.messages += chan->stats().messages;
         res.channelWords += chan->stats().payloadWords;
+        res.channelStats.emplace_back(chan->spec().name,
+                                      chan->stats());
     }
     return res;
 }

@@ -50,6 +50,9 @@ struct RayRunResult
     std::uint64_t hwRuleFires = 0;
     std::uint64_t messages = 0;
     std::uint64_t channelWords = 0;
+    /** Per-channel traffic, by channel name in construction order —
+     *  feed to snapshotChannelStats for stable metric names. */
+    std::vector<std::pair<std::string, ChannelStats>> channelStats;
 };
 
 /**

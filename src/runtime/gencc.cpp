@@ -7,8 +7,12 @@
 #include <filesystem>
 #include <fstream>
 
+#include <chrono>
+
 #include "common/logging.hpp"
 #include "core/typecheck.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace bcl {
 
@@ -156,9 +160,27 @@ CompiledArtifact::CompiledArtifact(const ElabProgram &prog,
             inc + "\" " +
             (opts_.extraFlags.empty() ? "" : opts_.extraFlags + " ") +
             "\"" + cpp + "\" -o \"" + so + "\" 2> \"" + log + "\"";
-        if (std::system(cmd.c_str()) != 0) {
-            fatal("gencc: generated partition failed to compile:\n" +
-                  readAll(log) + "\n(command: " + cmd + ")");
+        {
+            // Host-compiler invocations dominate cold-start serving
+            // latency; the span + histogram make them visible next to
+            // the cache hits they should be.
+            obs::TraceSpan span(
+                "gencc.compile", "gencc", true, "source_bytes",
+                static_cast<std::int64_t>(source_.size()));
+            auto t0 = std::chrono::steady_clock::now();
+            if (std::system(cmd.c_str()) != 0) {
+                fatal("gencc: generated partition failed to "
+                      "compile:\n" +
+                      readAll(log) + "\n(command: " + cmd + ")");
+            }
+            obs::metrics().counter("gencc.compiles").add(1);
+            obs::metrics()
+                .histogram("gencc.compile_ms",
+                           obs::Histogram::exponentialBounds(1.0, 2.0,
+                                                             16))
+                .observe(std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count());
         }
         load(so);
     }

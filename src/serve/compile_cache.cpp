@@ -4,6 +4,7 @@
 #include <filesystem>
 
 #include "common/logging.hpp"
+#include "obs/trace.hpp"
 
 namespace bcl {
 namespace serve {
@@ -86,6 +87,7 @@ CompileCache::build(const ElabProgram &prog, GenccOptions opts,
             try {
                 auto art = std::make_shared<const CompiledArtifact>(
                     prog, std::move(reuse));
+                obs::trace().instant("cache.disk_hit", "serve.cache");
                 std::lock_guard<std::mutex> lock(mu_);
                 stats_.diskHits++;
                 return art;
@@ -108,6 +110,7 @@ CompileCache::build(const ElabProgram &prog, GenccOptions opts,
         opts.keepArtifacts = false;
     }
     opts.reuseSoPath.clear();
+    obs::trace().instant("cache.compile", "serve.cache");
     auto art =
         std::make_shared<const CompiledArtifact>(prog, std::move(opts));
     std::lock_guard<std::mutex> lock(mu_);
@@ -135,6 +138,8 @@ CompileCache::get(const ElabProgram &prog, const GenccOptions &opts)
             stats_.hits++;
         }
     }
+    if (!builder)
+        obs::trace().instant("cache.hit", "serve.cache");
 
     if (builder) {
         try {
@@ -156,6 +161,23 @@ CompileCache::stats() const
 {
     std::lock_guard<std::mutex> lock(mu_);
     return stats_;
+}
+
+void
+CompileCache::snapshotMetrics(obs::MetricsRegistry &reg) const
+{
+    const CompileCacheStats s = stats();
+    reg.counter("serve.cache.compiles").set(s.compiles);
+    reg.counter("serve.cache.hits").set(s.hits);
+    reg.counter("serve.cache.disk_hits").set(s.diskHits);
+    reg.counter("serve.cache.corrupt_fallbacks")
+        .set(s.corruptFallbacks);
+    const std::uint64_t avoided = s.hits + s.diskHits;
+    const std::uint64_t total = avoided + s.compiles;
+    reg.gauge("serve.cache.hit_ratio")
+        .set(total > 0 ? static_cast<double>(avoided) /
+                             static_cast<double>(total)
+                       : 0.0);
 }
 
 } // namespace serve

@@ -37,6 +37,7 @@
 #include <mutex>
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "runtime/gencc.hpp"
 
 namespace bcl {
@@ -91,6 +92,15 @@ class CompileCache
         const ElabProgram &prog, const GenccOptions &opts = {});
 
     CompileCacheStats stats() const;
+
+    /**
+     * Publish stats() into @p reg under the stable names
+     * `serve.cache.compiles/hits/disk_hits/corrupt_fallbacks`
+     * (counters) and `serve.cache.hit_ratio` (gauge: fraction of
+     * artifact acquisitions that avoided the host compiler). The one
+     * place the CompileCacheStats field list meets the registry.
+     */
+    void snapshotMetrics(obs::MetricsRegistry &reg) const;
 
     const CompileCacheOptions &options() const { return opts_; }
 

@@ -3,11 +3,15 @@
 #include <chrono>
 
 #include "common/logging.hpp"
+#include "obs/trace.hpp"
 
 namespace bcl {
 namespace serve {
 
 WorkerPool::WorkerPool(int workers)
+    : frameMs_(obs::metrics().histogram(
+          "serve.session.frame_ms",
+          obs::Histogram::exponentialBounds(0.001, 2.0, 26)))
 {
     if (workers == 0) {
         unsigned hc = std::thread::hardware_concurrency();
@@ -17,7 +21,7 @@ WorkerPool::WorkerPool(int workers)
         workers = 1;
     threads_.reserve(static_cast<size_t>(workers));
     for (int i = 0; i < workers; i++)
-        threads_.emplace_back([this] { workerLoop(); });
+        threads_.emplace_back([this, i] { workerLoop(i); });
 }
 
 WorkerPool::~WorkerPool()
@@ -41,6 +45,10 @@ WorkerPool::submit(std::shared_ptr<Session> session)
         if (stop_)
             panic("serve: submit on a stopping pool");
         session->markReady(std::chrono::steady_clock::now());
+        if (session->traced()) {
+            obs::trace().instant("session.queued", "serve",
+                                 "session", session->id());
+        }
         if (session->finished()) {
             // Zero-target session: nothing to run, count it settled.
             stats_.completed++;
@@ -53,8 +61,12 @@ WorkerPool::submit(std::shared_ptr<Session> session)
 }
 
 void
-WorkerPool::workerLoop()
+WorkerPool::workerLoop(int index)
 {
+    if (obs::trace().enabled()) {
+        obs::trace().setThreadName("serve.worker " +
+                                   std::to_string(index));
+    }
     for (;;) {
         std::shared_ptr<Session> session;
         {
@@ -68,18 +80,33 @@ WorkerPool::workerLoop()
 
         bool finished = true;
         std::exception_ptr error;
-        try {
-            finished = !session->advance();
-        } catch (...) {
-            error = std::current_exception();
+        {
+            // The claimed->advanced slice of the session lifecycle:
+            // which worker served which session, for how long.
+            obs::TraceSpan span("session.advance", "serve",
+                                session->traced(), "session",
+                                session->id());
+            try {
+                finished = !session->advance();
+            } catch (...) {
+                error = std::current_exception();
+            }
         }
         // Ready-to-done latency: queue wait + service, the delay a
         // client of this stream would observe for the frame.
         auto t1 = std::chrono::steady_clock::now();
-        session->recordFrameLatencyMs(
+        const double frame_ms =
             std::chrono::duration<double, std::milli>(
                 t1 - session->readyAt())
-                .count());
+                .count();
+        session->recordFrameLatencyMs(frame_ms);
+        if (session->traced()) {
+            frameMs_.observe(frame_ms);
+            if (finished && !error) {
+                obs::trace().instant("session.done", "serve",
+                                     "session", session->id());
+            }
+        }
 
         {
             std::lock_guard<std::mutex> lock(mu_);
@@ -125,12 +152,24 @@ WorkerPool::stats() const
     return stats_;
 }
 
+void
+WorkerPool::snapshotMetrics(obs::MetricsRegistry &reg) const
+{
+    const PoolStats s = stats();
+    reg.counter("serve.pool.quanta").set(s.quanta);
+    reg.counter("serve.pool.completed").set(s.completed);
+    reg.counter("serve.pool.failed").set(s.failed);
+    reg.gauge("serve.pool.workers")
+        .set(static_cast<double>(workers()));
+}
+
 // ---------------------------------------------------------------------------
 // SessionManager
 // ---------------------------------------------------------------------------
 
 SessionManager::SessionManager(Options opts)
-    : cache_(std::move(opts.cache)), pool_(opts.workers)
+    : trace_(opts.trace), cache_(std::move(opts.cache)),
+      pool_(opts.workers)
 {
 }
 
@@ -138,6 +177,7 @@ std::shared_ptr<Session>
 SessionManager::createSession(const PartitionResult &parts,
                               CosimConfig cfg, StreamSpec spec)
 {
+    cfg.trace = cfg.trace && trace_;
     if (cfg.swBackend == SwBackend::Compiled && !cfg.compileProvider) {
         cfg.compileProvider = [this](const ElabProgram &prog,
                                      const GenccOptions &opts) {

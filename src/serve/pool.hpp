@@ -31,6 +31,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "serve/compile_cache.hpp"
 #include "serve/session.hpp"
 
@@ -77,8 +78,16 @@ class WorkerPool
 
     PoolStats stats() const;
 
+    /**
+     * Publish stats() into @p reg under the stable names
+     * `serve.pool.quanta/completed/failed` (counters) and
+     * `serve.pool.workers` (gauge). The one place the PoolStats
+     * field list meets the registry.
+     */
+    void snapshotMetrics(obs::MetricsRegistry &reg) const;
+
   private:
-    void workerLoop();
+    void workerLoop(int index);
 
     mutable std::mutex mu_;
     std::condition_variable cv_;      ///< work available / stopping
@@ -88,6 +97,8 @@ class WorkerPool
     bool stop_ = false;
     PoolStats stats_;
     std::exception_ptr firstError_;
+    /** Ready-to-done frame latency of traced sessions (ms). */
+    obs::Histogram &frameMs_;
     std::vector<std::thread> threads_;
 };
 
@@ -103,6 +114,14 @@ struct SessionManagerOptions
 
     /** Compile-cache configuration (disk layer etc.). */
     CompileCacheOptions cache;
+
+    /**
+     * Master switch for session observability: ANDed into each
+     * created session's CosimConfig::trace, so a manager can silence
+     * its whole fleet (or a caller can silence all but a sampled
+     * subset by clearing cfg.trace per session).
+     */
+    bool trace = true;
 };
 
 class SessionManager
@@ -147,6 +166,7 @@ class SessionManager
   private:
     int nextId_ = 0;
     std::mutex idMu_;
+    bool trace_;
     CompileCache cache_;
     WorkerPool pool_;
 };

@@ -224,6 +224,8 @@ runVorbisConfig(const VorbisConfig &vcfg, int frames,
     for (const auto &chan : cosim.channels()) {
         res.messages += chan->stats().messages;
         res.channelWords += chan->stats().payloadWords;
+        res.channelStats.emplace_back(chan->spec().name,
+                                      chan->stats());
     }
     return res;
 }

@@ -55,6 +55,9 @@ struct VorbisRunResult
     std::uint64_t hwRuleFires = 0;  ///< hardware activity
     std::uint64_t messages = 0;     ///< cross-partition messages
     std::uint64_t channelWords = 0; ///< payload words moved
+    /** Per-channel traffic, by channel name in construction order —
+     *  feed to snapshotChannelStats for stable metric names. */
+    std::vector<std::pair<std::string, ChannelStats>> channelStats;
 };
 
 /**

@@ -18,6 +18,8 @@
 #include "core/domains.hpp"
 #include "core/elaborate.hpp"
 #include "core/partition.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "platform/cosim.hpp"
 #include "platform/marshal.hpp"
 #include "ray/partitions.hpp"
@@ -716,6 +718,32 @@ TEST(CoSimParallel, EchoMatchesSequentialOutputs)
         EXPECT_EQ(out, ref) << "threads=" << threads;
         EXPECT_GT(cycles, 0u);
     }
+}
+
+TEST(CoSimParallel, TracingOnMatchesTracingOff)
+{
+    // Tracing is purely observational: with the global recorder and
+    // registry enabled, outputs AND cycle accounting stay
+    // byte-identical (an event site that perturbed scheduling would
+    // show up here).
+    std::vector<std::int64_t> inputs;
+    for (int i = 0; i < 50; i++)
+        inputs.push_back(i * 7 - 100);
+    CosimConfig cfg;
+    cfg.threads = 2;
+    std::uint64_t cycles_off = 0;
+    std::vector<std::int64_t> off = cosimRun(inputs, &cycles_off, cfg);
+
+    obs::trace().enable(true);
+    obs::metrics().enable(true);
+    std::uint64_t cycles_on = 0;
+    std::vector<std::int64_t> on = cosimRun(inputs, &cycles_on, cfg);
+    obs::trace().enable(false);
+    obs::metrics().enable(false);
+    obs::trace().clear();
+
+    EXPECT_EQ(on, off);
+    EXPECT_EQ(cycles_on, cycles_off);
 }
 
 TEST(CoSimParallel, DeadlockIsReportedNotHungAcrossThreads)
