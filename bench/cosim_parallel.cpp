@@ -19,13 +19,16 @@
  *
  * Usage: cosim_parallel [--frames N] [--ray-size W] [--json FILE]
  *                       [--trace FILE]
+ *                       [--hw-backend interpreted|compiled]
  * --json emits the sweep for scripts/bench_report.py to fold into
  * BENCH_runtime.json; each workload entry carries a "metrics" object
  * (per-channel traffic of its threads=1 run under the stable
  * cosim.channel.* names). --trace records the whole sweep as a
  * Chrome trace_event timeline (epoch spans, per-domain worker
  * slices, channel flow arrows; use small --frames/--ray-size — every
- * message becomes two events).
+ * message becomes two events). --hw-backend clocks the hardware
+ * domains with the interpreted ClockSim (default) or the compiled
+ * clock edge; outputs and cycle counts are identical either way.
  */
 #include <algorithm>
 #include <chrono>
@@ -42,6 +45,7 @@
 #include "obs/trace.hpp"
 #include "platform/channel.hpp"
 #include "ray/partitions.hpp"
+#include "serve/compile_cache.hpp"
 #include "vorbis/partitions.hpp"
 
 using namespace bcl;
@@ -160,12 +164,13 @@ sweepWorkload(const std::string &name, int domains, RunFn run,
 }
 
 void
-writeJson(const std::string &path,
+writeJson(const std::string &path, const std::string &hw_backend,
           const std::vector<WorkloadResult> &results)
 {
     std::ofstream out(path);
     out << "{\n  \"hardware_concurrency\": "
         << std::thread::hardware_concurrency() << ",\n"
+        << "  \"hw_backend\": \"" << hw_backend << "\",\n"
         << "  \"workloads\": [\n";
     for (size_t i = 0; i < results.size(); i++) {
         const WorkloadResult &w = results[i];
@@ -203,6 +208,7 @@ main(int argc, char **argv)
     int ray_prims = 64;
     std::string json_path;
     std::string trace_path;
+    std::string hw_backend = "interpreted";
     for (int i = 1; i < argc; i++) {
         if (std::strcmp(argv[i], "--frames") == 0 && i + 1 < argc)
             frames = std::atoi(argv[++i]);
@@ -216,6 +222,15 @@ main(int argc, char **argv)
             json_path = argv[++i];
         else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc)
             trace_path = argv[++i];
+        else if (std::strcmp(argv[i], "--hw-backend") == 0 &&
+                 i + 1 < argc)
+            hw_backend = argv[++i];
+    }
+    if (hw_backend == "compiled" &&
+        !CompiledHwPartition::hostCompilerAvailable()) {
+        std::printf("no host C++ compiler — falling back to the "
+                    "interpreted hardware backend\n");
+        hw_backend = "interpreted";
     }
 
     if (!trace_path.empty()) {
@@ -225,9 +240,22 @@ main(int argc, char **argv)
 
     std::printf("== Parallel co-simulation scaling sweep ==\n");
     std::printf("hardware_concurrency: %u; vorbis frames: %d; "
-                "ray: %dx%d/%d prims\n\n",
+                "ray: %dx%d/%d prims; hw backend: %s\n\n",
                 std::thread::hardware_concurrency(), frames, ray_size,
-                ray_size, ray_prims);
+                ray_size, ray_prims, hw_backend.c_str());
+
+    // One cache serves the whole sweep: a partition's clock-edge
+    // artifact is compiled once and shared across every thread count.
+    serve::CompileCache cache;
+    auto apply_hw = [&](CosimConfig &cfg) {
+        if (hw_backend != "compiled")
+            return;
+        cfg.hwBackend = HwBackend::Compiled;
+        cfg.compileProvider = [&cache](const ElabProgram &p,
+                                       const GenccOptions &o) {
+            return cache.get(p, o);
+        };
+    };
 
     std::vector<WorkloadResult> results;
 
@@ -246,6 +274,7 @@ main(int argc, char **argv)
             [&](int threads) {
                 CosimConfig cfg;
                 cfg.threads = threads;
+                apply_hw(cfg);
                 return vorbis::runVorbisConfig(vcfg, frames, &cfg);
             },
             [](const vorbis::VorbisRunResult &r) { return r.pcm; }));
@@ -267,6 +296,7 @@ main(int argc, char **argv)
             [&](int threads) {
                 CosimConfig cfg;
                 cfg.threads = threads;
+                apply_hw(cfg);
                 return ray::runRayConfig(rcfg, ray_prims, &cfg);
             },
             [](const ray::RayRunResult &r) { return r.pixels; }));
@@ -293,7 +323,7 @@ main(int argc, char **argv)
                 all_match ? "yes" : "NO — LIBDN VIOLATION");
 
     if (!json_path.empty())
-        writeJson(json_path, results);
+        writeJson(json_path, hw_backend, results);
     if (!trace_path.empty()) {
         obs::trace().writeJson(trace_path);
         std::printf("trace (%llu events) written to %s — load in "

@@ -16,13 +16,17 @@
  *   - F1 (SystemC) is roughly 3x slower than F; F2 (manual C++) is
  *     slightly faster than F.
  *
- * Usage: fig13_vorbis [--frames N] [--json FILE] (default 512 frames;
- * the paper used a 10000-frame test bench - pass --frames 10000 to
- * match). --json additionally writes machine-readable metrics for the
- * full-software partition — wall-clock ns/frame, modeled work units,
- * rules fired per second — which scripts/bench_report.py folds into
- * BENCH_runtime.json (the perf-trajectory artifact; see
- * docs/EXPERIMENTS.md).
+ * Usage: fig13_vorbis [--frames N] [--json FILE]
+ *                     [--hw-backend interpreted|compiled]
+ * (default 512 frames; the paper used a 10000-frame test bench -
+ * pass --frames 10000 to match). --json additionally writes
+ * machine-readable metrics for the full-software partition —
+ * wall-clock ns/frame, modeled work units, rules fired per second —
+ * which scripts/bench_report.py folds into BENCH_runtime.json (the
+ * perf-trajectory artifact; see docs/EXPERIMENTS.md). --hw-backend
+ * selects the clock for the hardware partitions (compiled runs the
+ * codegen'd clock edge; cycle counts and PCM are identical either
+ * way, so the figure itself is backend-invariant).
  */
 #include <chrono>
 #include <cstdio>
@@ -32,6 +36,7 @@
 
 #include "common/logging.hpp"
 #include "common/stats.hpp"
+#include "serve/compile_cache.hpp"
 #include "vorbis/native.hpp"
 #include "vorbis/partitions.hpp"
 #include "vorbis/sysc_backend.hpp"
@@ -65,7 +70,8 @@ timeFullSw(int frames, const CosimConfig &cfg)
 }
 
 void
-writeJson(const std::string &path, int frames, const FullSwTiming &t,
+writeJson(const std::string &path, int frames,
+          const std::string &hw_backend, const FullSwTiming &t,
           const std::vector<std::pair<std::string, VorbisRunResult>>
               &partitions,
           bool all_match)
@@ -78,6 +84,8 @@ writeJson(const std::string &path, int frames, const FullSwTiming &t,
     std::fprintf(f, "{\n");
     std::fprintf(f, "  \"bench\": \"fig13_vorbis\",\n");
     std::fprintf(f, "  \"frames\": %d,\n", frames);
+    std::fprintf(f, "  \"hw_backend\": \"%s\",\n",
+                 hw_backend.c_str());
     std::fprintf(f, "  \"pcm_bit_exact\": %s,\n",
                  all_match ? "true" : "false");
     std::fprintf(f, "  \"full_sw\": {\n");
@@ -123,22 +131,40 @@ main(int argc, char **argv)
 {
     int frames = 512;
     std::string json_path;
+    std::string hw_backend = "interpreted";
     for (int i = 1; i < argc; i++) {
         if (std::strcmp(argv[i], "--frames") == 0 && i + 1 < argc)
             frames = std::atoi(argv[++i]);
         else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
             json_path = argv[++i];
+        else if (std::strcmp(argv[i], "--hw-backend") == 0 &&
+                 i + 1 < argc)
+            hw_backend = argv[++i];
     }
     if (frames <= 0)
         frames = 512;
+    if (hw_backend == "compiled" &&
+        !CompiledHwPartition::hostCompilerAvailable()) {
+        std::printf("no host C++ compiler — falling back to the "
+                    "interpreted hardware backend\n");
+        hw_backend = "interpreted";
+    }
 
     std::printf("== Figure 13 (left): Ogg Vorbis partitions, %d frames "
-                "==\n",
-                frames);
+                "(%s hw backend) ==\n",
+                frames, hw_backend.c_str());
     std::printf("(execution time in FPGA cycles at 100 MHz; PPC440 at "
                 "400 MHz)\n\n");
 
+    serve::CompileCache cache;
     CosimConfig cfg;
+    if (hw_backend == "compiled") {
+        cfg.hwBackend = HwBackend::Compiled;
+        cfg.compileProvider = [&cache](const ElabProgram &p,
+                                       const GenccOptions &o) {
+            return cache.get(p, o);
+        };
+    }
     // Native/SystemC work is counted in CPU-cycle-like units already
     // (no interpreter node inflation), so their conversion is the
     // plain clock ratio.
@@ -208,7 +234,8 @@ main(int argc, char **argv)
 
     if (!json_path.empty()) {
         FullSwTiming t = timeFullSw(frames, cfg);
-        writeJson(json_path, frames, t, part_results, all_match);
+        writeJson(json_path, frames, hw_backend, t, part_results,
+                  all_match);
     }
     return all_match ? 0 : 1;
 }

@@ -22,8 +22,13 @@
  *
  * Usage: serving [--sessions 100,1000,10000] [--frames N]
  *                [--workers W] [--backend compiled|interpreted]
+ *                [--hw-backend interpreted|compiled]
  *                [--verify M] [--json FILE] [--trace FILE]
  *                [--partition F|A|B|C|D|E]
+ * --backend picks the software runtime; --hw-backend independently
+ * picks the clock for hardware domains (relevant with --partition
+ * other than F), with the clock-edge artifacts shared session-wide
+ * through the manager's CompileCache.
  * --json emits the sweep for scripts/bench_report.py to fold into
  * BENCH_runtime.json (the "serving" section), now including a
  * "metrics" object (the registry snapshot: pool/cache/sample-session
@@ -97,6 +102,7 @@ main(int argc, char **argv)
     int workers = 0;  // hardware_concurrency
     int verify = 16;
     std::string backend = "compiled";
+    std::string hw_backend = "interpreted";
     std::string json_path;
     std::string trace_path;
     std::string partition;
@@ -111,6 +117,9 @@ main(int argc, char **argv)
             verify = std::atoi(argv[++i]);
         else if (std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc)
             backend = argv[++i];
+        else if (std::strcmp(argv[i], "--hw-backend") == 0 &&
+                 i + 1 < argc)
+            hw_backend = argv[++i];
         else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
             json_path = argv[++i];
         else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc)
@@ -136,6 +145,15 @@ main(int argc, char **argv)
         backend = "interpreted";
         sw_backend = SwBackend::Interpreted;
     }
+    // Only matters with --partition != F; the compile routes through
+    // the manager's CompileCache so every session shares one
+    // clock-edge artifact per hardware domain.
+    if (hw_backend == "compiled" &&
+        !CompiledHwPartition::hostCompilerAvailable()) {
+        std::printf("no host C++ compiler — falling back to the "
+                    "interpreted hardware backend\n");
+        hw_backend = "interpreted";
+    }
 
     // F (full software) is the serving shape; --trace defaults to B
     // so the timeline has channel traffic to draw flow arrows for.
@@ -160,10 +178,10 @@ main(int argc, char **argv)
 
     std::printf("== Serving-layer sweep: concurrent Vorbis streams "
                 "==\n");
-    std::printf("partition: %c; backend: %s; frames/stream: %d; "
-                "workers: %d (hc=%u)\n\n",
+    std::printf("partition: %c; backend: %s; hw backend: %s; "
+                "frames/stream: %d; workers: %d (hc=%u)\n\n",
                 vorbis::partitionName(part)[0], backend.c_str(),
-                frames,
+                hw_backend.c_str(), frames,
                 workers ? workers
                         : static_cast<int>(
                               std::thread::hardware_concurrency()),
@@ -189,6 +207,13 @@ main(int argc, char **argv)
 
         CosimConfig cfg;
         cfg.swBackend = sw_backend;
+        if (hw_backend == "compiled") {
+            cfg.hwBackend = HwBackend::Compiled;
+            cfg.compileProvider = [&mgr](const ElabProgram &p,
+                                         const GenccOptions &o) {
+                return mgr.cache().get(p, o);
+            };
+        }
 
         // Resolve the shared artifact once, outside the timed
         // region: the one-time compile is the cost the serving layer
@@ -258,6 +283,8 @@ main(int argc, char **argv)
                 vorbis::extractPcm(s->cosim(), setup.audioPrim);
             CosimConfig scfg;
             scfg.swBackend = sw_backend;
+            if (hw_backend == "compiled")
+                scfg.hwBackend = HwBackend::Compiled;
             // The oracle builds its own program and cosim and runs
             // serially; routing its compile through the same cache
             // only shares the binary (its independently generated
@@ -318,6 +345,7 @@ main(int argc, char **argv)
     if (!json_path.empty()) {
         std::ofstream out(json_path);
         out << "{\n  \"backend\": \"" << backend << "\",\n"
+            << "  \"hw_backend\": \"" << hw_backend << "\",\n"
             << "  \"partition\": \""
             << vorbis::partitionName(part) << "\",\n"
             << "  \"workers\": " << effective_workers << ",\n"

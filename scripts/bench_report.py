@@ -15,6 +15,14 @@ Runs the built benchmarks and merges their machine-readable output:
     including the >=3-domain per-stage splits, with the host's
     hardware_concurrency recorded so single-core runs read as the
     overhead measurements they are,
+  - partition_sweep --json: the section 7.1 communication-cost
+    frontier (FPGA-cycle ratio of every Vorbis partition vs full
+    software as the per-message driver cost grows) plus the
+    hardware-backend comparison — interpreted ClockSim vs the compiled
+    clock edge on the full-HW Vorbis (E) and ray (C) partitions, with
+    simulated-FPGA-cycles/sec per backend and in-process verification
+    that outputs, cycle counts and firing totals are byte-identical
+    (surfaced as the top-level "hw_backend" section),
   - sw_runtime_opts (Google Benchmark, optional): scheduling/lifting/
     sequentialization ablations with wall-clock per run.
 
@@ -149,6 +157,34 @@ def run_serving(build_dir, sessions, frames):
         os.unlink(tmp_path)
 
 
+def run_partition_sweep(build_dir, frames):
+    """Section 7.1 communication-cost frontier + the hardware-backend
+    comparison (interpreted ClockSim vs compiled clock edge, verified
+    byte-identical in-process). The comparison needs enough simulated
+    cycles to amortize per-run setup, so it keeps the bench's own
+    --compare-frames default rather than inheriting --frames."""
+    exe = os.path.join(build_dir, "partition_sweep")
+    if not os.path.exists(exe):
+        return None
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        tmp_path = tmp.name
+    try:
+        try:
+            subprocess.run(
+                [exe, "--frames", str(frames), "--json", tmp_path],
+                check=True,
+                stdout=subprocess.DEVNULL,
+            )
+        except subprocess.CalledProcessError as err:
+            print(f"warning: {exe} failed ({err}); omitting sweep",
+                  file=sys.stderr)
+            return None
+        with open(tmp_path) as f:
+            return json.load(f)
+    finally:
+        os.unlink(tmp_path)
+
+
 def run_sw_runtime_opts(build_dir):
     """Optional ablation benchmarks; absent when Google Benchmark is
     not installed."""
@@ -250,6 +286,21 @@ def main():
                           args.serving_frames)
     if serving is not None:
         report["serving"] = serving
+    sweep = run_partition_sweep(args.build_dir,
+                                min(args.frames, 32))
+    if sweep is not None:
+        report["partition_sweep"] = {
+            "frames": sweep["frames"],
+            "sweep_hw_backend": sweep["sweep_hw_backend"],
+            "frontier": sweep["frontier"],
+        }
+        # The interpreted-vs-compiled hardware-clock comparison is the
+        # headline number of the compiled backend; promote it to a
+        # top-level section.
+        report["hw_backend"] = {
+            "compare_frames": sweep["compare_frames"],
+            "workloads": sweep["hw_backend_compare"],
+        }
     ablations = run_sw_runtime_opts(args.build_dir)
     if ablations is not None:
         report["sw_runtime_opts"] = ablations
@@ -296,6 +347,18 @@ def main():
             f"parallel cosim (hc={scaling['hardware_concurrency']}): "
             f"{line}"
         )
+    if sweep is not None:
+        parts = []
+        for name, c in sweep["hw_backend_compare"].items():
+            if c.get("compiled") is None:
+                parts.append(f"{name} (no host compiler)")
+                continue
+            exact = c["outputs_match"] and c["cycles_match"]
+            parts.append(
+                f"{name} {c['speedup']:.1f}x"
+                f"{'' if exact else ' DIVERGED'}"
+            )
+        print(f"compiled hw clock (vs interpreted): {', '.join(parts)}")
 
 
 if __name__ == "__main__":

@@ -45,14 +45,25 @@ enum class CppGenMode : std::uint8_t { Naive, Inlined, Lifted };
  * on FIFO-kind primitives (the synchronizer halves of a partition),
  * device-output drain, and transactional root-interface action-method
  * calls. runtime/gencc.hpp is the in-tree consumer.
+ *
+ * Partitions that pass the synchronous-hardware validation
+ * additionally get a clock-edge scheduler (`hw_cycle`): one function
+ * per clock edge with WILL_FIRE selection baked from the static
+ * ConflictMatrix as constant bitmasks (program-order priority),
+ * exposed as `bcl_gen_hw_valid` / `bcl_gen_hw_cycle` /
+ * `bcl_gen_hw_stats`. Partitions that are not synthesizable keep the
+ * same symbol surface as stubs (hw_valid = 0, hw_cycle = -1), so one
+ * artifact serves both software and hardware consumers of the same
+ * program. hwsim/compiled_hw.hpp is the in-tree consumer.
  */
 std::string generateCpp(const ElabProgram &prog,
                         const std::string &class_name,
                         CppGenMode mode = CppGenMode::Lifted);
 
 /** ABI revision emitted as bcl_gen_abi_version() (bumped whenever the
- *  generated symbol contract changes incompatibly). */
-constexpr int kCppGenAbiVersion = 1;
+ *  generated symbol contract changes incompatibly).
+ *  v2: bcl_gen_hw_valid / bcl_gen_hw_cycle / bcl_gen_hw_stats. */
+constexpr int kCppGenAbiVersion = 2;
 
 /**
  * The payload type a device primitive (AudioDev / Bitmap) receives:

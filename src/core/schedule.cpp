@@ -71,38 +71,58 @@ buildSwSchedule(const ElabProgram &prog)
 
 namespace {
 
-void
+/** First violation in @p a, or "" — shared by the throwing and
+ *  non-throwing entry points so the diagnostics stay identical. */
+std::string
 checkHwAction(const Action &a, const std::string &rule)
 {
     switch (a.kind) {
       case ActKind::Loop:
-        fatal("rule '" + rule +
-              "' contains a dynamic loop, which cannot execute in a "
-              "single clock cycle (not synthesizable; see section 6.4)");
-        break;
+        return "rule '" + rule +
+               "' contains a dynamic loop, which cannot execute in a "
+               "single clock cycle (not synthesizable; see section "
+               "6.4)";
       case ActKind::Seq:
-        fatal("rule '" + rule +
-              "' contains sequential composition, which is not "
-              "directly implementable in hardware (section 6.3)");
-        break;
+        return "rule '" + rule +
+               "' contains sequential composition, which is not "
+               "directly implementable in hardware (section 6.3)";
       default:
         break;
     }
-    for (const auto &s : a.subs)
-        checkHwAction(*s, rule);
+    for (const auto &s : a.subs) {
+        std::string err = checkHwAction(*s, rule);
+        if (!err.empty())
+            return err;
+    }
+    return "";
 }
 
 } // namespace
 
+std::string
+hardwareValidationError(const ElabProgram &prog)
+{
+    for (const auto &r : prog.rules) {
+        std::string err = checkHwAction(*r.body, r.name);
+        if (!err.empty())
+            return err;
+    }
+    for (const auto &m : prog.methods) {
+        if (!m.isAction)
+            continue;
+        std::string err = checkHwAction(*m.body, "method " + m.name);
+        if (!err.empty())
+            return err;
+    }
+    return "";
+}
+
 void
 validateForHardware(const ElabProgram &prog)
 {
-    for (const auto &r : prog.rules)
-        checkHwAction(*r.body, r.name);
-    for (const auto &m : prog.methods) {
-        if (m.isAction)
-            checkHwAction(*m.body, "method " + m.name);
-    }
+    std::string err = hardwareValidationError(prog);
+    if (!err.empty())
+        fatal(err);
 }
 
 } // namespace bcl

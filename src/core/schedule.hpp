@@ -22,6 +22,7 @@
 #ifndef BCL_CORE_SCHEDULE_HPP
 #define BCL_CORE_SCHEDULE_HPP
 
+#include <string>
 #include <vector>
 
 #include "core/conflict.hpp"
@@ -57,6 +58,22 @@ SwSchedule buildSwSchedule(const ElabProgram &prog);
  * @throws FatalError naming the offending rule.
  */
 void validateForHardware(const ElabProgram &prog);
+
+/**
+ * Non-throwing form of validateForHardware(): returns the diagnostic
+ * for the first synthesizability violation, or the empty string when
+ * @p prog is implementable as synchronous hardware. Used by codegen
+ * to decide whether to emit the clock-edge scheduler for a partition
+ * without committing the caller to a hardware-only pipeline.
+ */
+std::string hardwareValidationError(const ElabProgram &prog);
+
+/** True when hardwareValidationError(prog) is empty. */
+inline bool
+isHardwareValid(const ElabProgram &prog)
+{
+    return hardwareValidationError(prog).empty();
+}
 
 } // namespace bcl
 

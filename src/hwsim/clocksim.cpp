@@ -53,8 +53,14 @@ ClockSim::stepCycles(std::uint64_t budget, std::uint64_t &fired)
         used++;
         int f = cycle();
         fired += static_cast<std::uint64_t>(f);
-        if (f == 0)
+        if (f == 0) {
+            // The trailing idle probe consumed real time (the return
+            // value reflects it) but did no work; keep it out of
+            // stats().cycles so cycle accounting is identical whether
+            // the caller paces per cycle, per burst, or free-runs.
+            stats_.cycles--;
             break;
+        }
     }
     return used;
 }
@@ -65,8 +71,10 @@ ClockSim::run(std::uint64_t max_cycles)
     std::uint64_t used = 0;
     while (used < max_cycles) {
         used++;
-        if (cycle() == 0)
+        if (cycle() == 0) {
+            stats_.cycles--;  // trailing idle probe: see stepCycles()
             break;
+        }
     }
     return used;
 }

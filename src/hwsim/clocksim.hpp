@@ -47,15 +47,20 @@ class ClockSim
 
     /**
      * Simulate one clock cycle: compose and execute the maximal
-     * prioritized conflict-free rule set.
+     * prioritized conflict-free rule set. Always counts into
+     * stats().cycles — a caller pacing the clock directly owns the
+     * decision of which cycles to clock.
      * @return number of rules that fired.
      */
     int cycle();
 
     /**
      * Free-run until the partition is quiescent (a cycle with no
-     * firing) or @p max_cycles elapse. Idle cycles at the end are not
-     * counted into stats().cycles.
+     * firing) or @p max_cycles elapse. The trailing idle probe that
+     * detects quiescence is excluded from stats().cycles (it did no
+     * work), exactly as stepCycles() excludes it — so cycle counts
+     * are comparable no matter how the clock was paced. The return
+     * value still includes it: the probe consumed real time.
      * @return cycles consumed.
      */
     std::uint64_t run(std::uint64_t max_cycles);
@@ -66,7 +71,11 @@ class ClockSim
      * owns the clock — the co-simulation paces bursts of cycles
      * against virtual time and polls channels between bursts, so a
      * partition never free-runs past in-flight deliveries. @p fired
-     * accumulates rules fired across the burst.
+     * accumulates rules fired across the burst. As in run(), the
+     * trailing idle probe counts toward the returned cycles-consumed
+     * (virtual time advanced) but not toward stats().cycles — one
+     * accounting across run()/stepCycles() and across hardware
+     * backends, never off-by-one per burst.
      * @return cycles consumed (the trailing idle cycle included).
      */
     std::uint64_t stepCycles(std::uint64_t budget,

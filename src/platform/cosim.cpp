@@ -119,7 +119,43 @@ CoSim::CoSim(const PartitionResult &parts, CosimConfig config)
             HwProc p;
             p.domain = part.domain;
             p.store = std::make_unique<Store>(part.prog);
-            p.sim = std::make_unique<ClockSim>(part.prog, *p.store);
+            if (cfg.hwBackend == HwBackend::Compiled) {
+                GenccOptions opts;
+                opts.mode = cfg.swGenMode;
+                if (cfg.compileProvider) {
+                    p.compiled =
+                        std::make_unique<CompiledHwPartition>(
+                            cfg.compileProvider(part.prog, opts));
+                } else {
+                    p.compiled =
+                        std::make_unique<CompiledHwPartition>(
+                            part.prog, opts);
+                }
+                // Resolve the marshaling plan once: which prims carry
+                // messages across the domain boundary, and a zero
+                // template per SyncTx for the occupancy prefill.
+                for (const auto &prim : part.prog.prims) {
+                    if (prim.kind == "SyncRx") {
+                        p.rxPrims.push_back(prim.id);
+                    } else if (prim.kind == "SyncTx") {
+                        p.txPrims.push_back(prim.id);
+                        size_t nwords = static_cast<size_t>(
+                            (prim.type->flatWidth() + 31) / 32);
+                        std::vector<std::uint32_t> zeros(
+                            nwords > 0 ? nwords : 1, 0);
+                        BitCursor cur(zeros.data(), zeros.size());
+                        p.txZero.push_back(
+                            prim.type->unpackWords(cur));
+                    } else if (prim.kind == "AudioDev") {
+                        p.devPrims.push_back(prim.id);
+                    }
+                }
+                p.rxFed.assign(p.rxPrims.size(), 0);
+                p.txPre.assign(p.txPrims.size(), 0);
+            } else {
+                p.sim =
+                    std::make_unique<ClockSim>(part.prog, *p.store);
+            }
             hwProcs.push_back(std::move(p));
         }
     }
@@ -188,7 +224,8 @@ CoSim::hwStats(const std::string &domain) const
 {
     for (const auto &p : hwProcs) {
         if (p.domain == domain)
-            return &p.sim->stats();
+            return p.compiled ? &p.compiled->stats()
+                              : &p.sim->stats();
     }
     return nullptr;
 }
@@ -197,6 +234,10 @@ void
 CoSim::rebindCompiledThreads()
 {
     for (auto &p : swProcs) {
+        if (p.compiled)
+            p.compiled->rebindThread();
+    }
+    for (auto &p : hwProcs) {
         if (p.compiled)
             p.compiled->rebindThread();
     }
@@ -471,15 +512,23 @@ CoSim::sliceHardware(HwProc &hw, std::uint64_t horizon)
         pumpFrom(hw.domain, hw.time);
         if (deliverTo(hw.domain, hw.time))
             progress = true;
+        if (hw.compiled)
+            hwSyncIn(hw);
         std::uint64_t fired = 0;
         if (parallel_) {
-            hw.time += hw.sim->stepCycles(kHwBurst, fired);
-            active = !hw.sim->idle();
+            hw.time += hw.compiled
+                           ? hw.compiled->stepCycles(kHwBurst, fired)
+                           : hw.sim->stepCycles(kHwBurst, fired);
+            active = hw.compiled ? !hw.compiled->idle()
+                                 : !hw.sim->idle();
         } else {
-            fired = static_cast<std::uint64_t>(hw.sim->cycle());
+            fired = static_cast<std::uint64_t>(
+                hw.compiled ? hw.compiled->cycle() : hw.sim->cycle());
             hw.time++;
             active = fired > 0;
         }
+        if (hw.compiled)
+            hwSyncOut(hw);
         if (fired > 0) {
             progress = true;
             pumpFrom(hw.domain, hw.time);
@@ -497,6 +546,86 @@ CoSim::sliceHardware(HwProc &hw, std::uint64_t horizon)
         hw.time = std::max(hw.time, next);
     }
     return progress;
+}
+
+/*
+ * Cycle-exactness across the ABI. With the interpreted backend a
+ * sync fifo is ONE queue that both the transport and the rules touch,
+ * so guards (canEnq/canDeq) see transport-side occupancy directly.
+ * The compiled instance keeps its own gen::Fifo behind the ABI, and
+ * the transports keep talking to the mirror store — so before each
+ * cycle (or burst; no channel activity happens mid-burst) we project
+ * the mirror's occupancy into the instance, and reconcile afterwards:
+ *
+ *   SyncRx (rules only dequeue): feed the mirror's messages in order
+ *   without removing them from the mirror. After the cycle, whatever
+ *   is left in the instance is a duplicate — drain and discard it;
+ *   the difference is how many the rules consumed, and that many are
+ *   popped off the mirror front. The mirror stays the full-occupancy
+ *   source of truth for the transport's credit checks.
+ *
+ *   SyncTx (rules only enqueue): the instance fifo is empty between
+ *   cycles (we drain it fully), but the producer guard must see the
+ *   not-yet-delivered backlog or it would never feel backpressure and
+ *   cycle counts would diverge. Prefill with one zero-valued dummy
+ *   per backlogged mirror entry, cycle, pop the dummies back off, and
+ *   append only the genuinely new messages to the mirror tail.
+ *
+ * This relies on the same contract the interpreter enforces
+ * dynamically: rules never enqueue into a SyncRx, never dequeue from
+ * a SyncTx, and never clear a sync fifo.
+ */
+void
+CoSim::hwSyncIn(HwProc &hw)
+{
+    for (size_t i = 0; i < hw.rxPrims.size(); i++) {
+        const auto &queue = hw.store->at(hw.rxPrims[i]).queue;
+        int fed = 0;
+        while (fed < static_cast<int>(queue.size()) &&
+               hw.compiled->pushPrim(hw.rxPrims[i],
+                                     queue[static_cast<size_t>(fed)]))
+            fed++;
+        hw.rxFed[i] = fed;
+    }
+    for (size_t i = 0; i < hw.txPrims.size(); i++) {
+        const auto &queue = hw.store->at(hw.txPrims[i]).queue;
+        int pre = 0;
+        while (pre < static_cast<int>(queue.size()) &&
+               hw.compiled->pushPrim(hw.txPrims[i], hw.txZero[i]))
+            pre++;
+        hw.txPre[i] = pre;
+    }
+}
+
+void
+CoSim::hwSyncOut(HwProc &hw)
+{
+    Value v;
+    for (size_t i = 0; i < hw.rxPrims.size(); i++) {
+        int rem = 0;
+        while (hw.compiled->popPrim(hw.rxPrims[i], v))
+            rem++;
+        int consumed = hw.rxFed[i] - rem;
+        if (consumed < 0)
+            panic("cosim: compiled hardware enqueued into SyncRx");
+        hw.store->at(hw.rxPrims[i])
+            .queue.pop_front(static_cast<size_t>(consumed));
+    }
+    for (size_t i = 0; i < hw.txPrims.size(); i++) {
+        auto &queue = hw.store->at(hw.txPrims[i]).queue;
+        for (int k = 0; k < hw.txPre[i]; k++) {
+            if (!hw.compiled->popPrim(hw.txPrims[i], v))
+                panic("cosim: compiled hardware consumed a SyncTx "
+                      "prefill");
+        }
+        while (hw.compiled->popPrim(hw.txPrims[i], v))
+            queue.push_back(std::move(v));
+    }
+    for (size_t i = 0; i < hw.devPrims.size(); i++) {
+        auto &queue = hw.store->at(hw.devPrims[i]).queue;
+        while (hw.compiled->popDevice(hw.devPrims[i], v))
+            queue.push_back(std::move(v));
+    }
 }
 
 std::uint64_t
@@ -726,6 +855,10 @@ CoSim::runParallel(const std::function<bool(CoSim &)> &done)
         for (auto &sw : swProcs) {
             if (sw.compiled)
                 sw.compiled->rebindThread();
+        }
+        for (auto &hw : hwProcs) {
+            if (hw.compiled)
+                hw.compiled->rebindThread();
         }
     };
 

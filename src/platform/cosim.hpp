@@ -54,6 +54,7 @@
 #include "core/codegen_cpp.hpp"
 #include "core/partition.hpp"
 #include "hwsim/clocksim.hpp"
+#include "hwsim/compiled_hw.hpp"
 #include "platform/channel.hpp"
 #include "runtime/exec.hpp"
 #include "runtime/gencc.hpp"
@@ -76,6 +77,22 @@ enum class DomainKind : std::uint8_t { Software, Hardware };
  * differ.
  */
 enum class SwBackend : std::uint8_t { Interpreted, Compiled };
+
+/**
+ * How a hardware domain executes its clock:
+ *   Interpreted - ClockSim over the reference interpreter, one
+ *                 dynamic matrix walk per cycle (the rule-accurate
+ *                 reference),
+ *   Compiled    - generateCpp + host compiler + dlopen; the clock
+ *                 edge is a generated function with the WILL_FIRE
+ *                 selection baked from the static ConflictMatrix
+ *                 (hwsim/compiled_hw.hpp).
+ * Unlike the software backends, the two are cycle-exact against each
+ * other: cycle counts, per-rule fire counts and outputs are
+ * byte-identical (differential-tested in tests/test_codegen_hw.cpp)
+ * — only wall-clock simulated-cycles/sec differs.
+ */
+enum class HwBackend : std::uint8_t { Interpreted, Compiled };
 
 /** Co-simulation parameters. */
 struct CosimConfig
@@ -102,8 +119,21 @@ struct CosimConfig
      *  between the interpreter and compiled shared objects). */
     SwBackend swBackend = SwBackend::Interpreted;
 
-    /** Code-generation strategy when swBackend == Compiled. */
+    /** Code-generation strategy when swBackend == Compiled (also
+     *  used for hardware domains when hwBackend == Compiled: the
+     *  generated translation unit is the same either way, so one
+     *  CompileCache entry serves both uses of a program). */
     CppGenMode swGenMode = CppGenMode::Lifted;
+
+    /**
+     * Execution backend for hardware domains. Compiled requires a
+     * host C++ compiler (CompiledHwPartition::hostCompilerAvailable)
+     * and partitions that pass validateForHardware — which every
+     * DomainKind::Hardware partition already must. Compilation
+     * routes through compileProvider when set (the CompileCache
+     * path), exactly like software domains.
+     */
+    HwBackend hwBackend = HwBackend::Interpreted;
 
     /**
      * Artifact source for Compiled software domains. Unset, every
@@ -337,8 +367,20 @@ class CoSim
     {
         std::string domain;
         std::unique_ptr<Store> store;
+        /** Interpreted backend; null when compiled is set. The store
+         *  stays live either way: transports read/write it, so with a
+         *  compiled backend it becomes the channel-facing mirror of
+         *  the generated instance's sync fifos. */
         std::unique_ptr<ClockSim> sim;
+        std::unique_ptr<CompiledHwPartition> compiled;
         std::uint64_t time = 0;
+        // Compiled-backend marshaling plan, resolved once at
+        // construction (prim ids by kind; zero template per SyncTx
+        // for occupancy prefill).
+        std::vector<int> rxPrims, txPrims, devPrims;
+        std::vector<Value> txZero;  ///< parallel to txPrims
+        std::vector<int> rxFed;     ///< per-burst scratch, ∥ rxPrims
+        std::vector<int> txPre;     ///< per-burst scratch, ∥ txPrims
     };
 
     bool sliceSoftware(SwProc &sw);
@@ -349,6 +391,12 @@ class CoSim
     /** Mirror SyncTx/device output out of the shared object. */
     bool drainCompiledOutputs(SwProc &sw);
     bool sliceHardware(HwProc &hw, std::uint64_t horizon);
+    /** Project mirror-fifo occupancy into the compiled instance so
+     *  generated guards see exactly what ClockSim's would. */
+    void hwSyncIn(HwProc &hw);
+    /** Reconcile the compiled instance's sync fifos back into the
+     *  mirror store after a cycle/burst. */
+    void hwSyncOut(HwProc &hw);
     void pumpFrom(const std::string &domain, std::uint64_t time);
     bool deliverTo(const std::string &domain, std::uint64_t time);
     std::uint64_t nextChannelEvent() const;

@@ -235,6 +235,13 @@ CompiledArtifact::resolveAbi()
         resolve("bcl_gen_call_action"));
     fnWords_ =
         reinterpret_cast<int (*)(int)>(resolve("bcl_gen_payload_words"));
+    fnHwValid_ =
+        reinterpret_cast<int (*)()>(resolve("bcl_gen_hw_valid"));
+    fnHwCycle_ = reinterpret_cast<int (*)(void *)>(
+        resolve("bcl_gen_hw_cycle"));
+    fnHwStats_ =
+        reinterpret_cast<std::uint64_t (*)(void *, int, int)>(
+            resolve("bcl_gen_hw_stats"));
 
     // Layout cross-check: the word count the generated side derived
     // for every ABI-visible primitive must match the host's own

@@ -156,8 +156,14 @@ class CompiledArtifact
 
     const GenccOptions &options() const { return opts_; }
 
+    /** True when the generated object carries a real clock-edge
+     *  scheduler (the partition passed validateForHardware at
+     *  generation time); false means bcl_gen_hw_cycle is a stub. */
+    bool hwValid() const { return fnHwValid_() != 0; }
+
   private:
     friend class CompiledPartition;
+    friend class CompiledHwPartition;
 
     void load(const std::string &so_path);
     void resolveAbi();
@@ -184,6 +190,11 @@ class CompiledArtifact
     int (*fnDevPop_)(void *, int, std::uint32_t *, int) = nullptr;
     int (*fnCall_)(void *, int, const std::uint32_t *, int) = nullptr;
     int (*fnWords_)(int) = nullptr;
+    // Hardware clock-edge entry points (ABI v2; stubs when the
+    // partition is not synthesizable).
+    int (*fnHwValid_)() = nullptr;
+    int (*fnHwCycle_)(void *) = nullptr;
+    std::uint64_t (*fnHwStats_)(void *, int, int) = nullptr;
 };
 
 /**
@@ -285,6 +296,11 @@ class CompiledPartition
     }
 
   private:
+    /** The compiled hardware backend (hwsim/compiled_hw.hpp) wraps a
+     *  CompiledPartition for marshaling/thread-confinement and clocks
+     *  the same instance through bcl_gen_hw_cycle. */
+    friend class CompiledHwPartition;
+
     Value popValue(int prim_id, const TypePtr &type, bool device,
                    bool &ok);
 

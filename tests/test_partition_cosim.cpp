@@ -24,6 +24,7 @@
 #include "platform/marshal.hpp"
 #include "ray/partitions.hpp"
 #include "runtime/exec.hpp"
+#include "serve/compile_cache.hpp"
 #include "vorbis/partitions.hpp"
 
 namespace bcl {
@@ -871,6 +872,111 @@ TEST(CoSimParallel, VorbisDeterminismMatrixCompiled)
                 << "config " << ci << " threads=" << threads;
             EXPECT_EQ(r.swRulesFired, ref.swRulesFired)
                 << "config " << ci << " threads=" << threads;
+        }
+    }
+}
+
+// The hardware-backend axis: every run below must reproduce the
+// interpreted threads=1 golden reference — and because the two
+// hardware backends are cycle-exact against each other (unlike the
+// software ones), hwRuleFires must match at every thread count and
+// fpgaCycles must match at threads=1. One CompileCache dedupes the
+// per-partition compiles across the thread axis.
+
+TEST(CoSimParallel, VorbisDeterminismMatrixCompiledHw)
+{
+    if (!CompiledHwPartition::hostCompilerAvailable())
+        GTEST_SKIP() << "no host compiler";
+    const int frames = 2;
+    std::vector<vorbis::VorbisConfig> configs;
+    configs.push_back(
+        vorbis::partitionConfig(vorbis::VorbisPartition::E));
+    configs.push_back(vorbis::splitVorbisConfig());
+
+    serve::CompileCache cache;
+    auto provider = [&cache](const ElabProgram &prog,
+                             const GenccOptions &opts) {
+        return cache.get(prog, opts);
+    };
+
+    for (size_t ci = 0; ci < configs.size(); ci++) {
+        vorbis::VorbisRunResult ref =
+            vorbis::runVorbisConfig(configs[ci], frames);
+        for (int threads : matrixThreadCounts()) {
+            CosimConfig cfg;
+            cfg.threads = threads;
+            cfg.hwBackend = HwBackend::Compiled;
+            cfg.compileProvider = provider;
+            vorbis::VorbisRunResult r = vorbis::runVorbisConfig(
+                configs[ci], frames, &cfg);
+            EXPECT_EQ(r.pcm, ref.pcm)
+                << "config " << ci << " threads=" << threads;
+            EXPECT_EQ(r.swRulesFired, ref.swRulesFired)
+                << "config " << ci << " threads=" << threads;
+            EXPECT_EQ(r.hwRuleFires, ref.hwRuleFires)
+                << "config " << ci << " threads=" << threads;
+            if (threads == 1) {
+                EXPECT_EQ(r.fpgaCycles, ref.fpgaCycles)
+                    << "config " << ci
+                    << ": sequential compiled hw must be cycle-exact";
+            }
+        }
+    }
+
+    // Both backends compiled at once (the all-generated pipeline);
+    // the software side only promises output/firing equivalence, so
+    // cycle counts are not compared here.
+    for (int threads : {1, 2}) {
+        CosimConfig cfg;
+        cfg.threads = threads;
+        cfg.swBackend = SwBackend::Compiled;
+        cfg.hwBackend = HwBackend::Compiled;
+        cfg.compileProvider = provider;
+        vorbis::VorbisRunResult ref =
+            vorbis::runVorbisConfig(configs.back(), frames);
+        vorbis::VorbisRunResult r =
+            vorbis::runVorbisConfig(configs.back(), frames, &cfg);
+        EXPECT_EQ(r.pcm, ref.pcm) << "threads=" << threads;
+        EXPECT_EQ(r.swRulesFired, ref.swRulesFired)
+            << "threads=" << threads;
+    }
+}
+
+TEST(CoSimParallel, RayDeterminismMatrixCompiledHw)
+{
+    if (!CompiledHwPartition::hostCompilerAvailable())
+        GTEST_SKIP() << "no host compiler";
+    const int w = 6, h = 6, prims = 32;
+    std::vector<ray::RayConfig> configs;
+    configs.push_back(
+        ray::rayPartitionConfig(ray::RayPartition::C, w, h));
+    configs.push_back(ray::splitRayConfig(w, h));
+
+    serve::CompileCache cache;
+    auto provider = [&cache](const ElabProgram &prog,
+                             const GenccOptions &opts) {
+        return cache.get(prog, opts);
+    };
+
+    for (size_t ci = 0; ci < configs.size(); ci++) {
+        ray::RayRunResult ref =
+            ray::runRayConfig(configs[ci], prims);
+        for (int threads : {1, 2}) {
+            CosimConfig cfg;
+            cfg.threads = threads;
+            cfg.hwBackend = HwBackend::Compiled;
+            cfg.compileProvider = provider;
+            ray::RayRunResult r =
+                ray::runRayConfig(configs[ci], prims, &cfg);
+            EXPECT_EQ(r.pixels, ref.pixels)
+                << "config " << ci << " threads=" << threads;
+            EXPECT_EQ(r.hwRuleFires, ref.hwRuleFires)
+                << "config " << ci << " threads=" << threads;
+            if (threads == 1) {
+                EXPECT_EQ(r.fpgaCycles, ref.fpgaCycles)
+                    << "config " << ci
+                    << ": sequential compiled hw must be cycle-exact";
+            }
         }
     }
 }
