@@ -20,6 +20,7 @@
  * Usage: cosim_parallel [--frames N] [--ray-size W] [--json FILE]
  *                       [--trace FILE]
  *                       [--hw-backend interpreted|compiled]
+ *                       [--transport inthread|shm|tcp]
  * --json emits the sweep for scripts/bench_report.py to fold into
  * BENCH_runtime.json; each workload entry carries a "metrics" object
  * (per-channel traffic of its threads=1 run under the stable
@@ -29,6 +30,12 @@
  * message becomes two events). --hw-backend clocks the hardware
  * domains with the interpreted ClockSim (default) or the compiled
  * clock edge; outputs and cycle counts are identical either way.
+ * --transport places hardware domains in-thread (default), in forked
+ * children over shared-memory rings, or in forked children over
+ * framed loopback TCP; remote transports force the sequential engine
+ * so the sweep degenerates to threads=1 and measures the relay
+ * overhead per transport (outputs stay byte-identical — the same
+ * §4.4 license).
  */
 #include <algorithm>
 #include <chrono>
@@ -44,6 +51,8 @@
 #include "core/domains.hpp"
 #include "obs/trace.hpp"
 #include "platform/channel.hpp"
+#include "platform/net_transport.hpp"
+#include "platform/remote_partition.hpp"
 #include "ray/partitions.hpp"
 #include "serve/compile_cache.hpp"
 #include "vorbis/partitions.hpp"
@@ -98,8 +107,13 @@ struct WorkloadResult
 };
 
 std::vector<int>
-threadSweep()
+threadSweep(bool remote)
 {
+    // Remote transports force the sequential engine, so only the
+    // threads=1 point is meaningful: the sweep then measures per-
+    // transport relay cost, not parallel scaling.
+    if (remote)
+        return {1};
     unsigned hc = std::thread::hardware_concurrency();
     std::vector<int> sweep{1, 2};
     for (int t = 4; t <= static_cast<int>(hc); t *= 2)
@@ -132,7 +146,8 @@ rayDomains(const ray::RayConfig &cfg)
 
 template <typename RunFn, typename OutputOf>
 WorkloadResult
-sweepWorkload(const std::string &name, int domains, RunFn run,
+sweepWorkload(const std::string &name, int domains,
+              const std::vector<int> &sweep, RunFn run,
               OutputOf output_of)
 {
     WorkloadResult res;
@@ -140,7 +155,7 @@ sweepWorkload(const std::string &name, int domains, RunFn run,
     res.domains = domains;
     bool have_ref = false;
     decltype(output_of(run(1))) ref{};
-    for (int threads : threadSweep()) {
+    for (int threads : sweep) {
         // Warm-up pass (allocator, code paths), then the timed pass.
         run(threads);
         auto t0 = std::chrono::steady_clock::now();
@@ -165,12 +180,14 @@ sweepWorkload(const std::string &name, int domains, RunFn run,
 
 void
 writeJson(const std::string &path, const std::string &hw_backend,
+          const std::string &transport,
           const std::vector<WorkloadResult> &results)
 {
     std::ofstream out(path);
     out << "{\n  \"hardware_concurrency\": "
         << std::thread::hardware_concurrency() << ",\n"
         << "  \"hw_backend\": \"" << hw_backend << "\",\n"
+        << "  \"transport\": \"" << transport << "\",\n"
         << "  \"workloads\": [\n";
     for (size_t i = 0; i < results.size(); i++) {
         const WorkloadResult &w = results[i];
@@ -209,6 +226,7 @@ main(int argc, char **argv)
     std::string json_path;
     std::string trace_path;
     std::string hw_backend = "interpreted";
+    std::string transport = "inthread";
     for (int i = 1; i < argc; i++) {
         if (std::strcmp(argv[i], "--frames") == 0 && i + 1 < argc)
             frames = std::atoi(argv[++i]);
@@ -225,6 +243,9 @@ main(int argc, char **argv)
         else if (std::strcmp(argv[i], "--hw-backend") == 0 &&
                  i + 1 < argc)
             hw_backend = argv[++i];
+        else if (std::strcmp(argv[i], "--transport") == 0 &&
+                 i + 1 < argc)
+            transport = argv[++i];
     }
     if (hw_backend == "compiled" &&
         !CompiledHwPartition::hostCompilerAvailable()) {
@@ -232,6 +253,14 @@ main(int argc, char **argv)
                     "interpreted hardware backend\n");
         hw_backend = "interpreted";
     }
+    TransportKind tkind = parseTransportKind(transport);
+    if (tkind == TransportKind::Tcp && !netTransportAvailable()) {
+        std::printf("loopback TCP unavailable in this sandbox — "
+                    "falling back to the shm transport\n");
+        transport = "shm";
+        tkind = TransportKind::SharedMem;
+    }
+    const bool remote = tkind != TransportKind::InThread;
 
     if (!trace_path.empty()) {
         obs::trace().enable(true);
@@ -240,14 +269,18 @@ main(int argc, char **argv)
 
     std::printf("== Parallel co-simulation scaling sweep ==\n");
     std::printf("hardware_concurrency: %u; vorbis frames: %d; "
-                "ray: %dx%d/%d prims; hw backend: %s\n\n",
+                "ray: %dx%d/%d prims; hw backend: %s; transport: "
+                "%s\n\n",
                 std::thread::hardware_concurrency(), frames, ray_size,
-                ray_size, ray_prims, hw_backend.c_str());
+                ray_size, ray_prims, hw_backend.c_str(),
+                transportName(tkind));
 
     // One cache serves the whole sweep: a partition's clock-edge
     // artifact is compiled once and shared across every thread count.
     serve::CompileCache cache;
     auto apply_hw = [&](CosimConfig &cfg) {
+        cfg.defaultTransport = tkind;
+        cfg.transportTimeoutMs = 60000;
         if (hw_backend != "compiled")
             return;
         cfg.hwBackend = HwBackend::Compiled;
@@ -270,7 +303,7 @@ main(int argc, char **argv)
 
     for (const auto &[name, vcfg] : vcfgs) {
         results.push_back(sweepWorkload(
-            name, vorbisDomains(vcfg),
+            name, vorbisDomains(vcfg), threadSweep(remote),
             [&](int threads) {
                 CosimConfig cfg;
                 cfg.threads = threads;
@@ -292,7 +325,7 @@ main(int argc, char **argv)
 
     for (const auto &[name, rcfg] : rcfgs) {
         results.push_back(sweepWorkload(
-            name, rayDomains(rcfg),
+            name, rayDomains(rcfg), threadSweep(remote),
             [&](int threads) {
                 CosimConfig cfg;
                 cfg.threads = threads;
@@ -323,7 +356,8 @@ main(int argc, char **argv)
                 all_match ? "yes" : "NO — LIBDN VIOLATION");
 
     if (!json_path.empty())
-        writeJson(json_path, hw_backend, results);
+        writeJson(json_path, hw_backend, transportName(tkind),
+                  results);
     if (!trace_path.empty()) {
         obs::trace().writeJson(trace_path);
         std::printf("trace (%llu events) written to %s — load in "

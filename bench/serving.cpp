@@ -25,6 +25,14 @@
  *                [--hw-backend interpreted|compiled]
  *                [--verify M] [--json FILE] [--trace FILE]
  *                [--partition F|A|B|C|D|E]
+ *                [--transport inthread|shm|tcp]
+ * --transport moves each session's hardware domains into forked
+ * partition children (shm rings or framed loopback TCP) — the
+ * distributed serving shape, one child per hardware domain per live
+ * session. The default partition F is full-software (no hardware
+ * domains), so a remote transport without an explicit --partition
+ * switches to B; keep --sessions small (children are real
+ * processes).
  * --backend picks the software runtime; --hw-backend independently
  * picks the clock for hardware domains (relevant with --partition
  * other than F), with the clock-edge artifacts shared session-wide
@@ -56,6 +64,8 @@
 
 #include "common/stats.hpp"
 #include "obs/trace.hpp"
+#include "platform/net_transport.hpp"
+#include "platform/remote_partition.hpp"
 #include "serve/pool.hpp"
 #include "vorbis/partitions.hpp"
 
@@ -106,6 +116,7 @@ main(int argc, char **argv)
     std::string json_path;
     std::string trace_path;
     std::string partition;
+    std::string transport = "inthread";
     for (int i = 1; i < argc; i++) {
         if (std::strcmp(argv[i], "--sessions") == 0 && i + 1 < argc)
             sweeps = parseSessionList(argv[++i]);
@@ -127,6 +138,9 @@ main(int argc, char **argv)
         else if (std::strcmp(argv[i], "--partition") == 0 &&
                  i + 1 < argc)
             partition = argv[++i];
+        else if (std::strcmp(argv[i], "--transport") == 0 &&
+                 i + 1 < argc)
+            transport = argv[++i];
     }
 
     // The frame-latency percentiles come from the registry histogram,
@@ -155,10 +169,22 @@ main(int argc, char **argv)
         hw_backend = "interpreted";
     }
 
-    // F (full software) is the serving shape; --trace defaults to B
-    // so the timeline has channel traffic to draw flow arrows for.
+    TransportKind tkind = parseTransportKind(transport);
+    if (tkind == TransportKind::Tcp && !netTransportAvailable()) {
+        std::printf("loopback TCP unavailable in this sandbox — "
+                    "falling back to the shm transport\n");
+        transport = "shm";
+        tkind = TransportKind::SharedMem;
+    }
+
+    // F (full software) is the serving shape; --trace (and a remote
+    // transport, which needs hardware domains to move out of
+    // process) default to B so there is channel traffic to show.
     if (partition.empty())
-        partition = trace_path.empty() ? "F" : "B";
+        partition = (trace_path.empty() &&
+                     tkind == TransportKind::InThread)
+                        ? "F"
+                        : "B";
     vorbis::VorbisPartition part = vorbis::VorbisPartition::F;
     switch (partition[0]) {
       case 'F': part = vorbis::VorbisPartition::F; break;
@@ -179,9 +205,10 @@ main(int argc, char **argv)
     std::printf("== Serving-layer sweep: concurrent Vorbis streams "
                 "==\n");
     std::printf("partition: %c; backend: %s; hw backend: %s; "
-                "frames/stream: %d; workers: %d (hc=%u)\n\n",
+                "transport: %s; frames/stream: %d; workers: %d "
+                "(hc=%u)\n\n",
                 vorbis::partitionName(part)[0], backend.c_str(),
-                hw_backend.c_str(), frames,
+                hw_backend.c_str(), transportName(tkind), frames,
                 workers ? workers
                         : static_cast<int>(
                               std::thread::hardware_concurrency()),
@@ -207,6 +234,8 @@ main(int argc, char **argv)
 
         CosimConfig cfg;
         cfg.swBackend = sw_backend;
+        cfg.defaultTransport = tkind;
+        cfg.transportTimeoutMs = 60000;
         if (hw_backend == "compiled") {
             cfg.hwBackend = HwBackend::Compiled;
             cfg.compileProvider = [&mgr](const ElabProgram &p,
@@ -346,6 +375,8 @@ main(int argc, char **argv)
         std::ofstream out(json_path);
         out << "{\n  \"backend\": \"" << backend << "\",\n"
             << "  \"hw_backend\": \"" << hw_backend << "\",\n"
+            << "  \"transport\": \"" << transportName(tkind)
+            << "\",\n"
             << "  \"partition\": \""
             << vorbis::partitionName(part) << "\",\n"
             << "  \"workers\": " << effective_workers << ",\n"

@@ -24,7 +24,14 @@ Runs the built benchmarks and merges their machine-readable output:
     that outputs, cycle counts and firing totals are byte-identical
     (surfaced as the top-level "hw_backend" section),
   - sw_runtime_opts (Google Benchmark, optional): scheduling/lifting/
-    sequentialization ablations with wall-clock per run.
+    sequentialization ablations with wall-clock per run,
+  - the "transports" section: cosim_parallel and serving re-run once
+    per channel transport (in-thread, forked shm rings, framed
+    loopback TCP) at small sizes, recording per-transport throughput
+    and frame latency — the relay cost of distributing LIBDN
+    partitions across processes. TCP silently degrades to shm when
+    the sandbox forbids loopback sockets (the recorded "effective"
+    field says what actually ran).
 
 The assembled report also carries a top-level "metrics_snapshot"
 section: the src/obs/ typed-registry dumps from the serving sweep
@@ -185,6 +192,103 @@ def run_partition_sweep(build_dir, frames):
         os.unlink(tmp_path)
 
 
+def run_transports(build_dir):
+    """Per-transport relay-cost comparison: cosim_parallel (threads=1
+    wall-clock per workload) and the serving sweep (streams/sec and
+    frame latency), each re-run over the in-thread, shared-memory and
+    loopback-TCP transports at deliberately small sizes — remote
+    transports fork one child per hardware domain (per live session,
+    for serving), so this measures relay overhead, not scale."""
+    cosim_exe = os.path.join(build_dir, "cosim_parallel")
+    serving_exe = os.path.join(build_dir, "serving")
+    if not os.path.exists(cosim_exe) and not os.path.exists(serving_exe):
+        return None
+
+    def one_cosim(transport):
+        with tempfile.NamedTemporaryFile(suffix=".json",
+                                         delete=False) as tmp:
+            tmp_path = tmp.name
+        try:
+            subprocess.run(
+                [
+                    cosim_exe,
+                    "--frames", "4",
+                    "--ray-size", "6",
+                    "--ray-prims", "32",
+                    "--transport", transport,
+                    "--json", tmp_path,
+                ],
+                check=True,
+                stdout=subprocess.DEVNULL,
+            )
+            with open(tmp_path) as f:
+                raw = json.load(f)
+            runs = {}
+            for w in raw.get("workloads", []):
+                for r in w.get("runs", []):
+                    if r["threads"] == 1:
+                        runs[w["name"]] = {
+                            "wall_ms": r["wall_ms"],
+                            "outputs_match": r["outputs_match"],
+                        }
+            return {"effective": raw.get("transport", transport),
+                    "workloads": runs}
+        finally:
+            os.unlink(tmp_path)
+
+    def one_serving(transport):
+        with tempfile.NamedTemporaryFile(suffix=".json",
+                                         delete=False) as tmp:
+            tmp_path = tmp.name
+        try:
+            subprocess.run(
+                [
+                    serving_exe,
+                    "--sessions", "8",
+                    "--frames", "2",
+                    "--workers", "2",
+                    "--partition", "B",
+                    "--backend", "interpreted",
+                    "--verify", "4",
+                    "--transport", transport,
+                    "--json", tmp_path,
+                ],
+                check=True,
+                stdout=subprocess.DEVNULL,
+            )
+            with open(tmp_path) as f:
+                raw = json.load(f)
+            pt = raw["points"][0] if raw.get("points") else {}
+            return {
+                "effective": raw.get("transport", transport),
+                "streams_per_sec": pt.get("streams_per_sec"),
+                "frame_ms_p50": pt.get("frame_ms_p50"),
+                "frame_ms_p99": pt.get("frame_ms_p99"),
+                "outputs_match": pt.get("outputs_match"),
+            }
+        finally:
+            os.unlink(tmp_path)
+
+    section = {}
+    for transport in ("inthread", "shm", "tcp"):
+        entry = {}
+        try:
+            if os.path.exists(cosim_exe):
+                entry["cosim"] = one_cosim(transport)
+            if os.path.exists(serving_exe):
+                entry["serving"] = one_serving(transport)
+        except subprocess.CalledProcessError as err:
+            print(
+                f"warning: transport '{transport}' bench failed "
+                f"({err}); omitting it",
+                file=sys.stderr,
+            )
+            continue
+        if entry:
+            section[transport] = entry
+    return section or None
+
+
 def run_sw_runtime_opts(build_dir):
     """Optional ablation benchmarks; absent when Google Benchmark is
     not installed."""
@@ -301,6 +405,9 @@ def main():
             "compare_frames": sweep["compare_frames"],
             "workloads": sweep["hw_backend_compare"],
         }
+    transports = run_transports(args.build_dir)
+    if transports is not None:
+        report["transports"] = transports
     ablations = run_sw_runtime_opts(args.build_dir)
     if ablations is not None:
         report["sw_runtime_opts"] = ablations
@@ -347,6 +454,18 @@ def main():
             f"parallel cosim (hc={scaling['hardware_concurrency']}): "
             f"{line}"
         )
+    if transports is not None:
+        parts = []
+        for name, entry in transports.items():
+            sv = entry.get("serving") or {}
+            if sv.get("streams_per_sec") is not None:
+                parts.append(
+                    f"{name} {sv['streams_per_sec']:.0f} str/s "
+                    f"p99 {sv['frame_ms_p99']:.2f} ms"
+                )
+        if parts:
+            print(f"transport relay cost (serving B): "
+                  f"{', '.join(parts)}")
     if sweep is not None:
         parts = []
         for name, c in sweep["hw_backend_compare"].items():

@@ -80,11 +80,37 @@ requestedThreads(const CosimConfig &cfg)
 CoSim::CoSim(const PartitionResult &parts, CosimConfig config)
     : cfg(std::move(config))
 {
+    // Software domains always run in-thread — host drivers call into
+    // them directly — so defaultTransport only moves HARDWARE domains
+    // out of process; naming a software domain in the per-domain
+    // override map is a configuration error.
+    auto effectiveTransport = [this](const std::string &dom) {
+        if (cfg.kindOf(dom) == DomainKind::Software) {
+            auto it = cfg.transports.find(dom);
+            if (it != cfg.transports.end() &&
+                it->second != TransportKind::InThread)
+                fatal("CosimConfig: software domain '" + dom +
+                      "' cannot run remotely — host drivers call "
+                      "into it directly; only Hardware domains may "
+                      "use SharedMem/Tcp transports");
+            return TransportKind::InThread;
+        }
+        return cfg.transportOf(dom);
+    };
+
     // Parallel execution needs at least two domains to overlap; with
     // one domain (or threads == 1) the exact sequential loop runs and
     // transports stay in their historical direct-read credit mode.
-    parallel_ =
-        requestedThreads(cfg) > 1 && parts.parts.size() > 1;
+    // Remote transports force the sequential engine: the coordinator
+    // relays slices synchronously, and the transports must keep their
+    // direct-read credit mode over the mirror stores.
+    bool any_remote = false;
+    for (const auto &part : parts.parts) {
+        if (effectiveTransport(part.domain) != TransportKind::InThread)
+            any_remote = true;
+    }
+    parallel_ = requestedThreads(cfg) > 1 && parts.parts.size() > 1 &&
+                !any_remote;
 
     for (const auto &part : parts.parts) {
         if (cfg.kindOf(part.domain) == DomainKind::Software) {
@@ -119,6 +145,27 @@ CoSim::CoSim(const PartitionResult &parts, CosimConfig config)
             HwProc p;
             p.domain = part.domain;
             p.store = std::make_unique<Store>(part.prog);
+            TransportKind tk = effectiveTransport(part.domain);
+            if (tk != TransportKind::InThread) {
+                // Remote domain: the child owns the simulator
+                // (always the interpreted ClockSim — cycle-exact
+                // against the compiled edge); this store becomes the
+                // channel-facing mirror the relay feeds and drains.
+                RemoteOptions ropts;
+                ropts.timeoutMs = cfg.transportTimeoutMs;
+                ropts.traced = cfg.trace;
+                auto ep = cfg.remoteEndpoints.find(part.domain);
+                if (tk == TransportKind::Tcp &&
+                    ep != cfg.remoteEndpoints.end()) {
+                    p.remote = std::make_unique<RemoteHwPartition>(
+                        part.prog, ep->second, part.domain, ropts);
+                } else {
+                    p.remote = std::make_unique<RemoteHwPartition>(
+                        part.prog, tk, part.domain, ropts);
+                }
+                hwProcs.push_back(std::move(p));
+                continue;
+            }
             if (cfg.hwBackend == HwBackend::Compiled) {
                 GenccOptions opts;
                 opts.mode = cfg.swGenMode;
@@ -223,11 +270,24 @@ const HwStats *
 CoSim::hwStats(const std::string &domain) const
 {
     for (const auto &p : hwProcs) {
-        if (p.domain == domain)
+        if (p.domain == domain) {
+            if (p.remote)
+                return &p.remote->stats();
             return p.compiled ? &p.compiled->stats()
                               : &p.sim->stats();
+        }
     }
     return nullptr;
+}
+
+pid_t
+CoSim::remotePid(const std::string &domain) const
+{
+    for (const auto &p : hwProcs) {
+        if (p.domain == domain && p.remote)
+            return p.remote->childPid();
+    }
+    return -1;
 }
 
 void
@@ -490,9 +550,61 @@ CoSim::sliceSoftwareCompiled(SwProc &sw)
     return progress;
 }
 
+/**
+ * One slice of a remote hardware domain — the hwSyncIn/hwSyncOut
+ * mirror pattern stretched over a process boundary. Deliveries land
+ * in the mirror store as usual; staged SyncRx messages are shipped
+ * to the partition host; the host clocks its ClockSim for up to
+ * (horizon - hw.time) cycles, stopping early when idle (no new input
+ * can arrive mid-slice); produced SyncTx/device messages come back
+ * into the mirror where the transports pick them up. The child is
+ * budget-based and stateless w.r.t. absolute time — the parent owns
+ * the clock (hw.time += consumed), so quiescence-advance needs no
+ * special casing. Timing differs from the in-thread loop (whole
+ * slices instead of cycle-by-cycle polling); LIBDN makes that
+ * functionally invisible, the same license threads > 1 uses.
+ */
+bool
+CoSim::sliceHardwareRemote(HwProc &hw, std::uint64_t horizon)
+{
+    bool progress = false;
+    bool active = true;
+    while (hw.time < horizon || active) {
+        pumpFrom(hw.domain, hw.time);
+        if (deliverTo(hw.domain, hw.time))
+            progress = true;
+        hw.remote->shipInputs(*hw.store);
+        std::uint64_t budget =
+            horizon > hw.time ? horizon - hw.time : 1;
+        RemoteHwPartition::SliceResult r =
+            hw.remote->runSlice(*hw.store, budget);
+        hw.time += r.consumed;
+        active = r.active;
+        if (r.fired > 0) {
+            progress = true;
+            pumpFrom(hw.domain, hw.time);
+            continue;
+        }
+        if (hw.time >= horizon)
+            break;
+        // Idle inside the horizon: jump to the next delivery
+        // addressed to us (or stop) — mirrors the local slice.
+        std::uint64_t next = nextDeliveryTo(hw.domain);
+        if (next == std::numeric_limits<std::uint64_t>::max() ||
+            next >= horizon) {
+            break;
+        }
+        hw.time = std::max(hw.time, next);
+    }
+    return progress;
+}
+
 bool
 CoSim::sliceHardware(HwProc &hw, std::uint64_t horizon)
 {
+    if (hw.remote)
+        return sliceHardwareRemote(hw, horizon);
+
     // Parallel mode amortizes per-cycle overhead: the worker clocks
     // the simulator in externally paced bursts (ClockSim::stepCycles)
     // and polls channels between bursts. Observing a delivery a few

@@ -56,6 +56,7 @@
 #include "hwsim/clocksim.hpp"
 #include "hwsim/compiled_hw.hpp"
 #include "platform/channel.hpp"
+#include "platform/remote_partition.hpp"
 #include "runtime/exec.hpp"
 #include "runtime/gencc.hpp"
 
@@ -222,6 +223,45 @@ struct CosimConfig
         return domain == "SW" ? DomainKind::Software
                               : DomainKind::Hardware;
     }
+
+    /**
+     * Where each hardware domain's simulator runs. InThread is the
+     * historical everything-in-one-process mode; SharedMem forks a
+     * child per remote domain relaying slices over mmap'd word
+     * rings; Tcp does the same over framed loopback sockets (or
+     * attaches to a cosim_partition_host named in remoteEndpoints).
+     * Channel transports always stay in the coordinator over the
+     * domain's mirror store — placement is a late, semantics-free
+     * choice (§4.4): outputs and firing counts are byte-identical
+     * across transports, only reported cycle counts may shift (the
+     * same license threads > 1 already uses). Remote transports
+     * force the sequential engine. Software domains always run
+     * in-thread regardless of this default (host drivers call into
+     * them directly); naming one in `transports` is a fatal
+     * configuration error.
+     */
+    TransportKind defaultTransport = TransportKind::InThread;
+
+    /** Per-domain overrides of defaultTransport. */
+    std::map<std::string, TransportKind> transports;
+
+    TransportKind
+    transportOf(const std::string &domain) const
+    {
+        auto it = transports.find(domain);
+        return it != transports.end() ? it->second
+                                      : defaultTransport;
+    }
+
+    /** Bound on every blocking remote-transport operation; a peer
+     *  silent longer than this is declared dead (one clean
+     *  FatalError, never a hang). */
+    int transportTimeoutMs = 10000;
+
+    /** Tcp domains listed here attach to an already-running
+     *  cosim_partition_host ("127.0.0.1:PORT") instead of forking a
+     *  child. */
+    std::map<std::string, std::string> remoteEndpoints;
 };
 
 /**
@@ -307,8 +347,15 @@ class CoSim
     const CompiledPartition *swCompiled(
         const std::string &domain = "SW") const;
 
-    /** Hardware statistics of a hardware domain (nullptr if none). */
+    /** Hardware statistics of a hardware domain (nullptr if none).
+     *  For remote domains this is the proxy's mirror, refreshed from
+     *  every slice report. */
     const HwStats *hwStats(const std::string &domain) const;
+
+    /** Pid of a remote hardware domain's child process; -1 when the
+     *  domain is local or attached to an external host (fault-
+     *  injection tests use this to kill a peer mid-epoch). */
+    pid_t remotePid(const std::string &domain) const;
 
     /** Channel transports (for traffic statistics). */
     const std::vector<std::unique_ptr<ChannelTransport>> &
@@ -373,6 +420,10 @@ class CoSim
          *  the generated instance's sync fifos. */
         std::unique_ptr<ClockSim> sim;
         std::unique_ptr<CompiledHwPartition> compiled;
+        /** Set when the domain runs in another process (SharedMem /
+         *  Tcp transport); sim and compiled stay null — the store is
+         *  the mirror the relay and the transports share. */
+        std::unique_ptr<RemoteHwPartition> remote;
         std::uint64_t time = 0;
         // Compiled-backend marshaling plan, resolved once at
         // construction (prim ids by kind; zero template per SyncTx
@@ -391,6 +442,9 @@ class CoSim
     /** Mirror SyncTx/device output out of the shared object. */
     bool drainCompiledOutputs(SwProc &sw);
     bool sliceHardware(HwProc &hw, std::uint64_t horizon);
+    /** Slice a domain that lives in another process: ship staged
+     *  inputs, run a budget-based remote slice, fold outputs back. */
+    bool sliceHardwareRemote(HwProc &hw, std::uint64_t horizon);
     /** Project mirror-fifo occupancy into the compiled instance so
      *  generated guards see exactly what ClockSim's would. */
     void hwSyncIn(HwProc &hw);

@@ -1,0 +1,418 @@
+#include "platform/net_transport.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace bcl {
+
+namespace {
+
+void
+putU16(std::vector<std::uint8_t> &b, std::size_t off, std::uint16_t v)
+{
+    b[off] = static_cast<std::uint8_t>(v & 0xff);
+    b[off + 1] = static_cast<std::uint8_t>(v >> 8);
+}
+
+void
+putU32(std::vector<std::uint8_t> &b, std::size_t off, std::uint32_t v)
+{
+    for (int i = 0; i < 4; i++)
+        b[off + static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>((v >> (8 * i)) & 0xff);
+}
+
+void
+putU64(std::vector<std::uint8_t> &b, std::size_t off, std::uint64_t v)
+{
+    for (int i = 0; i < 8; i++)
+        b[off + static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>((v >> (8 * i)) & 0xff);
+}
+
+std::uint16_t
+getU16(const std::uint8_t *p)
+{
+    return static_cast<std::uint16_t>(p[0] |
+                                      (static_cast<unsigned>(p[1]) << 8));
+}
+
+std::uint32_t
+getU32(const std::uint8_t *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; i--)
+        v = (v << 8) | p[i];
+    return v;
+}
+
+std::uint64_t
+getU64(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; i--)
+        v = (v << 8) | p[i];
+    return v;
+}
+
+/** FNV-1a over a byte range, continuing from @p h. */
+std::uint32_t
+fnv1a(const std::uint8_t *p, std::size_t n,
+      std::uint32_t h = 2166136261u)
+{
+    for (std::size_t i = 0; i < n; i++) {
+        h ^= p[i];
+        h *= 16777619u;
+    }
+    return h;
+}
+
+} // namespace
+
+void
+Frame::setText(const std::string &text_in)
+{
+    channel = static_cast<std::uint32_t>(text_in.size());
+    payload.assign((text_in.size() + 3) / 4, 0);
+    for (std::size_t i = 0; i < text_in.size(); i++) {
+        payload[i / 4] |= static_cast<std::uint32_t>(
+                              static_cast<std::uint8_t>(text_in[i]))
+                          << (8 * (i % 4));
+    }
+}
+
+std::string
+Frame::text() const
+{
+    std::string s;
+    std::size_t n = channel;
+    if (n > payload.size() * 4)
+        n = payload.size() * 4;
+    s.reserve(n);
+    for (std::size_t i = 0; i < n; i++) {
+        s.push_back(static_cast<char>(
+            (payload[i / 4] >> (8 * (i % 4))) & 0xff));
+    }
+    return s;
+}
+
+std::vector<std::uint8_t>
+encodeFrame(const Frame &f)
+{
+    std::vector<std::uint8_t> b(kFrameHeaderBytes +
+                                f.payload.size() * 4);
+    putU32(b, 0, kFrameMagic);
+    putU16(b, 4, kFrameVersion);
+    putU16(b, 6, static_cast<std::uint16_t>(f.type));
+    putU32(b, 8, f.channel);
+    putU32(b, 12, static_cast<std::uint32_t>(f.payload.size()));
+    putU64(b, 16, f.flowId);
+    putU64(b, 24, f.arg);
+    putU32(b, 32, 0);  // checksum field zeroed for the sum itself
+    for (std::size_t i = 0; i < f.payload.size(); i++)
+        putU32(b, kFrameHeaderBytes + i * 4, f.payload[i]);
+    std::uint32_t sum = fnv1a(b.data(), 32);
+    sum = fnv1a(b.data() + kFrameHeaderBytes, f.payload.size() * 4,
+                sum);
+    putU32(b, 32, sum);
+    return b;
+}
+
+void
+FrameDecoder::fail(const std::string &why)
+{
+    failed_ = true;
+    error_ = "net frame: " + why;
+    buf_.clear();
+    pos_ = 0;
+}
+
+void
+FrameDecoder::feed(const std::uint8_t *data, std::size_t n)
+{
+    if (failed_)
+        return;
+    // Reclaim the consumed prefix before growing (bounded memory for
+    // long-lived connections).
+    if (pos_ > 0) {
+        buf_.erase(buf_.begin(),
+                   buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+        pos_ = 0;
+    }
+    buf_.insert(buf_.end(), data, data + n);
+}
+
+bool
+FrameDecoder::next(Frame &out)
+{
+    if (failed_)
+        return false;
+    if (buf_.size() - pos_ < kFrameHeaderBytes)
+        return false;
+    const std::uint8_t *h = buf_.data() + pos_;
+    // Validate the header as soon as it is complete — an oversized
+    // or garbage length field must be rejected before any attempt to
+    // buffer its claimed payload.
+    if (getU32(h) != kFrameMagic) {
+        fail("bad magic 0x" + [&] {
+            char hex[16];
+            std::snprintf(hex, sizeof hex, "%08x", getU32(h));
+            return std::string(hex);
+        }() + " (stream desynchronized or not a BCL peer)");
+        return false;
+    }
+    std::uint16_t ver = getU16(h + 4);
+    if (ver != kFrameVersion) {
+        fail("frame version " + std::to_string(ver) +
+             " != expected " + std::to_string(kFrameVersion));
+        return false;
+    }
+    std::uint16_t type = getU16(h + 6);
+    if (type < static_cast<std::uint16_t>(FrameType::Hello) ||
+        type > static_cast<std::uint16_t>(FrameType::Error)) {
+        fail("unknown frame type " + std::to_string(type));
+        return false;
+    }
+    std::uint32_t words = getU32(h + 12);
+    if (words > kMaxFramePayloadWords) {
+        fail("oversized payload: " + std::to_string(words) +
+             " words > max " + std::to_string(kMaxFramePayloadWords));
+        return false;
+    }
+    std::size_t total =
+        kFrameHeaderBytes + static_cast<std::size_t>(words) * 4;
+    if (buf_.size() - pos_ < total)
+        return false;  // wait for the rest of the payload
+
+    // Checksum: header with the checksum field zeroed, then payload.
+    std::uint8_t hdr[32];
+    std::memcpy(hdr, h, 32);
+    std::uint32_t sum = fnv1a(hdr, 32);
+    sum = fnv1a(h + kFrameHeaderBytes,
+                static_cast<std::size_t>(words) * 4, sum);
+    if (sum != getU32(h + 32)) {
+        fail("checksum mismatch on frame type " +
+             std::to_string(type) + " (" + std::to_string(words) +
+             " words)");
+        return false;
+    }
+
+    out.type = static_cast<FrameType>(type);
+    out.channel = getU32(h + 8);
+    out.flowId = getU64(h + 16);
+    out.arg = getU64(h + 24);
+    out.payload.resize(words);
+    for (std::uint32_t i = 0; i < words; i++)
+        out.payload[i] = getU32(h + kFrameHeaderBytes +
+                                static_cast<std::size_t>(i) * 4);
+    pos_ += total;
+    return true;
+}
+
+// ---------------------------------------------------------------------------
+// Sockets
+// ---------------------------------------------------------------------------
+
+bool
+netTransportAvailable()
+{
+    static const bool ok = [] {
+        int lfd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (lfd < 0)
+            return false;
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port = 0;
+        bool bound =
+            ::bind(lfd, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof addr) == 0 &&
+            ::listen(lfd, 1) == 0;
+        ::close(lfd);
+        return bound;
+    }();
+    return ok;
+}
+
+TcpListener::~TcpListener() { close(); }
+
+bool
+TcpListener::open()
+{
+    close();
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0)
+        return false;
+    int one = 1;
+    ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    if (::bind(fd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof addr) != 0 ||
+        ::listen(fd_, 4) != 0) {
+        close();
+        return false;
+    }
+    socklen_t len = sizeof addr;
+    if (::getsockname(fd_, reinterpret_cast<sockaddr *>(&addr),
+                      &len) != 0) {
+        close();
+        return false;
+    }
+    port_ = ntohs(addr.sin_port);
+    return true;
+}
+
+int
+TcpListener::acceptWithin(int timeout_ms)
+{
+    if (fd_ < 0)
+        return -1;
+    pollfd pfd{fd_, POLLIN, 0};
+    int r = ::poll(&pfd, 1, timeout_ms);
+    if (r <= 0)
+        return -1;
+    int cfd = ::accept(fd_, nullptr, nullptr);
+    if (cfd >= 0) {
+        int one = 1;
+        ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    }
+    return cfd;
+}
+
+void
+TcpListener::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    port_ = 0;
+}
+
+int
+tcpConnect(std::uint16_t port, int timeout_ms)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    // Non-blocking connect so the timeout is honored.
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    int r = ::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof addr);
+    if (r != 0 && errno != EINPROGRESS) {
+        ::close(fd);
+        return -1;
+    }
+    if (r != 0) {
+        pollfd pfd{fd, POLLOUT, 0};
+        if (::poll(&pfd, 1, timeout_ms) <= 0) {
+            ::close(fd);
+            return -1;
+        }
+        int err = 0;
+        socklen_t len = sizeof err;
+        if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 ||
+            err != 0) {
+            ::close(fd);
+            return -1;
+        }
+    }
+    ::fcntl(fd, F_SETFL, flags);
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    return fd;
+}
+
+bool
+sendFrame(int fd, const Frame &f)
+{
+    std::vector<std::uint8_t> bytes = encodeFrame(f);
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+        ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off,
+                           MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                pollfd pfd{fd, POLLOUT, 0};
+                if (::poll(&pfd, 1, 1000) <= 0)
+                    return false;
+                continue;
+            }
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+FrameConn::~FrameConn() { close(); }
+
+int
+FrameConn::release()
+{
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+}
+
+void
+FrameConn::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+RecvStatus
+FrameConn::recv(Frame &out, int timeout_ms)
+{
+    for (;;) {
+        if (dec_.failed())
+            return RecvStatus::Corrupt;
+        if (dec_.next(out))
+            return RecvStatus::Ok;
+        if (dec_.failed())
+            return RecvStatus::Corrupt;
+        pollfd pfd{fd_, POLLIN, 0};
+        int r = ::poll(&pfd, 1, timeout_ms);
+        if (r == 0)
+            return RecvStatus::Timeout;
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            return RecvStatus::Closed;
+        }
+        std::uint8_t chunk[4096];
+        ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+        if (n == 0)
+            return RecvStatus::Closed;
+        if (n < 0) {
+            if (errno == EINTR || errno == EAGAIN ||
+                errno == EWOULDBLOCK)
+                continue;
+            return RecvStatus::Closed;
+        }
+        dec_.feed(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+} // namespace bcl

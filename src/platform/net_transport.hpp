@@ -1,0 +1,202 @@
+/**
+ * @file
+ * TCP transport framing for distributed co-simulation. The canonical
+ * marshaled words of src/platform/marshal.hpp already ARE a wire
+ * format (single flattening, little-endian bit order); this layer
+ * adds what a byte stream needs on top: explicit length-prefixed
+ * frames with a magic, a frame/ABI version, the channel id, the word
+ * count, the flow id (so obs flow arrows keep pairing across the
+ * process boundary) and a checksum — plus a handshake that refuses a
+ * peer whose program hash or generated-code ABI differs BEFORE any
+ * payload flows.
+ *
+ * Frame layout (every field little-endian):
+ *
+ *   offset  size  field
+ *        0     4  magic 0x42434C46 ("FLCB")
+ *        4     2  frame-format version (kFrameVersion)
+ *        6     2  frame type (FrameType)
+ *        8     4  channel id (SyncRx/SyncTx prim id; 0 if unused)
+ *       12     4  payload length in 32-bit words
+ *       16     8  flow id (obs arrow pairing; 0 if unused)
+ *       24     8  type-specific argument (slice budget, ...)
+ *       32     4  FNV-1a checksum over bytes 0..31 (checksum field
+ *                 zeroed) followed by the payload bytes
+ *       36     payload: words x 4 bytes
+ *
+ * Contract: encodeFrame/FrameDecoder round-trip every frame across
+ * arbitrary read fragmentation (tests split at every byte boundary),
+ * and the decoder rejects truncated/bit-flipped/oversized input with
+ * a diagnostic without ever reading out of bounds — mirroring the
+ * demarshalValue contract one layer down.
+ */
+#ifndef BCL_PLATFORM_NET_TRANSPORT_HPP
+#define BCL_PLATFORM_NET_TRANSPORT_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bcl {
+
+/** Frame-format version; bumped on any layout change. Checked by the
+ *  decoder on every frame, independently of the ABI handshake. */
+constexpr std::uint16_t kFrameVersion = 1;
+
+/** Bytes 0..3 of every frame. */
+constexpr std::uint32_t kFrameMagic = 0x42434C46u;
+
+/** Fixed header size in bytes. */
+constexpr std::size_t kFrameHeaderBytes = 36;
+
+/** Upper bound on payload words — matches the 20-bit width field of
+ *  the bus MessageHeader, so no legal marshaled message is ever
+ *  rejected while a corrupt length field can never force a giant
+ *  allocation. */
+constexpr std::uint32_t kMaxFramePayloadWords = 1u << 20;
+
+/**
+ * Frame types. Hello/HelloAck/Refuse implement the handshake; Msg
+ * carries one marshaled channel message; Run/SliceDone drive the
+ * remote slice protocol (platform/remote_partition.hpp); Shutdown is
+ * the orderly goodbye; Error carries a fatal diagnostic from either
+ * side (payload = UTF-8 bytes padded to a word boundary, byte length
+ * in `channel`).
+ */
+enum class FrameType : std::uint16_t {
+    Hello = 1,      ///< payload [abiVersion, hashLo, hashHi]
+    HelloAck = 2,   ///< payload echoes the acceptor's own triple
+    Refuse = 3,     ///< diagnostic text payload; sent instead of Ack
+    Msg = 4,        ///< one marshaled message for `channel`
+    Run = 5,        ///< arg = slice budget in FPGA cycles
+    SliceDone = 6,  ///< payload = slice report (remote_partition)
+    Shutdown = 7,   ///< orderly termination request
+    Error = 8,      ///< fatal diagnostic text payload
+};
+
+/** One decoded (or to-be-encoded) frame. */
+struct Frame
+{
+    FrameType type = FrameType::Msg;
+    std::uint32_t channel = 0;
+    std::uint64_t flowId = 0;
+    std::uint64_t arg = 0;
+    std::vector<std::uint32_t> payload;
+
+    /** Pack a diagnostic string into payload words (byte length goes
+     *  to `channel`). */
+    void setText(const std::string &text);
+    /** Recover a diagnostic string packed by setText. */
+    std::string text() const;
+};
+
+/** Serialize @p f into wire bytes (header + payload, checksummed). */
+std::vector<std::uint8_t> encodeFrame(const Frame &f);
+
+/**
+ * Incremental frame decoder over an arbitrarily fragmented byte
+ * stream. feed() bytes as they arrive; next() yields complete frames
+ * in order. Any malformed input (bad magic, version mismatch,
+ * oversized length, checksum failure) latches failed() with a
+ * diagnostic and discards the stream — a transport error is fatal to
+ * the connection, never silently resynchronized.
+ */
+class FrameDecoder
+{
+  public:
+    void feed(const std::uint8_t *data, std::size_t n);
+    /** @return true and fills @p out when a complete frame is
+     *  buffered. */
+    bool next(Frame &out);
+    bool failed() const { return failed_; }
+    const std::string &error() const { return error_; }
+    /** Bytes buffered but not yet consumed (diagnostics/tests). */
+    std::size_t buffered() const { return buf_.size() - pos_; }
+
+  private:
+    void fail(const std::string &why);
+
+    std::vector<std::uint8_t> buf_;
+    std::size_t pos_ = 0;  ///< consumed prefix of buf_
+    bool failed_ = false;
+    std::string error_;
+};
+
+// ---------------------------------------------------------------------------
+// Socket helpers (loopback TCP). All blocking calls are bounded by an
+// explicit timeout; none of them throws — callers map failures to
+// their own error policy (the remote-partition proxy turns them into
+// FatalError, tests into GTEST_SKIP).
+// ---------------------------------------------------------------------------
+
+/** True when this process may create and connect loopback TCP
+ *  sockets (probed once and cached; sandboxes without network
+ *  namespaces make the transport tests skip, not fail). */
+bool netTransportAvailable();
+
+/** Listening loopback socket on an ephemeral port. */
+class TcpListener
+{
+  public:
+    TcpListener() = default;
+    ~TcpListener();
+    TcpListener(const TcpListener &) = delete;
+    TcpListener &operator=(const TcpListener &) = delete;
+
+    /** Bind + listen on 127.0.0.1:0. @return false on failure. */
+    bool open();
+    std::uint16_t port() const { return port_; }
+    /** Accept one connection within @p timeout_ms.
+     *  @return connected fd, or -1 on timeout/error. */
+    int acceptWithin(int timeout_ms);
+    void close();
+    int fd() const { return fd_; }
+
+  private:
+    int fd_ = -1;
+    std::uint16_t port_ = 0;
+};
+
+/** Connect to 127.0.0.1:@p port within @p timeout_ms.
+ *  @return connected fd, or -1. */
+int tcpConnect(std::uint16_t port, int timeout_ms);
+
+/** Write all of @p f to @p fd (handles partial writes; SIGPIPE
+ *  suppressed). @return false when the peer is gone. */
+bool sendFrame(int fd, const Frame &f);
+
+/** Outcome of a bounded frame read. */
+enum class RecvStatus : std::uint8_t {
+    Ok,       ///< frame filled in
+    Timeout,  ///< deadline passed with no complete frame
+    Closed,   ///< peer closed the connection (EOF)
+    Corrupt,  ///< decoder rejected the stream (see error())
+};
+
+/** Frame-at-a-time reader over a connected socket. */
+class FrameConn
+{
+  public:
+    explicit FrameConn(int fd) : fd_(fd) {}
+    ~FrameConn();
+    FrameConn(const FrameConn &) = delete;
+    FrameConn &operator=(const FrameConn &) = delete;
+
+    /** Read one frame, waiting at most @p timeout_ms. */
+    RecvStatus recv(Frame &out, int timeout_ms);
+    bool send(const Frame &f) { return sendFrame(fd_, f); }
+    const std::string &error() const { return dec_.error(); }
+    int fd() const { return fd_; }
+    /** Detach without closing (ownership handed elsewhere). */
+    int release();
+    void close();
+
+  private:
+    int fd_ = -1;
+    FrameDecoder dec_;
+};
+
+} // namespace bcl
+
+#endif // BCL_PLATFORM_NET_TRANSPORT_HPP

@@ -1,7 +1,10 @@
 #include "serve/compile_cache.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
+
+#include <unistd.h>
 
 #include "common/logging.hpp"
 #include "obs/trace.hpp"
@@ -74,11 +77,10 @@ CompileCache::build(const ElabProgram &prog, GenccOptions opts,
                     const std::string &key)
 {
     if (!opts_.dir.empty()) {
-        // Disk layer: deterministic stem inside the cache dir, files
-        // persisted past the artifact (keepArtifacts) so a later
-        // cache instance gets a disk hit.
+        // Disk layer: deterministic published name inside the cache
+        // dir, files persisted past the artifact (keepArtifacts) so
+        // a later cache instance gets a disk hit.
         opts.workDir = opts_.dir;
-        opts.fileStem = key;
         opts.keepArtifacts = true;
         std::string so = opts_.dir + "/" + key + ".so";
         if (std::filesystem::exists(so)) {
@@ -111,8 +113,41 @@ CompileCache::build(const ElabProgram &prog, GenccOptions opts,
     }
     opts.reuseSoPath.clear();
     obs::trace().instant("cache.compile", "serve.cache");
+
+    if (opts_.dir.empty()) {
+        auto art = std::make_shared<const CompiledArtifact>(
+            prog, std::move(opts));
+        std::lock_guard<std::mutex> lock(mu_);
+        stats_.compiles++;
+        return art;
+    }
+
+    // Disk layer, compile path. The published stem must never be
+    // written directly: two PROCESSES sharing one cache dir would
+    // race on <key>.cpp/.so/.log (the in-process promise map cannot
+    // arbitrate across processes), and a reader could dlopen a
+    // half-written .so. Compile under a process-unique temp stem,
+    // dlopen that, then publish with rename(2) — atomic within the
+    // directory, so concurrent publishers are last-wins over
+    // identical content (the key IS a hash of the generated source)
+    // and readers only ever see a complete file.
+    static std::atomic<std::uint64_t> tmpCounter{0};
+    std::string tmp_stem =
+        key + ".tmp." +
+        std::to_string(static_cast<long long>(::getpid())) + "." +
+        std::to_string(
+            tmpCounter.fetch_add(1, std::memory_order_relaxed));
+    opts.fileStem = tmp_stem;
     auto art =
         std::make_shared<const CompiledArtifact>(prog, std::move(opts));
+    for (const char *ext : {".so", ".cpp", ".log"}) {
+        std::error_code ec;
+        std::filesystem::rename(opts_.dir + "/" + tmp_stem + ext,
+                                opts_.dir + "/" + key + ext, ec);
+        // A missing .log (compiler wrote nothing) is fine; a failed
+        // .so publish only costs a future disk hit, never
+        // correctness — this process keeps its dlopen'd instance.
+    }
     std::lock_guard<std::mutex> lock(mu_);
     stats_.compiles++;
     return art;

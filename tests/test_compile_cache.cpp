@@ -298,5 +298,82 @@ TEST(CompileCache, ArtifactsShareADirectoryWithoutColliding)
     fs::remove_all(dir);
 }
 
+/**
+ * Two-PROCESS contention on one shared disk cache directory. The
+ * in-process promise map cannot arbitrate across processes, so the
+ * disk layer itself must be concurrency-safe: each compile lands
+ * under a process-unique temp stem and is published by an atomic
+ * rename, so no process ever observes (or dlopens) a half-written
+ * .cpp/.so and simultaneous publishers are harmless last-wins over
+ * identical content. Pre-fix, both processes wrote the same
+ * deterministic <key>.cpp/.so and could clobber each other mid-
+ * compile.
+ */
+TEST(CompileCache, TwoProcessesShareOneDiskDirSafely)
+{
+    REQUIRE_HOST_COMPILER();
+    ElabProgram prog = sequenceProgram();
+    const std::vector<std::int64_t> expected{0, 2, 4};
+    fs::path dir = fs::temp_directory_path() /
+                   ("bcl_cache_test_" +
+                    std::to_string(::getpid()) + "_2proc");
+    fs::create_directories(dir);
+
+    constexpr int kChildren = 2;
+    std::vector<pid_t> kids;
+    for (int i = 0; i < kChildren; i++) {
+        pid_t pid = ::fork();
+        ASSERT_GE(pid, 0);
+        if (pid == 0) {
+            // Child: cold cache over the shared dir, racing the
+            // parent and its sibling. Plain exit codes — gtest
+            // machinery must not run in the child.
+            int rc = 1;
+            try {
+                CompileCache cache({dir.string()});
+                rc = driveAndDrain(cache.get(prog), prog, "out") ==
+                             expected
+                         ? 0
+                         : 1;
+            } catch (...) {
+                rc = 2;
+            }
+            ::_exit(rc);
+        }
+        kids.push_back(pid);
+    }
+
+    // Parent races them through its own cache instance.
+    CompileCache cache({dir.string()});
+    EXPECT_EQ(driveAndDrain(cache.get(prog), prog, "out"), expected);
+
+    for (pid_t pid : kids) {
+        int status = 0;
+        ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+        ASSERT_TRUE(WIFEXITED(status));
+        EXPECT_EQ(WEXITSTATUS(status), 0)
+            << "child " << pid
+            << " failed its concurrent compile/validate";
+    }
+
+    // The published entry exists under its final name, and no
+    // temp stems leaked.
+    GenccOptions opts;
+    const std::string key = compileCacheKey(prog, opts);
+    EXPECT_TRUE(fs::exists(dir / (key + ".so")));
+    for (const auto &entry : fs::directory_iterator(dir)) {
+        EXPECT_EQ(entry.path().filename().string().find(".tmp."),
+                  std::string::npos)
+            << "unpublished temp artifact leaked: " << entry.path();
+    }
+
+    // And the published entry is a valid disk hit for a fresh cache.
+    CompileCache warm({dir.string()});
+    EXPECT_EQ(driveAndDrain(warm.get(prog), prog, "out"), expected);
+    EXPECT_EQ(warm.stats().compiles, 0u);
+    EXPECT_EQ(warm.stats().diskHits, 1u);
+    fs::remove_all(dir);
+}
+
 } // namespace
 } // namespace bcl

@@ -1012,6 +1012,117 @@ TEST(CoSimParallel, RayDeterminismMatrixInterpreted)
     }
 }
 
+// ---------------------------------------------------------------------------
+// Transport axis of the determinism matrix: the same LIBDN license
+// (§4.4) that lets threads > 1 shift channel timing also lets a whole
+// hardware partition move OUT OF PROCESS — forked child over
+// shared-memory rings, or framed loopback TCP. Outputs and firing
+// counts must stay byte-identical to the in-thread threads=1
+// reference; only cycle accounting may shift. TCP cases degrade to
+// shm-only when the sandbox forbids loopback sockets.
+// ---------------------------------------------------------------------------
+
+std::vector<TransportKind>
+remoteTransportKinds()
+{
+    std::vector<TransportKind> kinds{TransportKind::SharedMem};
+    if (netTransportAvailable())
+        kinds.push_back(TransportKind::Tcp);
+    return kinds;
+}
+
+TEST(CoSimTransport, LoopbackTcpProbe)
+{
+    // Surfaces as a SKIP (not silence) in environments where the TCP
+    // legs of the matrix below cannot run.
+    if (!netTransportAvailable())
+        GTEST_SKIP() << "loopback TCP unavailable in this sandbox; "
+                        "transport matrix runs shm-only";
+}
+
+TEST(CoSimTransport, EchoMatchesInThreadReference)
+{
+    std::vector<std::int64_t> inputs;
+    for (int i = 0; i < 50; i++)
+        inputs.push_back(i * 3 - 25);
+    std::vector<std::int64_t> ref = referenceRun(inputs);
+
+    for (TransportKind kind : remoteTransportKinds()) {
+        CosimConfig cfg;
+        cfg.defaultTransport = kind;
+        cfg.transportTimeoutMs = 60000;
+        std::uint64_t cycles = 0;
+        std::vector<std::int64_t> out = cosimRun(inputs, &cycles, cfg);
+        EXPECT_EQ(out, ref) << transportName(kind);
+        EXPECT_GT(cycles, 0u) << transportName(kind);
+    }
+}
+
+TEST(CoSimTransport, SoftwareDomainOverrideIsRejected)
+{
+    Program p = makeEchoProgram();
+    ElabProgram elab = elaborate(p);
+    DomainAssignment doms = inferDomains(elab);
+    PartitionResult parts = partitionProgram(elab, doms);
+    CosimConfig cfg;
+    cfg.transports["SW"] = TransportKind::SharedMem;
+    EXPECT_THROW(CoSim cosim(parts, cfg), FatalError);
+}
+
+TEST(CoSimTransport, VorbisDeterminismMatrix)
+{
+    const int frames = 2;
+    std::vector<vorbis::VorbisConfig> configs;
+    configs.push_back(
+        vorbis::partitionConfig(vorbis::VorbisPartition::B));
+    // The per-stage split: several hardware domains, so the remote
+    // flavors run multiple partition children at once.
+    configs.push_back(vorbis::splitVorbisConfig());
+
+    for (size_t ci = 0; ci < configs.size(); ci++) {
+        vorbis::VorbisRunResult ref =
+            vorbis::runVorbisConfig(configs[ci], frames);
+        EXPECT_FALSE(ref.pcm.empty());
+        for (TransportKind kind : remoteTransportKinds()) {
+            CosimConfig cfg;
+            cfg.defaultTransport = kind;
+            cfg.transportTimeoutMs = 60000;
+            vorbis::VorbisRunResult r = vorbis::runVorbisConfig(
+                configs[ci], frames, &cfg);
+            EXPECT_EQ(r.pcm, ref.pcm)
+                << "config " << ci << " over " << transportName(kind);
+            EXPECT_EQ(r.swRulesFired, ref.swRulesFired)
+                << "config " << ci << " over " << transportName(kind);
+            EXPECT_EQ(r.hwRuleFires, ref.hwRuleFires)
+                << "config " << ci << " over " << transportName(kind);
+        }
+    }
+}
+
+TEST(CoSimTransport, RayDeterminismMatrix)
+{
+    const int w = 6, h = 6, prims = 32;
+    std::vector<ray::RayConfig> configs;
+    configs.push_back(
+        ray::rayPartitionConfig(ray::RayPartition::C, w, h));
+    configs.push_back(ray::splitRayConfig(w, h));
+
+    for (size_t ci = 0; ci < configs.size(); ci++) {
+        ray::RayRunResult ref = ray::runRayConfig(configs[ci], prims);
+        for (TransportKind kind : remoteTransportKinds()) {
+            CosimConfig cfg;
+            cfg.defaultTransport = kind;
+            cfg.transportTimeoutMs = 60000;
+            ray::RayRunResult r =
+                ray::runRayConfig(configs[ci], prims, &cfg);
+            EXPECT_EQ(r.pixels, ref.pixels)
+                << "config " << ci << " over " << transportName(kind);
+            EXPECT_EQ(r.hwRuleFires, ref.hwRuleFires)
+                << "config " << ci << " over " << transportName(kind);
+        }
+    }
+}
+
 TEST(Marshal, ShortWordStreamIsRejectedWithDiagnostic)
 {
     // A short stream must be diagnosed, never silently demarshaled
