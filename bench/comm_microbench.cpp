@@ -23,6 +23,8 @@
  */
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "common/stats.hpp"
 #include "core/builder.hpp"
@@ -30,6 +32,7 @@
 #include "core/elaborate.hpp"
 #include "core/partition.hpp"
 #include "platform/cosim.hpp"
+#include "platform/platform_spec.hpp"
 
 using namespace bcl;
 
@@ -64,7 +67,7 @@ struct CommResult
 };
 
 CommResult
-runEcho(int words, int depth, int count, const BusParams &bus)
+runEcho(int words, int depth, int count, const PlatformSpec &plat)
 {
     Program p = makeEcho(words, depth);
     ElabProgram elab = elaborate(p);
@@ -72,7 +75,7 @@ runEcho(int words, int depth, int count, const BusParams &bus)
     PartitionResult parts = partitionProgram(elab, doms);
 
     CosimConfig cfg;
-    cfg.bus = bus;
+    cfg.platform = plat;
     // Measure the transport layer, not SW driver work.
     cfg.swCosts.perSyncMessage = 0;
     CoSim cosim(parts, cfg);
@@ -119,24 +122,42 @@ runEcho(int words, int depth, int count, const BusParams &bus)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::printf("== Section 7 platform characterization ==\n\n");
+    // --platform FILE|PRESET swaps the primary platform model under
+    // measurement; the default is the paper's ml507 calibration with
+    // the pcie preset printed for comparison.
+    PlatformSpec plat = PlatformSpec::ml507();
+    bool plat_overridden = false;
+    for (int i = 1; i < argc; i++) {
+        if (std::strcmp(argv[i], "--platform") == 0 && i + 1 < argc) {
+            plat = resolvePlatform(argv[++i]);
+            plat_overridden = true;
+        }
+    }
+
+    std::printf("== Section 7 platform characterization "
+                "(platform: %s) ==\n\n",
+                plat.name.c_str());
 
     // --- round trip ---------------------------------------------------
     {
         const int pings = 64;
-        CommResult r =
-            runEcho(1, 1, pings, BusParams::embeddedLocalLink());
+        CommResult r = runEcho(1, 1, pings, plat);
         double rt = static_cast<double>(r.cycles) / pings;
-        std::printf("ping-pong round trip (LocalLink, 1 word): "
+        std::printf("ping-pong round trip (%s, 1 word): "
                     "%.1f FPGA cycles/message\n",
-                    rt);
-        std::printf("  paper: \"approximately 100 FPGA cycles\"\n");
-        CommResult pc = runEcho(1, 1, pings, BusParams::pcie());
-        std::printf("ping-pong round trip (PCIe preset):        "
-                    "%.1f FPGA cycles/message\n\n",
-                    static_cast<double>(pc.cycles) / pings);
+                    plat.name.c_str(), rt);
+        std::printf("  paper: \"approximately 100 FPGA cycles\" "
+                    "(ml507)\n");
+        if (!plat_overridden) {
+            CommResult pc =
+                runEcho(1, 1, pings, PlatformSpec::pcie());
+            std::printf("ping-pong round trip (PCIe preset):        "
+                        "%.1f FPGA cycles/message\n",
+                        static_cast<double>(pc.cycles) / pings);
+        }
+        std::printf("\n");
     }
 
     // --- streaming bandwidth -------------------------------------------
@@ -146,8 +167,7 @@ main()
                       "MB/s @100MHz"});
         for (int words : {8, 32, 128, 512}) {
             const int count = 2048 / words * 4;
-            CommResult r = runEcho(words, 16, count,
-                                   BusParams::embeddedLocalLink());
+            CommResult r = runEcho(words, 16, count, plat);
             // One-way payload only (the echo doubles the traffic but
             // directions have independent links).
             double bytes = 4.0 * words * count;

@@ -52,6 +52,7 @@
 #include "obs/trace.hpp"
 #include "platform/channel.hpp"
 #include "platform/net_transport.hpp"
+#include "platform/platform_spec.hpp"
 #include "platform/remote_partition.hpp"
 #include "ray/partitions.hpp"
 #include "serve/compile_cache.hpp"
@@ -227,6 +228,7 @@ main(int argc, char **argv)
     std::string trace_path;
     std::string hw_backend = "interpreted";
     std::string transport = "inthread";
+    std::string platform_arg;
     for (int i = 1; i < argc; i++) {
         if (std::strcmp(argv[i], "--frames") == 0 && i + 1 < argc)
             frames = std::atoi(argv[++i]);
@@ -246,6 +248,9 @@ main(int argc, char **argv)
         else if (std::strcmp(argv[i], "--transport") == 0 &&
                  i + 1 < argc)
             transport = argv[++i];
+        else if (std::strcmp(argv[i], "--platform") == 0 &&
+                 i + 1 < argc)
+            platform_arg = argv[++i];
     }
     if (hw_backend == "compiled" &&
         !CompiledHwPartition::hostCompilerAvailable()) {
@@ -278,7 +283,12 @@ main(int argc, char **argv)
     // One cache serves the whole sweep: a partition's clock-edge
     // artifact is compiled once and shared across every thread count.
     serve::CompileCache cache;
+    // Resolve --platform once; every sweep point shares the model.
+    const PlatformSpec plat = platform_arg.empty()
+                                  ? PlatformSpec::ml507()
+                                  : resolvePlatform(platform_arg);
     auto apply_hw = [&](CosimConfig &cfg) {
+        cfg.platform = plat;
         cfg.defaultTransport = tkind;
         cfg.transportTimeoutMs = 60000;
         if (hw_backend != "compiled")

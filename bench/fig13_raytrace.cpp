@@ -11,13 +11,16 @@
  * cost of communication."
  *
  * Usage: fig13_raytrace [--size N] [--prims P]
- * (defaults: 24x24 image, 1024 primitives - the paper's scene size).
+ *                       [--platform FILE|PRESET]
+ * (defaults: 24x24 image, 1024 primitives - the paper's scene size -
+ * on the ml507 platform model).
  */
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
 #include "common/stats.hpp"
+#include "platform/platform_spec.hpp"
 #include "ray/native.hpp"
 #include "ray/partitions.hpp"
 
@@ -28,16 +31,19 @@ int
 main(int argc, char **argv)
 {
     int size = 24, prims = 1024;
+    CosimConfig cfg;
     for (int i = 1; i < argc; i++) {
         if (std::strcmp(argv[i], "--size") == 0 && i + 1 < argc)
             size = std::atoi(argv[++i]);
         if (std::strcmp(argv[i], "--prims") == 0 && i + 1 < argc)
             prims = std::atoi(argv[++i]);
+        if (std::strcmp(argv[i], "--platform") == 0 && i + 1 < argc)
+            cfg.platform = resolvePlatform(argv[++i]);
     }
 
     std::printf("== Figure 13 (right): ray tracer partitions, %dx%d "
-                "image, %d primitives ==\n\n",
-                size, size, prims);
+                "image, %d primitives (platform: %s) ==\n\n",
+                size, size, prims, cfg.platform.name.c_str());
 
     // Native oracle for the image.
     std::vector<Sphere> scene = makeScene(prims);
@@ -51,7 +57,7 @@ main(int argc, char **argv)
     std::uint64_t a_cycles = 0;
     bool all_match = true;
     for (RayPartition p : allRayPartitions()) {
-        RayRunResult r = runRayPartition(p, size, size, prims);
+        RayRunResult r = runRayPartition(p, size, size, prims, &cfg);
         if (p == RayPartition::A)
             a_cycles = r.fpgaCycles;
         all_match &= r.pixels.size() == native.pixels.size();

@@ -18,6 +18,7 @@
  *
  * Usage: fig13_vorbis [--frames N] [--json FILE]
  *                     [--hw-backend interpreted|compiled]
+ *                     [--platform FILE|PRESET]
  * (default 512 frames; the paper used a 10000-frame test bench -
  * pass --frames 10000 to match). --json additionally writes
  * machine-readable metrics for the full-software partition —
@@ -36,6 +37,7 @@
 
 #include "common/logging.hpp"
 #include "common/stats.hpp"
+#include "platform/platform_spec.hpp"
 #include "serve/compile_cache.hpp"
 #include "vorbis/native.hpp"
 #include "vorbis/partitions.hpp"
@@ -132,6 +134,7 @@ main(int argc, char **argv)
     int frames = 512;
     std::string json_path;
     std::string hw_backend = "interpreted";
+    std::string platform_arg;
     for (int i = 1; i < argc; i++) {
         if (std::strcmp(argv[i], "--frames") == 0 && i + 1 < argc)
             frames = std::atoi(argv[++i]);
@@ -140,6 +143,9 @@ main(int argc, char **argv)
         else if (std::strcmp(argv[i], "--hw-backend") == 0 &&
                  i + 1 < argc)
             hw_backend = argv[++i];
+        else if (std::strcmp(argv[i], "--platform") == 0 &&
+                 i + 1 < argc)
+            platform_arg = argv[++i];
     }
     if (frames <= 0)
         frames = 512;
@@ -158,6 +164,8 @@ main(int argc, char **argv)
 
     serve::CompileCache cache;
     CosimConfig cfg;
+    if (!platform_arg.empty())
+        cfg.platform = resolvePlatform(platform_arg);
     if (hw_backend == "compiled") {
         cfg.hwBackend = HwBackend::Compiled;
         cfg.compileProvider = [&cache](const ElabProgram &p,
@@ -168,7 +176,7 @@ main(int argc, char **argv)
     // Native/SystemC work is counted in CPU-cycle-like units already
     // (no interpreter node inflation), so their conversion is the
     // plain clock ratio.
-    const double work_to_cycles = 1.0 / cfg.cpuClockRatio;
+    const double work_to_cycles = 1.0 / cfg.platform.cpuClockRatio;
 
     // Reference PCM from the hand-written baseline.
     auto inputs = makeFrames(frames);

@@ -15,8 +15,10 @@
  *     (the figure of merit that makes the pipelined design win).
  */
 #include <cstdio>
+#include <cstring>
 
 #include "common/stats.hpp"
+#include "platform/platform_spec.hpp"
 #include "core/builder.hpp"
 #include "core/elaborate.hpp"
 #include "hwsim/clocksim.hpp"
@@ -36,7 +38,7 @@ struct VariantResult
 };
 
 VariantResult
-runVariant(bool pipelined, int frames)
+runVariant(bool pipelined, int frames, const HwDelayModel &delays)
 {
     Program prog =
         ProgramBuilder()
@@ -47,7 +49,7 @@ runVariant(bool pipelined, int frames)
     Store store(elab);
     ClockSim sim(elab, store);
 
-    HwTiming timing = estimateTiming(elab);
+    HwTiming timing = estimateTiming(elab, delays);
 
     int in_q = elab.primByPath("inQ16");
     int out_q = elab.primByPath("outQ16");
@@ -105,13 +107,22 @@ runVariant(bool pipelined, int frames)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     const int frames = 64;
-    std::printf("== Section 4.5: IFFT microarchitectures ==\n\n");
+    // --platform FILE|PRESET supplies the functional-unit delay
+    // weights (hw_delay lines); the default is the ml507 calibration.
+    PlatformSpec plat = PlatformSpec::ml507();
+    for (int i = 1; i < argc; i++) {
+        if (std::strcmp(argv[i], "--platform") == 0 && i + 1 < argc)
+            plat = resolvePlatform(argv[++i]);
+    }
+    std::printf("== Section 4.5: IFFT microarchitectures "
+                "(platform: %s) ==\n\n",
+                plat.name.c_str());
 
-    VariantResult comb = runVariant(false, frames);
-    VariantResult pipe = runVariant(true, frames);
+    VariantResult comb = runVariant(false, frames, plat.hwDelays);
+    VariantResult pipe = runVariant(true, frames, plat.hwDelays);
 
     TextTable table;
     table.header({"variant", "critical depth", "critical rule",

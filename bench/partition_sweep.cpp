@@ -22,7 +22,7 @@
  * Usage: partition_sweep [--frames N] [--compare-frames N]
  *                        [--ray-size W] [--ray-prims P]
  *                        [--hw-backend interpreted|compiled]
- *                        [--json FILE]
+ *                        [--json FILE] [--platform FILE|PRESET]
  * --frames drives the frontier sweep; --compare-frames (default 256)
  * drives the backend comparison, which needs enough simulated cycles
  * to amortize the fixed elaborate-and-partition setup each run pays.
@@ -30,7 +30,10 @@
  * (default interpreted; the frontier's cycle counts are identical
  * either way). --json emits the frontier plus the
  * "hw_backend_compare" section scripts/bench_report.py folds into
- * BENCH_runtime.json.
+ * BENCH_runtime.json. --platform times the whole sweep under a
+ * loaded platform model, so the Fig. 13 frontier can be emitted per
+ * scenario (the partition-autotuner axis: "best partition on WHICH
+ * platform").
  */
 #include <chrono>
 #include <cstdio>
@@ -42,6 +45,7 @@
 #include <vector>
 
 #include "common/stats.hpp"
+#include "platform/platform_spec.hpp"
 #include "ray/partitions.hpp"
 #include "serve/compile_cache.hpp"
 #include "vorbis/partitions.hpp"
@@ -204,11 +208,13 @@ struct FrontierRow
 void
 writeJson(const std::string &path, int frames, int cmp_frames,
           const std::string &sweep_backend,
+          const std::string &platform,
           const std::vector<FrontierRow> &rows,
           const std::vector<BackendCompare> &compares)
 {
     std::ofstream out(path);
     out << "{\n  \"bench\": \"partition_sweep\",\n"
+        << "  \"platform\": \"" << platform << "\",\n"
         << "  \"frames\": " << frames << ",\n"
         << "  \"compare_frames\": " << cmp_frames << ",\n"
         << "  \"hardware_concurrency\": "
@@ -274,6 +280,7 @@ main(int argc, char **argv)
     int ray_prims = 64;
     std::string hw_backend = "interpreted";
     std::string json_path;
+    std::string platform_arg;
     for (int i = 1; i < argc; i++) {
         if (std::strcmp(argv[i], "--frames") == 0 && i + 1 < argc)
             frames = std::atoi(argv[++i]);
@@ -291,6 +298,9 @@ main(int argc, char **argv)
             hw_backend = argv[++i];
         else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
             json_path = argv[++i];
+        else if (std::strcmp(argv[i], "--platform") == 0 &&
+                 i + 1 < argc)
+            platform_arg = argv[++i];
     }
     if (frames <= 0)
         frames = 32;
@@ -305,11 +315,16 @@ main(int argc, char **argv)
         hw_backend = "interpreted";
     }
 
-    std::printf("== Section 7.1: communication cost vs partition "
-                "choice (Vorbis, %d frames, %s hw backend) ==\n\n",
-                frames, hw_backend.c_str());
-
     CosimConfig base;
+    if (!platform_arg.empty())
+        base.platform = resolvePlatform(platform_arg);
+
+    std::printf("== Section 7.1: communication cost vs partition "
+                "choice (Vorbis, %d frames, %s hw backend, %s "
+                "platform) ==\n\n",
+                frames, hw_backend.c_str(),
+                base.platform.name.c_str());
+
     if (hw_backend == "compiled") {
         base.hwBackend = HwBackend::Compiled;
         base.compileProvider = [&cache](const ElabProgram &p,
@@ -392,7 +407,7 @@ main(int argc, char **argv)
                 "firing totals byte-equal across backends\n");
 
     if (!json_path.empty())
-        writeJson(json_path, frames, cmp_frames, hw_backend, rows,
-                  compares);
+        writeJson(json_path, frames, cmp_frames, hw_backend,
+                  base.platform.name, rows, compares);
     return all_exact ? 0 : 1;
 }

@@ -117,6 +117,7 @@ main(int argc, char **argv)
     std::string trace_path;
     std::string partition;
     std::string transport = "inthread";
+    std::string platform_arg;
     for (int i = 1; i < argc; i++) {
         if (std::strcmp(argv[i], "--sessions") == 0 && i + 1 < argc)
             sweeps = parseSessionList(argv[++i]);
@@ -141,6 +142,9 @@ main(int argc, char **argv)
         else if (std::strcmp(argv[i], "--transport") == 0 &&
                  i + 1 < argc)
             transport = argv[++i];
+        else if (std::strcmp(argv[i], "--platform") == 0 &&
+                 i + 1 < argc)
+            platform_arg = argv[++i];
     }
 
     // The frame-latency percentiles come from the registry histogram,
@@ -226,7 +230,10 @@ main(int argc, char **argv)
         if (!trace_path.empty())
             obs::trace().clear();
 
-        SessionManager mgr({workers, {}});
+        SessionManagerOptions mopts;
+        mopts.workers = workers;
+        mopts.platform = platform_arg;
+        SessionManager mgr(mopts);
         effective_workers = mgr.pool().workers();
         obs::Histogram &frame_hist =
             obs::metrics().histogram("serve.session.frame_ms");

@@ -192,6 +192,54 @@ def run_partition_sweep(build_dir, frames):
         os.unlink(tmp_path)
 
 
+def run_platform_sweep(build_dir, frames):
+    """Platform scenario sweep: the split Vorbis and ray workloads
+    re-timed under each configs/*.config platform model, plus the
+    heterogeneous-topology occupancy leg. Unlike the other sections
+    this one is gating: the LIBDN synchronizers promise that link
+    timing never changes outputs, so any outputs_match=false in the
+    sweep is a correctness bug and main() exits nonzero on it."""
+    exe = os.path.join(build_dir, "platform_sweep")
+    if not os.path.exists(exe):
+        return None
+    configs = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "configs")
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        tmp_path = tmp.name
+    try:
+        try:
+            subprocess.run(
+                [exe, "--frames", str(frames), "--configs", configs,
+                 "--json", tmp_path],
+                check=True,
+                stdout=subprocess.DEVNULL,
+            )
+        except subprocess.CalledProcessError as err:
+            print(f"warning: {exe} failed ({err}); omitting "
+                  "platform sweep", file=sys.stderr)
+            return None
+        with open(tmp_path) as f:
+            return json.load(f)
+    finally:
+        os.unlink(tmp_path)
+
+
+def platform_mismatches(sweep):
+    """Names of sweep entries whose outputs diverged from the ml507
+    baseline (must be empty — see run_platform_sweep)."""
+    if sweep is None:
+        return []
+    bad = []
+    for s in sweep.get("scenarios", []):
+        for wl in ("vorbis", "ray"):
+            if not s.get(wl, {}).get("outputs_match", True):
+                bad.append(f"{s['name']}/{wl}")
+    het = sweep.get("heterogeneous", {})
+    if not het.get("vorbis", {}).get("outputs_match", True):
+        bad.append(f"{het.get('platform', 'heterogeneous')}/vorbis")
+    return bad
+
+
 def run_transports(build_dir):
     """Per-transport relay-cost comparison: cosim_parallel (threads=1
     wall-clock per workload) and the serving sweep (streams/sec and
@@ -405,6 +453,10 @@ def main():
             "compare_frames": sweep["compare_frames"],
             "workloads": sweep["hw_backend_compare"],
         }
+    platforms = run_platform_sweep(args.build_dir,
+                                   min(args.frames, 16))
+    if platforms is not None:
+        report["platform_scenarios"] = platforms
     transports = run_transports(args.build_dir)
     if transports is not None:
         report["transports"] = transports
@@ -478,6 +530,25 @@ def main():
                 f"{'' if exact else ' DIVERGED'}"
             )
         print(f"compiled hw clock (vs interpreted): {', '.join(parts)}")
+    if platforms is not None:
+        line = ", ".join(
+            f"{s['name']} "
+            f"{s['vorbis']['vs_baseline']['fpga_cycles_ratio']:.2f}x"
+            for s in platforms["scenarios"]
+        )
+        het = platforms.get("heterogeneous", {})
+        print(
+            f"platform scenarios (vorbis cycles vs ml507): {line}; "
+            f"het topology occupancy_differs="
+            f"{het.get('occupancy_differs')}"
+        )
+        bad = platform_mismatches(platforms)
+        if bad:
+            sys.exit(
+                "error: platform sweep changed workload outputs in: "
+                + ", ".join(bad)
+                + " (link timing must be semantics-preserving)"
+            )
 
 
 if __name__ == "__main__":

@@ -10,33 +10,25 @@ namespace bcl {
 
 namespace {
 
-/** Delay units per operator class (relative, roughly LUT levels). */
-constexpr int delayAdd = 2;
-constexpr int delayMul = 8;
-constexpr int delayCmp = 2;
-constexpr int delayLogic = 1;
-constexpr int delayMux = 1;
-constexpr int delayMethod = 2;  ///< register/FIFO access
-constexpr int delayBram = 4;    ///< memory read path
-
 using DepthEnv = std::map<std::string, int>;
 
-int exprDepth(const ElabProgram &prog, const Expr &e, DepthEnv &env,
-              int budget);
+int exprDepth(const ElabProgram &prog, const HwDelayModel &d,
+              const Expr &e, DepthEnv &env, int budget);
 
 int
-maxArgDepth(const ElabProgram &prog, const std::vector<ExprPtr> &args,
-            DepthEnv &env, int budget)
+maxArgDepth(const ElabProgram &prog, const HwDelayModel &d,
+            const std::vector<ExprPtr> &args, DepthEnv &env,
+            int budget)
 {
-    int d = 0;
+    int depth = 0;
     for (const auto &a : args)
-        d = std::max(d, exprDepth(prog, *a, env, budget));
-    return d;
+        depth = std::max(depth, exprDepth(prog, d, *a, env, budget));
+    return depth;
 }
 
 int
-exprDepth(const ElabProgram &prog, const Expr &e, DepthEnv &env,
-          int budget)
+exprDepth(const ElabProgram &prog, const HwDelayModel &d,
+          const Expr &e, DepthEnv &env, int budget)
 {
     if (budget <= 0)
         fatal("expression nesting too deep for timing estimation");
@@ -48,59 +40,59 @@ exprDepth(const ElabProgram &prog, const Expr &e, DepthEnv &env,
         return it == env.end() ? 0 : it->second;
       }
       case ExprKind::Prim: {
-        int in = maxArgDepth(prog, e.args, env, budget - 1);
+        int in = maxArgDepth(prog, d, e.args, env, budget - 1);
         switch (e.op) {
           case PrimOp::Mul:
           case PrimOp::MulFx:
-            return in + delayMul;
+            return in + d.mul;
           case PrimOp::DivFx:
-            return in + delayMul * 3;  // divider array
+            return in + d.div;
           case PrimOp::SqrtFx:
-            return in + delayMul * 4;  // iterative root unit
+            return in + d.sqrt;
           case PrimOp::Add:
           case PrimOp::Sub:
           case PrimOp::Neg:
-            return in + delayAdd;
+            return in + d.add;
           case PrimOp::Eq:
           case PrimOp::Ne:
           case PrimOp::Lt:
           case PrimOp::Le:
           case PrimOp::Gt:
           case PrimOp::Ge:
-            return in + delayCmp;
+            return in + d.cmp;
           case PrimOp::Index:
             // Dynamic vector read is a mux tree over the elements.
-            return in + delayMux * 2;
+            return in + d.mux * 2;
           case PrimOp::Update: {
             // A functional update synthesizes as one write-enable mux
             // per lane: lanes are parallel, so the vector operand's
             // depth does not stack per update in a chain.
             DepthEnv &env2 = env;
-            int vec = exprDepth(prog, *e.args[0], env2, budget - 1);
-            int idx = exprDepth(prog, *e.args[1], env2, budget - 1);
-            int val = exprDepth(prog, *e.args[2], env2, budget - 1);
+            int vec = exprDepth(prog, d, *e.args[0], env2, budget - 1);
+            int idx = exprDepth(prog, d, *e.args[1], env2, budget - 1);
+            int val = exprDepth(prog, d, *e.args[2], env2, budget - 1);
             return std::max(vec,
-                            std::max(idx, val) + delayMux * 2);
+                            std::max(idx, val) + d.mux * 2);
           }
           default:
-            return in + delayLogic;
+            return in + d.logic;
         }
       }
       case ExprKind::Cond:
-        return maxArgDepth(prog, e.args, env, budget - 1) + delayMux;
+        return maxArgDepth(prog, d, e.args, env, budget - 1) + d.mux;
       case ExprKind::When:
-        return maxArgDepth(prog, e.args, env, budget - 1);
+        return maxArgDepth(prog, d, e.args, env, budget - 1);
       case ExprKind::Let: {
         // The bound value's depth flows into every use of the binder
         // (a shared wire, not a register).
-        int bound = exprDepth(prog, *e.args[0], env, budget - 1);
+        int bound = exprDepth(prog, d, *e.args[0], env, budget - 1);
         int saved = -1;
         auto it = env.find(e.name);
         bool had = it != env.end();
         if (had)
             saved = it->second;
         env[e.name] = bound;
-        int body = exprDepth(prog, *e.args[1], env, budget - 1);
+        int body = exprDepth(prog, d, *e.args[1], env, budget - 1);
         if (had)
             env[e.name] = saved;
         else
@@ -108,41 +100,41 @@ exprDepth(const ElabProgram &prog, const Expr &e, DepthEnv &env,
         return body;
       }
       case ExprKind::CallV: {
-        int in = maxArgDepth(prog, e.args, env, budget - 1);
+        int in = maxArgDepth(prog, d, e.args, env, budget - 1);
         if (e.isPrim) {
             const std::string &kind = prog.prims[e.inst].kind;
-            return in + (kind == "Bram" ? delayBram : delayMethod);
+            return in + (kind == "Bram" ? d.bram : d.method);
         }
         const ElabMethod &m = prog.methods[e.methIdx];
         DepthEnv callee;
         for (size_t i = 0; i < m.params.size(); i++) {
             callee[m.params[i].name] =
                 i < e.args.size()
-                    ? exprDepth(prog, *e.args[i], env, budget - 1)
+                    ? exprDepth(prog, d, *e.args[i], env, budget - 1)
                     : 0;
         }
-        return exprDepth(prog, *m.value, callee, budget - 1);
+        return exprDepth(prog, d, *m.value, callee, budget - 1);
     }
     }
     return 0;
 }
 
 int
-actionDepth(const ElabProgram &prog, const Action &a, DepthEnv &env,
-            int budget)
+actionDepth(const ElabProgram &prog, const HwDelayModel &dm,
+            const Action &a, DepthEnv &env, int budget)
 {
     if (budget <= 0)
         fatal("action nesting too deep for timing estimation");
 
     if (a.kind == ActKind::Let) {
-        int bound = exprDepth(prog, *a.exprs[0], env, budget - 1);
+        int bound = exprDepth(prog, dm, *a.exprs[0], env, budget - 1);
         int saved = -1;
         auto it = env.find(a.name);
         bool had = it != env.end();
         if (had)
             saved = it->second;
         env[a.name] = bound;
-        int d = actionDepth(prog, *a.subs[0], env, budget - 1);
+        int d = actionDepth(prog, dm, *a.subs[0], env, budget - 1);
         if (had)
             env[a.name] = saved;
         else
@@ -152,27 +144,28 @@ actionDepth(const ElabProgram &prog, const Action &a, DepthEnv &env,
 
     int d = 0;
     for (const auto &e : a.exprs)
-        d = std::max(d, exprDepth(prog, *e, env, budget - 1));
+        d = std::max(d, exprDepth(prog, dm, *e, env, budget - 1));
     for (const auto &s : a.subs)
-        d = std::max(d, actionDepth(prog, *s, env, budget - 1));
+        d = std::max(d, actionDepth(prog, dm, *s, env, budget - 1));
     switch (a.kind) {
       case ActKind::If:
       case ActKind::When:
-        return d + delayMux;
+        return d + dm.mux;
       case ActKind::CallA: {
         if (a.isPrim) {
             const std::string &kind = prog.prims[a.inst].kind;
-            return d + (kind == "Bram" ? delayBram : delayMethod);
+            return d + (kind == "Bram" ? dm.bram : dm.method);
         }
         const ElabMethod &m = prog.methods[a.methIdx];
         DepthEnv callee;
         for (size_t i = 0; i < m.params.size(); i++) {
             callee[m.params[i].name] =
                 i < a.exprs.size()
-                    ? exprDepth(prog, *a.exprs[i], env, budget - 1)
+                    ? exprDepth(prog, dm, *a.exprs[i], env,
+                                budget - 1)
                     : 0;
         }
-        return d + actionDepth(prog, *m.body, callee, budget - 1);
+        return d + actionDepth(prog, dm, *m.body, callee, budget - 1);
       }
       default:
         return d;
@@ -182,7 +175,7 @@ actionDepth(const ElabProgram &prog, const Action &a, DepthEnv &env,
 } // namespace
 
 HwTiming
-estimateTiming(const ElabProgram &prog)
+estimateTiming(const ElabProgram &prog, const HwDelayModel &delays)
 {
     HwTiming out;
     constexpr int budget = 4096;
@@ -190,7 +183,7 @@ estimateTiming(const ElabProgram &prog)
         RuleTiming t;
         t.rule = r.name;
         DepthEnv env;
-        t.depth = actionDepth(prog, *r.body, env, budget);
+        t.depth = actionDepth(prog, delays, *r.body, env, budget);
         if (t.depth > out.criticalDepth) {
             out.criticalDepth = t.depth;
             out.criticalRule = t.rule;

@@ -23,6 +23,28 @@
 
 namespace bcl {
 
+/**
+ * Delay units per functional-unit class (relative, roughly LUT
+ * levels). The defaults reproduce the historical hard-coded
+ * calibration; PlatformSpec configs override them per platform
+ * (`hw_delay <op> <units>` lines), so the same design can be timed
+ * for fabrics with, say, hard DSP multipliers vs LUT multipliers.
+ */
+struct HwDelayModel
+{
+    int add = 2;     ///< adder/subtractor chain
+    int mul = 8;     ///< multiplier array
+    int div = 24;    ///< divider array (historically mul*3)
+    int sqrt = 32;   ///< iterative root unit (historically mul*4)
+    int cmp = 2;     ///< comparator
+    int logic = 1;   ///< bitwise logic level
+    int mux = 1;     ///< 2:1 mux level
+    int method = 2;  ///< register/FIFO access
+    int bram = 4;    ///< memory read path
+
+    bool operator==(const HwDelayModel &) const = default;
+};
+
 /** Gate-delay estimate for one rule. */
 struct RuleTiming
 {
@@ -50,8 +72,11 @@ struct HwTiming
     }
 };
 
-/** Estimate combinational depth of every rule of @p prog. */
-HwTiming estimateTiming(const ElabProgram &prog);
+/** Estimate combinational depth of every rule of @p prog under the
+ *  functional-unit delay weights of @p delays (defaults reproduce the
+ *  historical calibration). */
+HwTiming estimateTiming(const ElabProgram &prog,
+                        const HwDelayModel &delays = {});
 
 } // namespace bcl
 

@@ -2,34 +2,6 @@
 
 namespace bcl {
 
-BusParams
-BusParams::embeddedLocalLink()
-{
-    BusParams p;
-    p.requestLatency = 34;
-    p.perMessageOverhead = 14;
-    p.perWordCycles = 1;
-    // Must match the BusParams default (this 1024 once silently
-    // disagreed with a 256 header default, making the §7 streaming
-    // numbers depend on which constructor a caller reached the
-    // parameters through).
-    p.maxBurstWords = 1024;
-    return p;
-}
-
-BusParams
-BusParams::pcie()
-{
-    BusParams p;
-    // Higher propagation latency across the PCIe root complex, but
-    // the same fabric-side streaming rate per 32-bit beat.
-    p.requestLatency = 220;
-    p.perMessageOverhead = 40;
-    p.perWordCycles = 1;
-    p.maxBurstWords = 512;
-    return p;
-}
-
 std::uint64_t
 BusParams::occupancyCycles(int words) const
 {

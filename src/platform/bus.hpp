@@ -39,18 +39,16 @@ struct BusParams
      * words (one HDMA descriptor ring page) is what the §7
      * calibration needs: a 512-word streaming message then moves at
      * ~388 MB/s, the paper's "up to 400 megabytes per second" —
-     * splitting at 256 caps streaming at ~349 MB/s. This default and
-     * embeddedLocalLink() must agree (they once silently disagreed,
-     * 256 vs 1024); a unit test pins both the agreement and the
-     * occupancyCycles split boundary.
+     * splitting at 256 caps streaming at ~349 MB/s. These defaults
+     * ARE the ML507 calibration — the single source of truth.
+     * PlatformSpec::ml507() exposes them as the `ml507` preset (a
+     * duplicate factory once silently disagreed, 256 vs 1024; a unit
+     * test pins the preset/default agreement and the occupancyCycles
+     * split boundary).
      */
     int maxBurstWords = 1024;
 
-    /** The embedded PPC440/LocalLink configuration (paper default). */
-    static BusParams embeddedLocalLink();
-
-    /** The PCIe desktop configuration (higher latency, wider). */
-    static BusParams pcie();
+    bool operator==(const BusParams &) const = default;
 
     /** Link occupancy of a message of @p words payload words
      *  (+1 header word), including per-burst overheads. */

@@ -214,9 +214,15 @@ CoSim::CoSim(const PartitionResult &parts, CosimConfig config)
             it = links.emplace(key, std::make_unique<LinkArbiter>())
                      .first;
         }
+        // Each (from, to) pair gets the BusParams its topology rule
+        // resolves to — heterogeneous platforms time each link
+        // direction differently (resolution is total or fatal here,
+        // before any cycle runs).
         transports.push_back(std::make_unique<ChannelTransport>(
             chan, storeOf(chan.fromDomain), storeOf(chan.toDomain),
-            *it->second, cfg.bus, parallel_, cfg.trace));
+            *it->second,
+            cfg.platform.resolveLink(chan.fromDomain, chan.toDomain),
+            parallel_, cfg.trace));
     }
 }
 
@@ -342,6 +348,30 @@ CoSim::snapshotMetrics(obs::MetricsRegistry &reg) const
                              "cosim.channel." + t->spec().name,
                              t->stats());
     }
+    for (const auto &u : linkUsage()) {
+        const std::string base =
+            "cosim.link." + u.from + "_" + u.to;
+        reg.gauge(base + ".busy_cycles")
+            .set(static_cast<double>(u.busyCycles));
+        reg.gauge(base + ".grants")
+            .set(static_cast<double>(u.grants));
+    }
+}
+
+std::vector<CoSim::LinkUsage>
+CoSim::linkUsage() const
+{
+    std::vector<LinkUsage> out;
+    for (const auto &[key, arb] : links) {
+        LinkUsage u;
+        u.from = key.first;
+        u.to = key.second;
+        u.linkClass = cfg.platform.resolveLinkClass(u.from, u.to);
+        u.busyCycles = arb->busy();
+        u.grants = arb->grantCount();
+        out.push_back(std::move(u));
+    }
+    return out;
 }
 
 void
@@ -422,7 +452,7 @@ CoSim::sliceSoftware(SwProc &sw)
         return sliceSoftwareCompiled(sw);
 
     const double work_to_cycles =
-        cfg.swCyclesPerWork / cfg.cpuClockRatio;
+        cfg.swCyclesPerWork / cfg.platform.cpuClockRatio;
     bool progress = false;
     int fired = 0;
     while (fired < cfg.swQuantum) {
@@ -519,9 +549,9 @@ bool
 CoSim::sliceSoftwareCompiled(SwProc &sw)
 {
     const double work_to_cycles =
-        cfg.swCyclesPerWork / cfg.cpuClockRatio;
+        cfg.swCyclesPerWork / cfg.platform.cpuClockRatio;
     const double cycles_per_firing =
-        cfg.swCompiledCyclesPerFiring / cfg.cpuClockRatio;
+        cfg.swCompiledCyclesPerFiring / cfg.platform.cpuClockRatio;
     bool progress = false;
     for (int iter = 0; iter < cfg.swQuantum; iter++) {
         pumpFrom(sw.domain, static_cast<std::uint64_t>(sw.time));

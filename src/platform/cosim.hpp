@@ -56,6 +56,7 @@
 #include "hwsim/clocksim.hpp"
 #include "hwsim/compiled_hw.hpp"
 #include "platform/channel.hpp"
+#include "platform/platform_spec.hpp"
 #include "platform/remote_partition.hpp"
 #include "runtime/exec.hpp"
 #include "runtime/gencc.hpp"
@@ -98,7 +99,17 @@ enum class HwBackend : std::uint8_t { Interpreted, Compiled };
 /** Co-simulation parameters. */
 struct CosimConfig
 {
-    BusParams bus = BusParams::embeddedLocalLink();
+    /**
+     * The platform timing model: per-link-class bus parameters with
+     * a (from, to) -> class topology, hw functional-unit delays, and
+     * the CPU/FPGA clock ratio. Replaces the historical single
+     * global BusParams — each channel's transport now gets the
+     * BusParams its (fromDomain, toDomain) pair resolves to, so
+     * heterogeneous platforms (fast on-chip + slow off-chip links in
+     * one run) are expressible. Defaults to the ML507 preset, which
+     * is byte-identical to the old hard-coded calibration.
+     */
+    PlatformSpec platform = PlatformSpec::ml507();
 
     /**
      * CPU cycles per abstract work unit. Work units are interpreter
@@ -109,9 +120,6 @@ struct CosimConfig
      * "slightly faster" F2 relation. See docs/EXPERIMENTS.md.
      */
     double swCyclesPerWork = 0.23;
-
-    /** CPU clock / FPGA clock (400 MHz / 100 MHz on the ML507). */
-    double cpuClockRatio = 4.0;
 
     /** Software scheduling strategy. */
     SwStrategy swStrategy = SwStrategy::Dataflow;
@@ -363,6 +371,20 @@ class CoSim
     {
         return transports;
     }
+
+    /** Occupancy accounting of one (from, to) link direction. */
+    struct LinkUsage
+    {
+        std::string from, to;
+        std::string linkClass;     ///< platform class the pair
+                                   ///< resolved to
+        std::uint64_t busyCycles;  ///< wire-occupied cycles
+        std::uint64_t grants;      ///< messages granted
+    };
+
+    /** Per-link-direction arbiter accounting with the platform link
+     *  class each pair resolved to (call while quiesced). */
+    std::vector<LinkUsage> linkUsage() const;
 
     /**
      * Release compiled-partition thread ownership for every software

@@ -1,0 +1,387 @@
+#include "platform/platform_spec.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "common/logging.hpp"
+#include "common/strutil.hpp"
+
+namespace bcl {
+
+namespace {
+
+/** "<source>:<line>: msg" FatalError. */
+[[noreturn]] void
+configError(const std::string &source, int line,
+            const std::string &msg)
+{
+    fatal(source + ":" + std::to_string(line) + ": " + msg);
+}
+
+/** Whitespace-split one directive line (comments already stripped). */
+std::vector<std::string>
+tokenize(const std::string &line)
+{
+    std::vector<std::string> toks;
+    std::istringstream in(line);
+    std::string t;
+    while (in >> t)
+        toks.push_back(t);
+    return toks;
+}
+
+std::uint64_t
+parseU64(const std::string &tok, const std::string &source, int line,
+         const std::string &what)
+{
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(tok.c_str(), &end, 10);
+    if (end == tok.c_str() || *end != '\0' || errno == ERANGE ||
+        tok[0] == '-') {
+        configError(source, line,
+                    what + " must be a non-negative integer, got '" +
+                        tok + "'");
+    }
+    return static_cast<std::uint64_t>(v);
+}
+
+int
+parseIntTok(const std::string &tok, const std::string &source,
+            int line, const std::string &what)
+{
+    std::uint64_t v = parseU64(tok, source, line, what);
+    if (v > static_cast<std::uint64_t>(1) << 30)
+        configError(source, line, what + " out of range: '" + tok +
+                                      "'");
+    return static_cast<int>(v);
+}
+
+double
+parseDoubleTok(const std::string &tok, const std::string &source,
+               int line, const std::string &what)
+{
+    errno = 0;
+    char *end = nullptr;
+    double v = std::strtod(tok.c_str(), &end);
+    if (end == tok.c_str() || *end != '\0' || errno == ERANGE)
+        configError(source, line,
+                    what + " must be a number, got '" + tok + "'");
+    return v;
+}
+
+/** Round-trippable double formatting for str(). */
+std::string
+fmtDouble(double v)
+{
+    std::ostringstream o;
+    o.precision(17);
+    o << v;
+    return o.str();
+}
+
+int *
+hwDelayField(HwDelayModel &m, const std::string &op)
+{
+    if (op == "add")
+        return &m.add;
+    if (op == "mul")
+        return &m.mul;
+    if (op == "div")
+        return &m.div;
+    if (op == "sqrt")
+        return &m.sqrt;
+    if (op == "cmp")
+        return &m.cmp;
+    if (op == "logic")
+        return &m.logic;
+    if (op == "mux")
+        return &m.mux;
+    if (op == "method")
+        return &m.method;
+    if (op == "bram")
+        return &m.bram;
+    return nullptr;
+}
+
+} // namespace
+
+const BusParams &
+PlatformSpec::linkClass(const std::string &cls) const
+{
+    auto it = linkClasses.find(cls);
+    if (it == linkClasses.end())
+        fatal("platform '" + name + "': unknown link class '" + cls +
+              "'");
+    return it->second;
+}
+
+const std::string &
+PlatformSpec::resolveLinkClass(const std::string &from,
+                               const std::string &to) const
+{
+    // Most specific pattern wins; duplicates are rejected at parse
+    // time, so within one specificity tier at most one rule matches.
+    const TopologyRule *exact = nullptr, *fromWild = nullptr,
+                       *toWild = nullptr, *bothWild = nullptr;
+    for (const auto &r : topology) {
+        bool fm = r.from == from, tm = r.to == to;
+        bool fw = r.from == "*", tw = r.to == "*";
+        if (fm && tm)
+            exact = &r;
+        else if (fm && tw)
+            fromWild = &r;
+        else if (fw && tm)
+            toWild = &r;
+        else if (fw && tw)
+            bothWild = &r;
+    }
+    const TopologyRule *hit = exact ? exact
+                              : fromWild ? fromWild
+                              : toWild   ? toWild
+                                         : bothWild;
+    if (hit)
+        return hit->linkClass;
+    if (!defaultLink.empty())
+        return defaultLink;
+    fatal("platform '" + name + "': no topology rule matches link (" +
+          from + " -> " + to + ") and no default_link is set");
+}
+
+const BusParams &
+PlatformSpec::resolveLink(const std::string &from,
+                          const std::string &to) const
+{
+    return linkClass(resolveLinkClass(from, to));
+}
+
+std::string
+PlatformSpec::str() const
+{
+    std::ostringstream o;
+    o << "platform " << name << "\n";
+    o << "cpu_clock_ratio " << fmtDouble(cpuClockRatio) << "\n";
+    for (const auto &[cls, p] : linkClasses) {
+        o << "link " << cls << " " << p.requestLatency << " "
+          << p.perMessageOverhead << " " << p.perWordCycles << " "
+          << p.maxBurstWords << "\n";
+    }
+    if (!defaultLink.empty())
+        o << "default_link " << defaultLink << "\n";
+    for (const auto &r : topology) {
+        o << "topology " << r.from << " " << r.to << " "
+          << r.linkClass << "\n";
+    }
+    const HwDelayModel &d = hwDelays;
+    o << "hw_delay add " << d.add << "\n";
+    o << "hw_delay mul " << d.mul << "\n";
+    o << "hw_delay div " << d.div << "\n";
+    o << "hw_delay sqrt " << d.sqrt << "\n";
+    o << "hw_delay cmp " << d.cmp << "\n";
+    o << "hw_delay logic " << d.logic << "\n";
+    o << "hw_delay mux " << d.mux << "\n";
+    o << "hw_delay method " << d.method << "\n";
+    o << "hw_delay bram " << d.bram << "\n";
+    return o.str();
+}
+
+PlatformSpec
+PlatformSpec::ml507()
+{
+    PlatformSpec s;
+    s.name = "ml507";
+    // The BusParams defaults ARE the ML507/LocalLink calibration —
+    // one source of truth (pinned against the §7 numbers by test).
+    s.linkClasses["local_link"] = BusParams{};
+    s.defaultLink = "local_link";
+    s.hwDelays = HwDelayModel{};
+    s.cpuClockRatio = 4.0;
+    return s;
+}
+
+PlatformSpec
+PlatformSpec::pcie()
+{
+    PlatformSpec s;
+    s.name = "pcie";
+    // Higher propagation latency across the PCIe root complex, but
+    // the same fabric-side streaming rate per 32-bit beat. The CPU
+    // ratio stays at the calibrated 4.0 — the paper calibrates the
+    // fabric side only, and keeping it fixed isolates the link-timing
+    // axis in comparisons.
+    BusParams p;
+    p.requestLatency = 220;
+    p.perMessageOverhead = 40;
+    p.perWordCycles = 1;
+    p.maxBurstWords = 512;
+    s.linkClasses["pcie"] = p;
+    s.defaultLink = "pcie";
+    s.hwDelays = HwDelayModel{};
+    s.cpuClockRatio = 4.0;
+    return s;
+}
+
+PlatformSpec
+parsePlatformSpec(const std::string &text, const std::string &source)
+{
+    PlatformSpec out;
+    out.name = "custom";
+    bool sawName = false, sawRatio = false;
+    std::set<std::string> sawDelay;
+    std::set<std::pair<std::string, std::string>> sawPattern;
+
+    std::istringstream in(text);
+    std::string raw;
+    int lineno = 0;
+    // Track the line of each forward reference so the "unknown link
+    // class" diagnostics point at the offending directive, not EOF.
+    std::vector<std::pair<int, std::string>> classRefs;
+    while (std::getline(in, raw)) {
+        lineno++;
+        auto hash = raw.find('#');
+        if (hash != std::string::npos)
+            raw.resize(hash);
+        std::vector<std::string> toks = tokenize(raw);
+        if (toks.empty())
+            continue;
+        const std::string &kw = toks[0];
+        if (kw == "platform") {
+            if (toks.size() != 2)
+                configError(source, lineno,
+                            "expected: platform <name>");
+            if (sawName)
+                configError(source, lineno,
+                            "duplicate 'platform' directive");
+            sawName = true;
+            out.name = toks[1];
+        } else if (kw == "cpu_clock_ratio") {
+            if (toks.size() != 2)
+                configError(source, lineno,
+                            "expected: cpu_clock_ratio <double>");
+            if (sawRatio)
+                configError(source, lineno,
+                            "duplicate 'cpu_clock_ratio' directive");
+            sawRatio = true;
+            out.cpuClockRatio = parseDoubleTok(
+                toks[1], source, lineno, "cpu_clock_ratio");
+            if (out.cpuClockRatio <= 0)
+                configError(source, lineno,
+                            "cpu_clock_ratio must be > 0");
+        } else if (kw == "link") {
+            if (toks.size() != 6)
+                configError(
+                    source, lineno,
+                    "expected: link <class> <request_latency> "
+                    "<per_message_overhead> <per_word_cycles> "
+                    "<max_burst_words>");
+            if (out.linkClasses.count(toks[1]))
+                configError(source, lineno,
+                            "duplicate link class '" + toks[1] + "'");
+            BusParams p;
+            p.requestLatency = parseU64(toks[2], source, lineno,
+                                        "request_latency");
+            p.perMessageOverhead = parseU64(
+                toks[3], source, lineno, "per_message_overhead");
+            p.perWordCycles = parseU64(toks[4], source, lineno,
+                                       "per_word_cycles");
+            p.maxBurstWords = parseIntTok(toks[5], source, lineno,
+                                          "max_burst_words");
+            if (p.maxBurstWords < 1)
+                configError(source, lineno,
+                            "max_burst_words must be >= 1");
+            out.linkClasses[toks[1]] = p;
+        } else if (kw == "default_link") {
+            if (toks.size() != 2)
+                configError(source, lineno,
+                            "expected: default_link <class>");
+            if (!out.defaultLink.empty())
+                configError(source, lineno,
+                            "duplicate 'default_link' directive");
+            out.defaultLink = toks[1];
+            classRefs.emplace_back(lineno, toks[1]);
+        } else if (kw == "topology") {
+            if (toks.size() != 4)
+                configError(source, lineno,
+                            "expected: topology <from|*> <to|*> "
+                            "<class>");
+            auto pat = std::make_pair(toks[1], toks[2]);
+            if (!sawPattern.insert(pat).second)
+                configError(source, lineno,
+                            "duplicate topology pattern (" + toks[1] +
+                                ", " + toks[2] + ")");
+            out.topology.push_back({toks[1], toks[2], toks[3]});
+            classRefs.emplace_back(lineno, toks[3]);
+        } else if (kw == "hw_delay") {
+            if (toks.size() != 3)
+                configError(source, lineno,
+                            "expected: hw_delay <op> <units>");
+            int *field = hwDelayField(out.hwDelays, toks[1]);
+            if (!field)
+                configError(
+                    source, lineno,
+                    "unknown hw_delay op '" + toks[1] +
+                        "' (expected add mul div sqrt cmp logic "
+                        "mux method bram)");
+            if (!sawDelay.insert(toks[1]).second)
+                configError(source, lineno,
+                            "duplicate hw_delay op '" + toks[1] +
+                                "'");
+            *field = parseIntTok(toks[2], source, lineno,
+                                 "hw_delay units");
+        } else {
+            configError(source, lineno,
+                        "unknown directive '" + kw +
+                            "' (expected platform, cpu_clock_ratio, "
+                            "link, default_link, topology, "
+                            "hw_delay)");
+        }
+    }
+
+    if (out.linkClasses.empty())
+        configError(source, lineno,
+                    "config defines no link classes (need at least "
+                    "one 'link' line)");
+    for (const auto &[line, cls] : classRefs) {
+        if (!out.linkClasses.count(cls))
+            configError(source, line,
+                        "unknown link class '" + cls + "'");
+    }
+    return out;
+}
+
+PlatformSpec
+loadPlatformSpec(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open platform config '" + path + "'");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return parsePlatformSpec(buf.str(), path);
+}
+
+std::vector<std::string>
+platformPresetNames()
+{
+    return {"ml507", "pcie"};
+}
+
+PlatformSpec
+resolvePlatform(const std::string &nameOrPath)
+{
+    if (nameOrPath == "ml507")
+        return PlatformSpec::ml507();
+    if (nameOrPath == "pcie")
+        return PlatformSpec::pcie();
+    std::ifstream probe(nameOrPath);
+    if (probe)
+        return loadPlatformSpec(nameOrPath);
+    fatal("unknown platform '" + nameOrPath +
+          "': not a preset (" + join(platformPresetNames(), ", ") +
+          ") and no such config file");
+}
+
+} // namespace bcl

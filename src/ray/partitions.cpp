@@ -130,6 +130,7 @@ runRayConfig(const RayConfig &rcfg, int prim_count,
         res.channelStats.emplace_back(chan->spec().name,
                                       chan->stats());
     }
+    res.linkUsage = cosim.linkUsage();
     return res;
 }
 

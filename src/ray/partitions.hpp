@@ -53,6 +53,9 @@ struct RayRunResult
     /** Per-channel traffic, by channel name in construction order —
      *  feed to snapshotChannelStats for stable metric names. */
     std::vector<std::pair<std::string, ChannelStats>> channelStats;
+    /** Per-(from,to) link occupancy, with the link class the
+     *  platform's topology section resolved for each pair. */
+    std::vector<CoSim::LinkUsage> linkUsage;
 };
 
 /**

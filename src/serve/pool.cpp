@@ -171,6 +171,11 @@ SessionManager::SessionManager(Options opts)
     : trace_(opts.trace), cache_(std::move(opts.cache)),
       pool_(opts.workers)
 {
+    // Resolve the fleet-wide platform once: a bad preset name or
+    // malformed config file fails the manager's construction, not
+    // the thousandth createSession.
+    if (!opts.platform.empty())
+        platform_ = resolvePlatform(opts.platform);
 }
 
 std::shared_ptr<Session>
@@ -178,6 +183,8 @@ SessionManager::createSession(const PartitionResult &parts,
                               CosimConfig cfg, StreamSpec spec)
 {
     cfg.trace = cfg.trace && trace_;
+    if (platform_)
+        cfg.platform = *platform_;
     if (cfg.swBackend == SwBackend::Compiled && !cfg.compileProvider) {
         cfg.compileProvider = [this](const ElabProgram &prog,
                                      const GenccOptions &opts) {

@@ -28,10 +28,13 @@
 #include <exception>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "platform/platform_spec.hpp"
 #include "serve/compile_cache.hpp"
 #include "serve/session.hpp"
 
@@ -122,6 +125,16 @@ struct SessionManagerOptions
      * subset by clearing cfg.trace per session).
      */
     bool trace = true;
+
+    /**
+     * Platform model for every session this manager creates: a
+     * preset name ("ml507", "pcie") or a configs/*.config path,
+     * resolved ONCE at manager construction (a malformed config
+     * fails fast, not per session) and stamped into each created
+     * session's CosimConfig::platform. Empty = leave per-session
+     * platforms alone.
+     */
+    std::string platform;
 };
 
 class SessionManager
@@ -167,6 +180,8 @@ class SessionManager
     int nextId_ = 0;
     std::mutex idMu_;
     bool trace_;
+    /** Resolved Options::platform; nullopt = per-session choice. */
+    std::optional<PlatformSpec> platform_;
     CompileCache cache_;
     WorkerPool pool_;
 };

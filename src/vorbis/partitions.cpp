@@ -227,6 +227,7 @@ runVorbisConfig(const VorbisConfig &vcfg, int frames,
         res.channelStats.emplace_back(chan->spec().name,
                                       chan->stats());
     }
+    res.linkUsage = cosim.linkUsage();
     return res;
 }
 

@@ -505,15 +505,19 @@ TEST(Marshal, RandomizedTruncatedPrefixesAndExcessAreRejected)
 // ---------------------------------------------------------------------------
 // Bus model: burst accounting must split at the documented boundary
 // (maxBurstWords counts the header word — satellite of the 256/1024
-// default mismatch fix).
+// default mismatch fix, now pinned through the PlatformSpec preset).
 // ---------------------------------------------------------------------------
 
 TEST(Bus, OccupancySplitsBurstsAtDocumentedBoundary)
 {
-    BusParams bus = BusParams::embeddedLocalLink();
+    // The ml507 preset's one link class must be the BusParams
+    // defaults — the single source of the calibration (the duplicate
+    // factory that once disagreed, 256 vs 1024, is gone).
+    PlatformSpec spec = PlatformSpec::ml507();
+    BusParams bus = spec.resolveLink("SW", "HW");
     ASSERT_EQ(bus.maxBurstWords, 1024);
-    ASSERT_EQ(bus.maxBurstWords, BusParams{}.maxBurstWords)
-        << "constructor default and embedded preset must agree";
+    ASSERT_EQ(bus, BusParams{})
+        << "constructor default and ml507 preset must agree";
 
     // words + 1 header <= 1024 -> a single burst: one per-message
     // overhead plus one cycle per word.
@@ -576,7 +580,7 @@ TEST(Channel, StallChargesDeferredCyclesNotPumpAttempts)
 {
     TransportRig rig;
     ChannelTransport ch(rig.spec, *rig.txStore, *rig.rxStore, rig.link,
-                        BusParams::embeddedLocalLink());
+                        BusParams{});
 
     // Exhaust credits: consumer half full to capacity.
     PrimState &rx = rig.rxStore->at(rig.spec.rxPrim);
@@ -629,7 +633,7 @@ TEST(Channel, RxOverflowPanicStillFiresUnderThreading)
     // stuffing the consumer half behind the transport's back.
     TransportRig rig;
     ChannelTransport ch(rig.spec, *rig.txStore, *rig.rxStore, rig.link,
-                        BusParams::embeddedLocalLink(),
+                        BusParams{},
                         /*threaded=*/true);
 
     rig.txStore->at(rig.spec.txPrim).queue.push_back(rig.msg(1));
@@ -649,7 +653,7 @@ TEST(Channel, ThreadedCreditsObserveConsumerDrain)
     // the consumer folds its queue drain back in at deliver().
     TransportRig rig;
     ChannelTransport ch(rig.spec, *rig.txStore, *rig.rxStore, rig.link,
-                        BusParams::embeddedLocalLink(),
+                        BusParams{},
                         /*threaded=*/true);
 
     PrimState &tx = rig.txStore->at(rig.spec.txPrim);
@@ -1029,6 +1033,65 @@ remoteTransportKinds()
     if (netTransportAvailable())
         kinds.push_back(TransportKind::Tcp);
     return kinds;
+}
+
+// The platform axis: link timing is a latency-insensitivity axis
+// exactly like threads and transports. Any platform model — here the
+// heterogeneous two-class topology, the strongest case because
+// different channel pairs run under different BusParams in one run —
+// must reproduce the ml507 threads=1 outputs and firing counts, on
+// every thread count, over the shared-memory transport, and under the
+// compiled software backend where the host supports it.
+TEST(CoSimParallel, VorbisDeterminismAcrossPlatformModels)
+{
+    const int frames = 2;
+    vorbis::VorbisConfig config = vorbis::splitVorbisConfig();
+
+    CosimConfig ref_cfg; // ml507 preset, threads=1, in-thread
+    vorbis::VorbisRunResult ref =
+        vorbis::runVorbisConfig(config, frames, &ref_cfg);
+    EXPECT_FALSE(ref.pcm.empty());
+
+    std::vector<PlatformSpec> platforms{
+        PlatformSpec::pcie(),
+        loadPlatformSpec(
+            BCL_SRC_DIR "/../configs/het_onchip_offchip.config")};
+    for (const PlatformSpec &plat : platforms) {
+        for (int threads : matrixThreadCounts()) {
+            CosimConfig cfg;
+            cfg.platform = plat;
+            cfg.threads = threads;
+            vorbis::VorbisRunResult r =
+                vorbis::runVorbisConfig(config, frames, &cfg);
+            EXPECT_EQ(r.pcm, ref.pcm)
+                << plat.name << " threads=" << threads;
+            EXPECT_EQ(r.swRulesFired, ref.swRulesFired)
+                << plat.name << " threads=" << threads;
+            EXPECT_EQ(r.hwRuleFires, ref.hwRuleFires)
+                << plat.name << " threads=" << threads;
+        }
+        {
+            CosimConfig cfg;
+            cfg.platform = plat;
+            cfg.defaultTransport = TransportKind::SharedMem;
+            cfg.transportTimeoutMs = 60000;
+            vorbis::VorbisRunResult r =
+                vorbis::runVorbisConfig(config, frames, &cfg);
+            EXPECT_EQ(r.pcm, ref.pcm) << plat.name << " over shm";
+            EXPECT_EQ(r.hwRuleFires, ref.hwRuleFires)
+                << plat.name << " over shm";
+        }
+        if (CompiledPartition::hostCompilerAvailable()) {
+            CosimConfig cfg;
+            cfg.platform = plat;
+            cfg.swBackend = SwBackend::Compiled;
+            vorbis::VorbisRunResult r =
+                vorbis::runVorbisConfig(config, frames, &cfg);
+            EXPECT_EQ(r.pcm, ref.pcm) << plat.name << " compiled";
+            EXPECT_EQ(r.swRulesFired, ref.swRulesFired)
+                << plat.name << " compiled";
+        }
+    }
 }
 
 TEST(CoSimTransport, LoopbackTcpProbe)
